@@ -1,0 +1,50 @@
+//! Assembly rendering of Palmed microbenchmarks.
+//!
+//! The original Palmed drives real hardware: every microkernel it wants to
+//! measure is turned into an assembly loop (dependency-free, L1-resident,
+//! unrolled enough to hide the loop overhead), assembled, and timed with the
+//! cycle counter.  This crate is that benchmark-generator back-end: it
+//! renders a [`Microkernel`] into an x86-64 (AT&T syntax) assembly file that
+//! follows the same construction rules as the paper's generator:
+//!
+//! * **no dependencies** — destination registers rotate through a pool so no
+//!   instance reads a register written by a nearby instance;
+//! * **L1-resident memory accesses** — loads and stores target a small
+//!   scratch buffer, with the address rotated across a handful of cache
+//!   lines;
+//! * **unrolling** — the kernel body is repeated [`EmitterConfig::unroll`]
+//!   times per loop iteration so the loop branch is negligible;
+//! * **no extension mixing surprises** — the caller controls the kernel, the
+//!   emitter simply refuses nothing; the measurement-side rule of not mixing
+//!   SSE and AVX lives in the campaign configuration.
+//!
+//! The simulated back-ends of `palmed-machine` do not consume this output —
+//! they work on the [`Microkernel`] directly — but rendering every kernel of
+//! a campaign is how the reproduction would be hooked to real silicon, and
+//! the textual output doubles as a human-readable description of each
+//! benchmark.
+//!
+//! # Example
+//!
+//! ```
+//! use palmed_asm::{AsmEmitter, EmitterConfig};
+//! use palmed_isa::{InstructionSet, Microkernel};
+//!
+//! let insts = InstructionSet::paper_example();
+//! let addss = insts.find("ADDSS").unwrap();
+//! let bsr = insts.find("BSR").unwrap();
+//! let kernel = Microkernel::pair(addss, 2, bsr, 1);
+//!
+//! let emitter = AsmEmitter::new(EmitterConfig::default());
+//! let asm = emitter.render(&insts, &kernel).unwrap();
+//! assert!(asm.contains("addss"));
+//! assert!(asm.contains(".loop:"));
+//! ```
+
+pub mod emit;
+pub mod operands;
+pub mod regs;
+
+pub use emit::{AsmEmitter, EmitError, EmitterConfig};
+pub use operands::{operand_kind, OperandKind};
+pub use regs::{RegisterClass, RegisterPool};

@@ -1,0 +1,118 @@
+//! Operand shapes per execution class.
+//!
+//! The synthetic inventory names instructions after real x86 mnemonics, but
+//! what the benchmark generator needs is only the *shape* of the operands:
+//! which register file, whether a memory operand is read or written, whether
+//! the instruction is a branch whose target must be the next instruction
+//! (so that the benchmark's control flow stays a straight line).  The shape
+//! is fully determined by the [`ExecClass`] of the instruction.
+
+use crate::regs::RegisterClass;
+use palmed_isa::ExecClass;
+
+/// How the operands of an instruction must be materialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandKind {
+    /// `op %src, %dst` over a register class (ALU, FP, vector arithmetic).
+    RegReg(RegisterClass),
+    /// `op %src1, %src2 -> %dst` rendered as the two-operand AT&T form with a
+    /// distinct destination (FMA-style three-operand AVX instructions).
+    RegRegReg(RegisterClass),
+    /// `op offset(%base), %dst`: a load from the scratch buffer.
+    Load(RegisterClass),
+    /// `op %src, offset(%base)`: a store to the scratch buffer.
+    Store(RegisterClass),
+    /// `lea offset(%base, %index, scale), %dst`.
+    AddressGen,
+    /// A conditional branch that must fall through (its target is the next
+    /// label, taken or not, the body stays straight-line).
+    CondBranch,
+    /// An unconditional jump to the immediately following label.
+    Jump,
+}
+
+/// Operand shape of an execution class.
+pub fn operand_kind(class: ExecClass) -> OperandKind {
+    match class {
+        ExecClass::IntAlu | ExecClass::IntAluRestricted | ExecClass::IntMul | ExecClass::IntDiv => {
+            OperandKind::RegReg(RegisterClass::Gpr64)
+        }
+        ExecClass::Lea => OperandKind::AddressGen,
+        ExecClass::Branch => OperandKind::CondBranch,
+        ExecClass::Jump => OperandKind::Jump,
+        ExecClass::Load => OperandKind::Load(RegisterClass::Gpr64),
+        ExecClass::Store => OperandKind::Store(RegisterClass::Gpr64),
+        ExecClass::FpAddSse
+        | ExecClass::FpMulSse
+        | ExecClass::FpDivSse
+        | ExecClass::VecAluSse
+        | ExecClass::VecShuffleSse
+        | ExecClass::VecCvtSse => OperandKind::RegReg(RegisterClass::Xmm),
+        ExecClass::FpAddAvx | ExecClass::VecAluAvx | ExecClass::VecShuffleAvx => {
+            OperandKind::RegRegReg(RegisterClass::Ymm)
+        }
+        ExecClass::FpMulAvx | ExecClass::FpDivAvx => OperandKind::RegRegReg(RegisterClass::Ymm),
+        ExecClass::VecStore => OperandKind::Store(RegisterClass::Xmm),
+        ExecClass::VecLoad => OperandKind::Load(RegisterClass::Xmm),
+    }
+}
+
+impl OperandKind {
+    /// The register class the operands live in, when there is one.
+    pub fn register_class(self) -> Option<RegisterClass> {
+        match self {
+            OperandKind::RegReg(c)
+            | OperandKind::RegRegReg(c)
+            | OperandKind::Load(c)
+            | OperandKind::Store(c) => Some(c),
+            OperandKind::AddressGen => Some(RegisterClass::Gpr64),
+            OperandKind::CondBranch | OperandKind::Jump => None,
+        }
+    }
+
+    /// Whether the instruction touches the scratch memory buffer.
+    pub fn touches_memory(self) -> bool {
+        matches!(self, OperandKind::Load(_) | OperandKind::Store(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_has_an_operand_shape() {
+        for class in ExecClass::ALL {
+            // Must not panic, and memory classes must be flagged as such.
+            let kind = operand_kind(class);
+            match class {
+                ExecClass::Load | ExecClass::Store | ExecClass::VecLoad | ExecClass::VecStore => {
+                    assert!(kind.touches_memory(), "{class:?} should touch memory")
+                }
+                _ => assert!(!kind.touches_memory(), "{class:?} should not touch memory"),
+            }
+        }
+    }
+
+    #[test]
+    fn vector_classes_use_vector_registers() {
+        assert_eq!(
+            operand_kind(ExecClass::FpAddSse).register_class(),
+            Some(RegisterClass::Xmm)
+        );
+        assert_eq!(
+            operand_kind(ExecClass::FpAddAvx).register_class(),
+            Some(RegisterClass::Ymm)
+        );
+        assert_eq!(
+            operand_kind(ExecClass::IntAlu).register_class(),
+            Some(RegisterClass::Gpr64)
+        );
+    }
+
+    #[test]
+    fn control_flow_classes_have_no_register_class() {
+        assert_eq!(operand_kind(ExecClass::Branch).register_class(), None);
+        assert_eq!(operand_kind(ExecClass::Jump).register_class(), None);
+    }
+}

@@ -1,0 +1,174 @@
+//! Register pools used by the benchmark generator.
+//!
+//! Dependency-freedom is the one property the paper's microbenchmarks must
+//! have (Sec. III-A): the measured IPC must reflect resource contention only,
+//! never a latency chain.  The generator therefore writes every instruction
+//! instance to a *different* register, cycling through a pool large enough
+//! that a destination is not reused before the previous write has long
+//! retired.
+
+use std::fmt;
+
+/// The architectural register file a register belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegisterClass {
+    /// 64-bit general-purpose registers.
+    Gpr64,
+    /// 32-bit views of the general-purpose registers.
+    Gpr32,
+    /// 128-bit SSE registers.
+    Xmm,
+    /// 256-bit AVX registers.
+    Ymm,
+}
+
+impl RegisterClass {
+    /// Names of the registers of this class that the generator may allocate.
+    ///
+    /// A few registers are deliberately excluded: `%rsp` / `%rbp` (stack),
+    /// `%rdi` (scratch-buffer base pointer), `%rcx` (loop counter), and their
+    /// 32-bit views, so generated code never clobbers the loop structure.
+    pub fn names(self) -> &'static [&'static str] {
+        match self {
+            RegisterClass::Gpr64 => &[
+                "%rax", "%rbx", "%rdx", "%rsi", "%r8", "%r9", "%r10", "%r11", "%r12", "%r13",
+                "%r14", "%r15",
+            ],
+            RegisterClass::Gpr32 => &[
+                "%eax", "%ebx", "%edx", "%esi", "%r8d", "%r9d", "%r10d", "%r11d", "%r12d",
+                "%r13d", "%r14d", "%r15d",
+            ],
+            RegisterClass::Xmm => &[
+                "%xmm0", "%xmm1", "%xmm2", "%xmm3", "%xmm4", "%xmm5", "%xmm6", "%xmm7", "%xmm8",
+                "%xmm9", "%xmm10", "%xmm11", "%xmm12", "%xmm13", "%xmm14", "%xmm15",
+            ],
+            RegisterClass::Ymm => &[
+                "%ymm0", "%ymm1", "%ymm2", "%ymm3", "%ymm4", "%ymm5", "%ymm6", "%ymm7", "%ymm8",
+                "%ymm9", "%ymm10", "%ymm11", "%ymm12", "%ymm13", "%ymm14", "%ymm15",
+            ],
+        }
+    }
+
+    /// Number of allocatable registers in the class.
+    pub fn len(self) -> usize {
+        self.names().len()
+    }
+
+    /// Always false: every class has at least one register.
+    pub fn is_empty(self) -> bool {
+        self.names().is_empty()
+    }
+}
+
+impl fmt::Display for RegisterClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RegisterClass::Gpr64 => "gpr64",
+            RegisterClass::Gpr32 => "gpr32",
+            RegisterClass::Xmm => "xmm",
+            RegisterClass::Ymm => "ymm",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Round-robin register allocator over one [`RegisterClass`].
+///
+/// Successive calls to [`RegisterPool::next`] return different registers
+/// until the pool wraps around; [`RegisterPool::next_pair`] returns two
+/// *distinct* registers for two-operand instructions so that the source and
+/// the destination never alias (which would create a dependency on the
+/// previous writer of the destination).
+#[derive(Debug, Clone)]
+pub struct RegisterPool {
+    class: RegisterClass,
+    cursor: usize,
+}
+
+impl RegisterPool {
+    /// Creates a pool over the given class, starting at its first register.
+    pub fn new(class: RegisterClass) -> Self {
+        RegisterPool { class, cursor: 0 }
+    }
+
+    /// The register class this pool allocates from.
+    pub fn class(&self) -> RegisterClass {
+        self.class
+    }
+
+    /// Returns the next register in round-robin order.
+    pub fn next(&mut self) -> &'static str {
+        let names = self.class.names();
+        let name = names[self.cursor % names.len()];
+        self.cursor += 1;
+        name
+    }
+
+    /// Returns two distinct registers (source, destination).
+    pub fn next_pair(&mut self) -> (&'static str, &'static str) {
+        let a = self.next();
+        let mut b = self.next();
+        if a == b {
+            // Only possible for a pool of size 1, which no class has, but the
+            // fallback keeps the invariant explicit.
+            b = self.next();
+        }
+        (a, b)
+    }
+
+    /// Number of registers handed out so far.
+    pub fn allocated(&self) -> usize {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn pools_cycle_through_all_registers_before_repeating() {
+        for class in [
+            RegisterClass::Gpr64,
+            RegisterClass::Gpr32,
+            RegisterClass::Xmm,
+            RegisterClass::Ymm,
+        ] {
+            let mut pool = RegisterPool::new(class);
+            let n = class.len();
+            let first_round: BTreeSet<&str> = (0..n).map(|_| pool.next()).collect();
+            assert_eq!(first_round.len(), n, "{class} pool repeated a register early");
+            assert_eq!(pool.next(), class.names()[0], "{class} pool did not wrap around");
+        }
+    }
+
+    #[test]
+    fn next_pair_never_aliases() {
+        let mut pool = RegisterPool::new(RegisterClass::Xmm);
+        for _ in 0..64 {
+            let (a, b) = pool.next_pair();
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn reserved_registers_are_not_allocatable() {
+        for reserved in ["%rsp", "%rbp", "%rdi", "%rcx", "%esp", "%ebp", "%edi", "%ecx"] {
+            for class in [RegisterClass::Gpr64, RegisterClass::Gpr32] {
+                assert!(
+                    !class.names().contains(&reserved),
+                    "{reserved} must stay reserved in {class}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classes_report_consistent_sizes() {
+        assert_eq!(RegisterClass::Gpr64.len(), RegisterClass::Gpr32.len());
+        assert_eq!(RegisterClass::Xmm.len(), 16);
+        assert_eq!(RegisterClass::Ymm.len(), 16);
+        assert!(!RegisterClass::Xmm.is_empty());
+    }
+}

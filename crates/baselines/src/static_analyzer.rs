@@ -1,0 +1,256 @@
+//! IACA-like and llvm-mca-like static analysers.
+//!
+//! Both tools ship a hand-maintained machine model (port map + front-end
+//! width) for each supported micro-architecture and solve the steady-state
+//! port-assignment problem on it.  They are accurate on port-bound code but
+//! carry characteristic modelling gaps, which this module reproduces so that
+//! the evaluation shows the same qualitative picture as the paper:
+//!
+//! * [`IacaLikePredictor`] — knows the exact port sets, the µOP break-down,
+//!   the reciprocal throughput of non-pipelined units and the front-end
+//!   width.  Its only gap with respect to native execution is everything the
+//!   hand-written model does not describe: the finite scheduler window,
+//!   greedy (rather than optimal) dispatch, and any measurement noise.
+//! * [`McaLikePredictor`] — same information, but drops the *secondary* µOPs
+//!   of multi-µOP instructions (store-address µOPs, the second half of
+//!   256-bit operations on Zen-like cores), a simplification present in
+//!   several shipped scheduling models.  It over-estimates store- and
+//!   AVX-heavy kernels on machines where those µOPs matter.
+//!
+//! Both mirror the real tools in being *oracle-based*: they read the
+//! ground-truth machine description (the analogue of Intel's internal
+//! documentation) rather than measuring anything.
+
+use palmed_core::ThroughputPredictor;
+use palmed_isa::{InstId, Microkernel};
+use palmed_machine::{DisjunctiveMapping, MicroOp, PortSet};
+use std::sync::Arc;
+
+fn optimal_ipc_with(
+    mapping: &DisjunctiveMapping,
+    kernel: &Microkernel,
+    transform: impl Fn(usize, &MicroOp) -> Option<MicroOp>,
+    front_end: Option<f64>,
+    supports: impl Fn(InstId) -> bool,
+) -> Option<f64> {
+    let num_ports = mapping.machine().num_ports;
+    // Aggregate transformed µOP loads by port set.
+    let mut loads: Vec<(PortSet, f64)> = Vec::new();
+    let mut any = false;
+    let mut counted_instructions = 0u32;
+    for (inst, count) in kernel.iter() {
+        counted_instructions += count;
+        if !supports(inst) {
+            continue;
+        }
+        any = true;
+        for (idx, uop) in mapping.uops(inst).iter().enumerate() {
+            let Some(uop) = transform(idx, uop) else { continue };
+            match loads.iter_mut().find(|(p, _)| *p == uop.ports) {
+                Some((_, l)) => *l += count as f64 * uop.inverse_throughput,
+                None => loads.push((uop.ports, count as f64 * uop.inverse_throughput)),
+            }
+        }
+    }
+    if !any || counted_instructions == 0 {
+        return None;
+    }
+    let mut t: f64 = 0.0;
+    for mask in 1u32..(1 << num_ports) {
+        let subset = PortSet::from_mask(mask);
+        let confined: f64 = loads
+            .iter()
+            .filter(|(p, _)| p.is_subset_of(subset))
+            .map(|&(_, l)| l)
+            .sum();
+        if confined > 0.0 {
+            t = t.max(confined / subset.len() as f64);
+        }
+    }
+    if let Some(width) = front_end {
+        t = t.max(counted_instructions as f64 / width);
+    }
+    if t <= 0.0 {
+        None
+    } else {
+        Some(counted_instructions as f64 / t)
+    }
+}
+
+/// IACA-like analyser: oracle port map + front-end, everything assumed
+/// pipelined.
+#[derive(Debug, Clone)]
+pub struct IacaLikePredictor {
+    mapping: Arc<DisjunctiveMapping>,
+    name: String,
+    /// Whether the analyser supports the target at all (IACA never supported
+    /// AMD processors; the evaluation harness uses this to reproduce the
+    /// "N/A" rows of Fig. 4b).
+    available: bool,
+}
+
+impl IacaLikePredictor {
+    /// Builds the analyser for a machine it supports.
+    pub fn new(mapping: Arc<DisjunctiveMapping>) -> Self {
+        IacaLikePredictor { mapping, name: "iaca-like".into(), available: true }
+    }
+
+    /// Marks the target as unsupported (predictions all become `None`).
+    #[must_use]
+    pub fn unavailable(mut self) -> Self {
+        self.available = false;
+        self
+    }
+
+    /// Whether the analyser supports the target machine.
+    pub fn is_available(&self) -> bool {
+        self.available
+    }
+}
+
+impl ThroughputPredictor for IacaLikePredictor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn supports(&self, inst: InstId) -> bool {
+        self.available && inst.index() < self.mapping.instructions().len()
+    }
+
+    fn predict_ipc(&self, kernel: &Microkernel) -> Option<f64> {
+        if !self.available {
+            return None;
+        }
+        optimal_ipc_with(
+            &self.mapping,
+            kernel,
+            |_, uop| Some(*uop),
+            Some(self.mapping.machine().front_end.instructions_per_cycle),
+            |i| self.supports(i),
+        )
+    }
+}
+
+/// llvm-mca-like analyser: oracle port map + front-end, but only the *first*
+/// µOP of every instruction modelled.
+#[derive(Debug, Clone)]
+pub struct McaLikePredictor {
+    mapping: Arc<DisjunctiveMapping>,
+    name: String,
+}
+
+impl McaLikePredictor {
+    /// Builds the analyser.
+    pub fn new(mapping: Arc<DisjunctiveMapping>) -> Self {
+        McaLikePredictor { mapping, name: "llvm-mca-like".into() }
+    }
+}
+
+impl ThroughputPredictor for McaLikePredictor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn supports(&self, inst: InstId) -> bool {
+        inst.index() < self.mapping.instructions().len()
+    }
+
+    fn predict_ipc(&self, kernel: &Microkernel) -> Option<f64> {
+        optimal_ipc_with(
+            &self.mapping,
+            kernel,
+            |idx, uop| (idx == 0).then_some(*uop),
+            Some(self.mapping.machine().front_end.instructions_per_cycle),
+            |i| self.supports(i),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palmed_machine::{presets, throughput};
+
+    #[test]
+    fn iaca_like_is_exact_on_pipelined_port_bound_kernels() {
+        let preset = presets::paper_ports016();
+        let map = preset.mapping_arc();
+        let p = IacaLikePredictor::new(Arc::clone(&map));
+        let addss = preset.instructions.find("ADDSS").unwrap();
+        let bsr = preset.instructions.find("BSR").unwrap();
+        let k = Microkernel::pair(addss, 2, bsr, 1);
+        let native = throughput::ipc(&preset.mapping(), &k);
+        assert!((p.predict_ipc(&k).unwrap() - native).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iaca_like_models_the_divider_reciprocal_throughput() {
+        // Like the real tool, the analyser knows that division is not
+        // pipelined: divider-bound kernels are predicted at the documented
+        // reciprocal throughput, matching the analytic optimum.
+        let preset = presets::skl_sp(&palmed_isa::InventoryConfig::small());
+        let map = preset.mapping_arc();
+        let p = IacaLikePredictor::new(Arc::clone(&map));
+        let idiv = preset.instructions.find("IDIV").unwrap();
+        let k = Microkernel::single(idiv).scaled(3);
+        let native = throughput::ipc(&preset.mapping(), &k);
+        let predicted = p.predict_ipc(&k).unwrap();
+        assert!(native < 0.2);
+        assert!(
+            (predicted - native).abs() / native < 1e-6,
+            "predicted {predicted}, native {native}"
+        );
+    }
+
+    #[test]
+    fn mca_like_overestimates_multi_uop_kernels_more_than_iaca_like() {
+        // Dropping secondary µOPs makes the llvm-mca-like model strictly more
+        // optimistic than the IACA-like one on store-heavy mixes.
+        let preset = presets::skl_sp(&palmed_isa::InventoryConfig::small());
+        let map = preset.mapping_arc();
+        let iaca = IacaLikePredictor::new(Arc::clone(&map));
+        let mca = McaLikePredictor::new(Arc::clone(&map));
+        let store = preset.instructions.find("MOV_ST").unwrap();
+        let k = Microkernel::single(store).scaled(6);
+        let from_iaca = iaca.predict_ipc(&k).unwrap();
+        let from_mca = mca.predict_ipc(&k).unwrap();
+        assert!(from_mca >= from_iaca - 1e-9, "mca {from_mca} vs iaca {from_iaca}");
+    }
+
+    #[test]
+    fn mca_like_overestimates_store_heavy_kernels() {
+        let preset = presets::skl_sp(&palmed_isa::InventoryConfig::small());
+        let map = preset.mapping_arc();
+        let p = McaLikePredictor::new(Arc::clone(&map));
+        let store = preset.instructions.find("MOV_ST").unwrap();
+        let add = preset.instructions.find("ADD").unwrap();
+        let k = Microkernel::pair(store, 3, add, 1);
+        let native = throughput::ipc(&preset.mapping(), &k);
+        let predicted = p.predict_ipc(&k).unwrap();
+        assert!(predicted >= native - 1e-9);
+    }
+
+    #[test]
+    fn unavailable_iaca_returns_no_predictions() {
+        let preset = presets::zen1(&palmed_isa::InventoryConfig::small());
+        let map = preset.mapping_arc();
+        let p = IacaLikePredictor::new(map).unavailable();
+        assert!(!p.is_available());
+        let add = preset.instructions.find("ADD").unwrap();
+        assert!(p.predict_ipc(&Microkernel::single(add)).is_none());
+        assert!(!p.supports(add));
+    }
+
+    #[test]
+    fn front_end_is_modelled_by_both_analysers() {
+        let preset = presets::skl_sp(&palmed_isa::InventoryConfig::small());
+        let map = preset.mapping_arc();
+        let iaca = IacaLikePredictor::new(Arc::clone(&map));
+        let mca = McaLikePredictor::new(Arc::clone(&map));
+        let add = preset.instructions.find("ADD").unwrap();
+        let load = preset.instructions.find("MOV_LD").unwrap();
+        let k = Microkernel::from_counts([(add, 4), (load, 2)]);
+        assert!(iaca.predict_ipc(&k).unwrap() <= 4.0 + 1e-9);
+        assert!(mca.predict_ipc(&k).unwrap() <= 4.0 + 1e-9);
+    }
+}

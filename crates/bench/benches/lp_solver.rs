@@ -1,0 +1,80 @@
+//! Criterion bench: the LP/MILP substrate.
+//!
+//! Palmed's scalability argument (Table II: two hours of LP solving for
+//! ~2500 instructions) rests on every individual solve being small.  This
+//! bench tracks the cost of representative LP and ILP instances as the
+//! problem size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use palmed_lp::{Problem, Sense};
+
+/// A dense transportation-style LP with `n` sources and `n` sinks.
+fn transportation_lp(n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let mut vars = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            vars.push(p.add_var(format!("x_{i}_{j}"), 0.0, f64::INFINITY));
+        }
+    }
+    for i in 0..n {
+        let mut row = p.expr();
+        for j in 0..n {
+            row.add_term(1.0, vars[i * n + j]);
+        }
+        p.add_eq(row, 1.0 + i as f64);
+    }
+    for j in 0..n {
+        let mut col = p.expr();
+        for i in 0..n {
+            col.add_term(1.0, vars[i * n + j]);
+        }
+        p.add_ge(col, 0.5 + j as f64 * 0.5);
+    }
+    let mut obj = p.expr();
+    for (k, &v) in vars.iter().enumerate() {
+        obj.add_term(1.0 + (k % 7) as f64, v);
+    }
+    p.set_objective(obj);
+    p
+}
+
+/// A knapsack-style ILP with `n` binary items.
+fn knapsack_ilp(n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    let mut cap = p.expr();
+    let mut obj = p.expr();
+    for i in 0..n {
+        let v = p.add_bool_var(format!("b{i}"));
+        cap.add_term(1.0 + (i % 5) as f64, v);
+        obj.add_term(2.0 + (i % 7) as f64, v);
+    }
+    p.add_le(cap, n as f64);
+    p.set_objective(obj);
+    p
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    for n in [4usize, 8, 12] {
+        let problem = transportation_lp(n);
+        group.bench_with_input(BenchmarkId::new("transportation", n * n), &problem, |b, p| {
+            b.iter(|| p.solve().expect("feasible LP"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_and_bound");
+    for n in [8usize, 12, 16] {
+        let problem = knapsack_ilp(n);
+        group.bench_with_input(BenchmarkId::new("knapsack", n), &problem, |b, p| {
+            b.iter(|| p.solve().expect("feasible ILP"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_milp);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Figure 4: the accuracy comparison of Palmed against
+//! uops.info-style, PMEvo, IACA-like and llvm-mca-like predictors on the
+//! SPEC-like and PolyBench-like suites for both machines.
+//!
+//! * default output: the Fig. 4b table (coverage, RMS error, Kendall τ);
+//! * with `--heatmap`: additionally prints the Fig. 4a ASCII heatmaps.
+//!
+//! Usage: `cargo run --release -p palmed-bench --bin figure4 [-- --full] [-- --heatmap]`
+
+use palmed_bench::{run_campaign, CampaignScale};
+use palmed_eval::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = CampaignScale::from_args(&args);
+    eprintln!("running the evaluation campaign ({scale:?} scale)...");
+    let result = run_campaign(scale);
+    print!("{}", tables::figure4b(&result));
+    if args.iter().any(|a| a == "--heatmap") {
+        println!();
+        print!("{}", tables::figure4a(&result));
+    }
+}

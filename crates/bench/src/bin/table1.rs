@@ -1,0 +1,7 @@
+//! Regenerates Table I: the qualitative feature matrix of Palmed versus the
+//! related tools (no hardware counters / no manual expertise / interpretable
+//! model / generality).
+
+fn main() {
+    print!("{}", palmed_eval::tables::table1());
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table II: main features of the obtained mappings
+//! (benchmarking time, LP solving time, generated microbenchmarks, resources
+//! found, instructions mapped) for the SKL-SP-like and Zen1-like machines.
+//!
+//! Usage: `cargo run -p palmed-bench --bin table2 [-- --full]`
+
+use palmed_bench::{run_campaign, CampaignScale};
+use palmed_eval::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = CampaignScale::from_args(&args);
+    eprintln!("running inference on both machines ({scale:?} scale)...");
+    let result = run_campaign(scale);
+    let reports: Vec<_> = result.machines.iter().map(|m| m.report.clone()).collect();
+    print!("{}", tables::table2(&reports));
+}

@@ -1,0 +1,72 @@
+//! Palmed: automatic construction of conjunctive resource mappings from
+//! cycle-only measurements.
+//!
+//! This crate implements the contribution of *"PALMED: Throughput
+//! Characterization for Superscalar Architectures"* (CGO 2022): given only a
+//! way to measure the steady-state IPC of dependency-free microkernels (the
+//! [`Measurer`](palmed_machine::Measurer) trait), it infers a **conjunctive
+//! bipartite resource mapping** — for every instruction, how much of every
+//! abstract resource it consumes — such that the throughput of *any*
+//! instruction mix can then be predicted with a closed-form maximum instead
+//! of a flow problem.
+//!
+//! The crate is organised along the paper's structure:
+//!
+//! * [`conjunctive`] — the model itself: Def. IV.1–IV.3 (microkernels,
+//!   conjunctive port mapping, throughput formula).
+//! * [`dual`] — Appendix A: the ∇-dual construction turning a disjunctive
+//!   (ground-truth) port mapping into an equivalent conjunctive one, used as
+//!   an oracle and for property-testing the equivalence theorems.
+//! * [`quadratic`] — the quadratic benchmark campaign (`a`, `aabb`, `aMb`).
+//! * [`select`] — Algorithm 1: basic-instruction selection (low-IPC filter,
+//!   equivalence classes, very-basic clique, greediest completion).
+//! * [`lp1`] — Algorithm 3: the ILP that discovers the *shape* of the core
+//!   mapping (how many abstract resources, which edges may exist).
+//! * [`lp2`] — Algorithm 4: the Bipartite Weight Problem assigning edge
+//!   weights to the core mapping.
+//! * [`saturate`] — selection of one saturating microkernel per resource.
+//! * [`lpaux`] — Algorithm 5: the per-instruction completion of the mapping.
+//! * [`pipeline`] — the end-to-end driver of Fig. 3 ([`Palmed`]).
+//! * [`predict`] — the [`ThroughputPredictor`] trait and Palmed's
+//!   implementation of it, shared with the baseline tools.
+//! * [`report`] — mapping statistics (the data behind Table II).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use palmed_core::{Palmed, PalmedConfig, ThroughputPredictor};
+//! use palmed_machine::{presets, AnalyticMeasurer, MemoizingMeasurer};
+//! use palmed_isa::Microkernel;
+//!
+//! // The machine under test: the 3-port pedagogical core from the paper.
+//! let machine = presets::paper_ports016();
+//! let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(machine.mapping_arc()));
+//!
+//! // Infer the resource mapping from IPC measurements only.
+//! let result = Palmed::new(PalmedConfig::small()).infer(&measurer);
+//! let predictor = result.predictor();
+//!
+//! // Predict the throughput of an unseen instruction mix.
+//! let addss = machine.instructions.find("ADDSS").unwrap();
+//! let bsr = machine.instructions.find("BSR").unwrap();
+//! let kernel = Microkernel::pair(addss, 2, bsr, 1);
+//! let predicted = predictor.predict_ipc(&kernel).unwrap();
+//! assert!((predicted - 2.0).abs() < 0.2);
+//! ```
+
+pub mod conjunctive;
+pub mod dual;
+pub mod lp1;
+pub mod lp2;
+pub mod lpaux;
+pub mod pipeline;
+pub mod predict;
+pub mod quadratic;
+pub mod report;
+pub mod saturate;
+pub mod select;
+
+pub use conjunctive::{ConjunctiveMapping, ResourceId};
+pub use pipeline::{Palmed, PalmedConfig, PalmedResult};
+pub use predict::{PalmedPredictor, ThroughputPredictor};
+pub use report::MappingReport;

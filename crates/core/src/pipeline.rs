@@ -1,0 +1,366 @@
+//! The end-to-end Palmed pipeline (Fig. 3 of the paper).
+//!
+//! ```text
+//!  instruction list
+//!        │  per-extension quadratic benchmarks (a, aabb)
+//!        ▼
+//!  basic-instruction selection (Algo 1)      [select]
+//!        │  combined basic set
+//!        ▼
+//!  core-mapping shape (LP1 / Algo 3)         [lp1]
+//!        │  + enrichment benchmarks
+//!        ▼
+//!  core-mapping weights (LP2 / Algo 4)       [lp2]
+//!        │  + saturating kernels             [saturate]
+//!        ▼
+//!  complete mapping (LPAUX / Algo 5)         [lpaux]
+//!        ▼
+//!  conjunctive resource mapping + report
+//! ```
+//!
+//! The pipeline talks to the machine exclusively through the
+//! [`Measurer`](palmed_machine::Measurer) trait — cycle measurements only,
+//! no hardware counters — which is the paper's central constraint.
+
+use crate::conjunctive::ConjunctiveMapping;
+use crate::lp1::{discover_shape, ShapeConfig};
+use crate::lp2::{solve_bwp, BwpConfig};
+use crate::lpaux::{complete_mapping, CompletionConfig, CompletionOutcome};
+use crate::predict::PalmedPredictor;
+use crate::quadratic::{QuadraticCampaign, QuadraticConfig};
+use crate::report::MappingReport;
+use crate::saturate::{select_saturating_kernels, SaturatingKernels};
+use crate::select::{select_basic_instructions, Selection, SelectionConfig};
+use palmed_isa::{Extension, InstId};
+use palmed_machine::Measurer;
+use std::time::Instant;
+
+/// Configuration of a full inference run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PalmedConfig {
+    /// Quadratic-campaign settings (IPC threshold, rounding, `M`).
+    pub quadratic: QuadraticConfig,
+    /// Basic-instruction selection settings (per extension).
+    pub selection: SelectionConfig,
+    /// Shape-discovery settings (LP1).
+    pub shape: ShapeConfig,
+    /// Weight-assignment settings (LP2).
+    pub bwp: BwpConfig,
+    /// Per-instruction completion settings (LPAUX).
+    pub completion: CompletionConfig,
+    /// Minimum relative usage for a benchmark to count as saturating a
+    /// resource when picking saturating kernels.
+    pub saturation_threshold: f64,
+}
+
+impl Default for PalmedConfig {
+    fn default() -> Self {
+        PalmedConfig {
+            quadratic: QuadraticConfig::default(),
+            selection: SelectionConfig::default(),
+            shape: ShapeConfig::default(),
+            bwp: BwpConfig::default(),
+            completion: CompletionConfig::default(),
+            saturation_threshold: 0.95,
+        }
+    }
+}
+
+impl PalmedConfig {
+    /// A configuration suited to small pedagogical machines: fewer basic
+    /// instructions, exhaustive strategies.
+    pub fn small() -> Self {
+        PalmedConfig {
+            selection: SelectionConfig { target_count: 5, ..SelectionConfig::default() },
+            ..PalmedConfig::default()
+        }
+    }
+
+    /// A configuration suited to the full synthetic inventories of the
+    /// evaluation (larger basic set, constructive shape discovery).
+    pub fn evaluation() -> Self {
+        PalmedConfig {
+            selection: SelectionConfig { target_count: 6, ..SelectionConfig::default() },
+            ..PalmedConfig::default()
+        }
+    }
+}
+
+/// The complete output of an inference run.
+#[derive(Debug, Clone)]
+pub struct PalmedResult {
+    /// The inferred conjunctive resource mapping over the whole ISA.
+    pub mapping: ConjunctiveMapping,
+    /// Per-extension basic-instruction selections.
+    pub selections: Vec<(Extension, Selection)>,
+    /// The saturating kernel of every resource.
+    pub saturating: SaturatingKernels,
+    /// Instructions that could not be mapped, with the reason.
+    pub skipped: Vec<(InstId, String)>,
+    /// Statistics for Table II.
+    pub report: MappingReport,
+}
+
+impl PalmedResult {
+    /// Wraps the mapping into a [`PalmedPredictor`].
+    pub fn predictor(&self) -> PalmedPredictor {
+        PalmedPredictor::new(self.mapping.clone())
+    }
+
+    /// The combined basic-instruction set used for the core mapping.
+    pub fn basic_instructions(&self) -> Vec<InstId> {
+        self.selections.iter().flat_map(|(_, s)| s.basic.iter().copied()).collect()
+    }
+}
+
+/// The Palmed inference driver.
+#[derive(Debug, Clone, Default)]
+pub struct Palmed {
+    config: PalmedConfig,
+}
+
+impl Palmed {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: PalmedConfig) -> Self {
+        Palmed { config }
+    }
+
+    /// The configuration of this driver.
+    pub fn config(&self) -> &PalmedConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline against `measurer` for every instruction of its
+    /// instruction set.
+    pub fn infer<M: Measurer>(&self, measurer: &M) -> PalmedResult {
+        let all: Vec<InstId> = measurer.instructions().ids().collect();
+        self.infer_subset(measurer, &all)
+    }
+
+    /// Runs the full pipeline for a subset of instructions (useful for
+    /// partial / incremental mappings and for tests).
+    pub fn infer_subset<M: Measurer>(&self, measurer: &M, instructions: &[InstId]) -> PalmedResult {
+        let insts = measurer.instructions();
+        let config = &self.config;
+        let compatible = |a: InstId, b: InstId| {
+            insts.desc(a).extension.compatible_with(insts.desc(b).extension)
+        };
+
+        let mut bench_time = std::time::Duration::ZERO;
+        let mut lp_time = std::time::Duration::ZERO;
+        let mut benchmarks = 0usize;
+
+        // ---- Phase 1: per-extension quadratic campaigns and selection. ----
+        let start = Instant::now();
+        let mut selections: Vec<(Extension, Selection)> = Vec::new();
+        for extension in Extension::ALL {
+            let candidates: Vec<InstId> = instructions
+                .iter()
+                .copied()
+                .filter(|&i| insts.desc(i).extension == extension)
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let campaign =
+                QuadraticCampaign::run(measurer, &candidates, config.quadratic, compatible);
+            benchmarks += campaign.num_benchmarks();
+            let selection = select_basic_instructions(&campaign, &candidates, &config.selection);
+            selections.push((extension, selection));
+        }
+        let combined_basic: Vec<InstId> =
+            selections.iter().flat_map(|(_, s)| s.basic.iter().copied()).collect();
+        bench_time += start.elapsed();
+
+        if combined_basic.is_empty() {
+            return PalmedResult {
+                mapping: ConjunctiveMapping::with_resources(0),
+                selections,
+                saturating: SaturatingKernels::default(),
+                skipped: instructions.iter().map(|&i| (i, "no basic instruction".into())).collect(),
+                report: MappingReport {
+                    machine: "unknown".into(),
+                    instructions_total: instructions.len(),
+                    ..MappingReport::default()
+                },
+            };
+        }
+
+        // ---- Phase 2: core mapping (LP1 shape + LP2 weights). ----
+        let start = Instant::now();
+        let basic_campaign =
+            QuadraticCampaign::run(measurer, &combined_basic, config.quadratic, compatible);
+        benchmarks += basic_campaign.num_benchmarks();
+        // A combined selection view over the union of the per-extension sets:
+        // the very-basic / greedy split is preserved per extension.
+        let combined_selection = Selection {
+            basic: combined_basic.clone(),
+            very_basic: selections
+                .iter()
+                .flat_map(|(_, s)| s.very_basic.iter().copied())
+                .collect(),
+            most_greedy: selections
+                .iter()
+                .flat_map(|(_, s)| s.most_greedy.iter().copied())
+                .collect(),
+            representatives: combined_basic.clone(),
+            classes: combined_basic.iter().map(|&i| vec![i]).collect(),
+            low_ipc: selections.iter().flat_map(|(_, s)| s.low_ipc.iter().copied()).collect(),
+        };
+        bench_time += start.elapsed();
+
+        let start = Instant::now();
+        let shape = discover_shape(measurer, &basic_campaign, &combined_selection, &config.shape);
+        benchmarks += shape.kernels.len();
+        let bwp = solve_bwp(&shape, &shape.kernels, &config.bwp)
+            .expect("the BWP relaxation is always feasible");
+        let mut mapping = bwp.mapping;
+        let saturating =
+            select_saturating_kernels(&mapping, &shape, config.saturation_threshold);
+        lp_time += start.elapsed();
+
+        // ---- Phase 3: complete mapping (LPAUX). ----
+        let start = Instant::now();
+        let remaining: Vec<InstId> = instructions
+            .iter()
+            .copied()
+            .filter(|i| !mapping.supports(*i))
+            .collect();
+        let outcomes = complete_mapping(
+            measurer,
+            &mut mapping,
+            &saturating,
+            &remaining,
+            &config.completion,
+        );
+        benchmarks += remaining.len() * saturating.num_saturated();
+        let mut skipped = Vec::new();
+        for (inst, outcome) in outcomes {
+            match outcome {
+                CompletionOutcome::Mapped => {}
+                CompletionOutcome::SkippedLowIpc(ipc) => {
+                    skipped.push((inst, format!("IPC {ipc:.3} below threshold")));
+                }
+                CompletionOutcome::Failed(e) => skipped.push((inst, format!("LP failure: {e}"))),
+            }
+        }
+        lp_time += start.elapsed();
+
+        // Attach human-readable resource names derived from the heaviest
+        // users, mirroring the paper's r0/r01/... naming convention.
+        name_resources(&mut mapping, measurer);
+
+        let report = MappingReport {
+            machine: "measured-machine".to_string(),
+            instructions_total: instructions.len(),
+            instructions_mapped: mapping.num_instructions(),
+            instructions_skipped: skipped.len(),
+            basic_instructions: combined_basic.len(),
+            resources_found: mapping.num_resources(),
+            benchmarks_generated: benchmarks.max(measurer.measurement_count()),
+            benchmarking_time: bench_time,
+            lp_time,
+        };
+
+        PalmedResult { mapping, selections, saturating, skipped, report }
+    }
+}
+
+/// Gives each abstract resource a readable name based on its heaviest users.
+fn name_resources<M: Measurer>(mapping: &mut ConjunctiveMapping, measurer: &M) {
+    let insts = measurer.instructions();
+    let resources: Vec<_> = mapping.resources().collect();
+    for r in resources {
+        let mut best: Option<(InstId, f64)> = None;
+        for inst in mapping.instructions() {
+            let u = mapping.usage(inst, r);
+            if u > 1e-9 && best.map_or(true, |(_, b)| u > b) {
+                best = Some((inst, u));
+            }
+        }
+        if let Some((inst, _)) = best {
+            let users = mapping
+                .instructions()
+                .filter(|&i| mapping.usage(i, r) > 1e-9)
+                .count();
+            mapping.set_resource_name(r, format!("R{}_{}x{}", r.index(), insts.name(inst), users));
+        }
+    }
+}
+
+/// Convenience helper: infers a mapping and returns the predictor directly.
+pub fn infer_predictor<M: Measurer>(measurer: &M, config: PalmedConfig) -> PalmedPredictor {
+    Palmed::new(config).infer(measurer).predictor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThroughputPredictor;
+    use palmed_isa::{InventoryConfig, Microkernel};
+    use palmed_machine::{presets, AnalyticMeasurer, MemoizingMeasurer};
+
+    #[test]
+    fn full_pipeline_on_the_paper_machine_predicts_well() {
+        let preset = presets::paper_ports016();
+        let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(preset.mapping_arc()));
+        let result = Palmed::new(PalmedConfig::small()).infer(&measurer);
+        assert_eq!(result.mapping.coverage(&preset.instructions), 1.0);
+        assert!(result.report.resources_found >= 3);
+        assert!(result.report.benchmarks_generated > 10);
+
+        let predictor = result.predictor();
+        let native = AnalyticMeasurer::new(preset.mapping_arc());
+        let find = |n: &str| preset.instructions.find(n).unwrap();
+        let kernels = [
+            Microkernel::single(find("ADDSS")).scaled(4),
+            Microkernel::single(find("BSR")).scaled(4),
+            Microkernel::pair(find("ADDSS"), 2, find("BSR"), 1),
+            Microkernel::pair(find("ADDSS"), 1, find("BSR"), 2),
+            Microkernel::from_counts([(find("JNLE"), 2), (find("JMP"), 1), (find("BSR"), 1)]),
+            Microkernel::from_counts([(find("DIVPS"), 1), (find("ADDSS"), 2), (find("VCVTT"), 1)]),
+        ];
+        for k in kernels {
+            let predicted = predictor.predict_ipc(&k).unwrap();
+            let reference = palmed_machine::Measurer::ipc(&native, &k);
+            assert!(
+                (predicted - reference).abs() / reference < 0.25,
+                "kernel {k}: predicted {predicted:.3}, native {reference:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_on_toy_machine_maps_everything() {
+        let preset = presets::toy_two_port();
+        let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(preset.mapping_arc()));
+        let result = Palmed::new(PalmedConfig::small()).infer(&measurer);
+        assert_eq!(result.mapping.coverage(&preset.instructions), 1.0);
+        assert!(result.skipped.is_empty());
+        assert!(result.report.lp_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn pipeline_subset_only_maps_the_requested_instructions() {
+        let preset = presets::skl_sp(&InventoryConfig::small());
+        let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(preset.mapping_arc()));
+        let subset: Vec<InstId> = ["ADD", "BSR", "JMP", "LEA", "IMUL", "MOV_LD"]
+            .iter()
+            .map(|n| preset.instructions.find(n).unwrap())
+            .collect();
+        let result = Palmed::new(PalmedConfig::small()).infer_subset(&measurer, &subset);
+        for &inst in &subset {
+            assert!(result.mapping.supports(inst), "{:?} unmapped", preset.instructions.name(inst));
+        }
+        assert_eq!(result.report.instructions_total, subset.len());
+    }
+
+    #[test]
+    fn empty_instruction_list_is_handled_gracefully() {
+        let preset = presets::toy_two_port();
+        let measurer = AnalyticMeasurer::new(preset.mapping_arc());
+        let result = Palmed::new(PalmedConfig::default()).infer_subset(&measurer, &[]);
+        assert_eq!(result.mapping.num_instructions(), 0);
+        assert_eq!(result.report.instructions_total, 0);
+    }
+}

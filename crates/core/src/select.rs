@@ -1,0 +1,304 @@
+//! Basic-instruction selection (Algorithm 1, Sec. V-A).
+//!
+//! The core mapping is computed only for a small set `I_B` of *basic
+//! instructions* — enough to expose every abstract resource, but few enough
+//! that LP1's integer program stays small.  Selection proceeds in four steps:
+//!
+//! 1. **Low-IPC filter** — instructions with IPC below `1 − ε` use some
+//!    resource more than once per instance and are deferred to the final
+//!    LPAUX phase.
+//! 2. **Equivalence classes** — instructions whose pair-benchmark behaviour
+//!    is indistinguishable (`∀p. aapp ≈ bbpp`) are clustered (hierarchical
+//!    clustering) and only one representative per class is kept.
+//! 3. **Very basic instructions** — a maximal clique of pairwise *disjoint*
+//!    instructions (pair IPC = sum of individual IPCs), scanned in the
+//!    `<VB` order of the paper (larger disjoint-set first).  These are the
+//!    instructions most likely to map to a single resource.
+//! 4. **Greediest instructions** — the remaining slots (up to `n`) are
+//!    filled with the instructions that dominate the `≼greedier` pre-order
+//!    (`∀p. aapp ≥ bbpp`), i.e. those whose pair benchmarks are never slower
+//!    than anybody else's — they touch many resources and enrich LP1.
+
+use crate::quadratic::QuadraticCampaign;
+use palmed_isa::InstId;
+use palmed_stats::{hierarchical_clusters, Linkage};
+use std::collections::BTreeSet;
+
+/// Configuration of the basic-instruction selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionConfig {
+    /// Target number of basic instructions (`n` of Algorithm 1).
+    pub target_count: usize,
+    /// `ε` of the low-IPC filter: instructions with IPC `< 1 − ε` are
+    /// excluded from the core mapping.
+    pub low_ipc_epsilon: f64,
+    /// Distance threshold of the equivalence-class clustering (in IPC units).
+    pub cluster_epsilon: f64,
+    /// Relative tolerance used by the disjointness test.
+    pub disjoint_tolerance: f64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            target_count: 8,
+            low_ipc_epsilon: 0.05,
+            cluster_epsilon: 0.08,
+            disjoint_tolerance: 0.05,
+        }
+    }
+}
+
+/// Result of the selection, keeping the intermediate sets that the later
+/// phases (LP1 constraints) need.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Selection {
+    /// The selected basic instructions `I_B = I_VB ∪ I_MF` (ordered).
+    pub basic: Vec<InstId>,
+    /// The "very basic" clique `I_VB`.
+    pub very_basic: Vec<InstId>,
+    /// The "most greedy" completion `I_MF`.
+    pub most_greedy: Vec<InstId>,
+    /// One representative per equivalence class (after the low-IPC filter).
+    pub representatives: Vec<InstId>,
+    /// For every representative, the members of its equivalence class.
+    pub classes: Vec<Vec<InstId>>,
+    /// Instructions rejected by the low-IPC filter (mapped later by LPAUX).
+    pub low_ipc: Vec<InstId>,
+}
+
+impl Selection {
+    /// The equivalence class a representative stands for, if any.
+    pub fn class_of(&self, representative: InstId) -> Option<&[InstId]> {
+        self.representatives
+            .iter()
+            .position(|&r| r == representative)
+            .map(|idx| self.classes[idx].as_slice())
+    }
+}
+
+/// Runs Algorithm 1 on the results of a quadratic campaign restricted to
+/// `candidates` (typically the instructions of one ISA extension).
+pub fn select_basic_instructions(
+    campaign: &QuadraticCampaign,
+    candidates: &[InstId],
+    config: &SelectionConfig,
+) -> Selection {
+    let mut selection = Selection::default();
+
+    // Step 1: low-IPC filter.
+    let mut filtered: Vec<InstId> = Vec::new();
+    for &a in candidates {
+        match campaign.single_ipc(a) {
+            Some(ipc) if ipc > 1.0 - config.low_ipc_epsilon => filtered.push(a),
+            Some(_) => selection.low_ipc.push(a),
+            None => selection.low_ipc.push(a),
+        }
+    }
+    if filtered.is_empty() {
+        return selection;
+    }
+
+    // Step 2: equivalence classes via hierarchical clustering on the
+    // pair-benchmark feature vectors.
+    let features: Vec<Vec<f64>> =
+        filtered.iter().map(|&a| campaign.feature_vector(a, &filtered)).collect();
+    let assignment = hierarchical_clusters(&features, config.cluster_epsilon, Linkage::Complete);
+    let num_classes = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    let mut classes: Vec<Vec<InstId>> = vec![Vec::new(); num_classes];
+    for (idx, &inst) in filtered.iter().enumerate() {
+        classes[assignment[idx]].push(inst);
+    }
+    // Representative: highest-IPC member (ties broken by id) — a stable,
+    // deterministic stand-in for the paper's centroid-based choice.
+    let mut representatives: Vec<InstId> = Vec::with_capacity(num_classes);
+    for members in &classes {
+        let rep = *members
+            .iter()
+            .max_by(|&&a, &&b| {
+                let ia = campaign.single_ipc(a).unwrap_or(0.0);
+                let ib = campaign.single_ipc(b).unwrap_or(0.0);
+                ia.partial_cmp(&ib).expect("finite IPC").then(b.cmp(&a))
+            })
+            .expect("non-empty class");
+        representatives.push(rep);
+    }
+    selection.classes = classes;
+    selection.representatives = representatives.clone();
+
+    // Step 3: very basic instructions — maximal clique of disjoint
+    // instructions, scanned in <VB order.
+    let disjoint_set = |a: InstId| -> BTreeSet<InstId> {
+        representatives
+            .iter()
+            .copied()
+            .filter(|&b| b != a && campaign.are_disjoint(a, b, config.disjoint_tolerance))
+            .collect()
+    };
+    let dj: Vec<(InstId, BTreeSet<InstId>)> =
+        representatives.iter().map(|&a| (a, disjoint_set(a))).collect();
+    let mut vb_order: Vec<usize> = (0..dj.len()).collect();
+    vb_order.sort_by(|&x, &y| {
+        // |Dj| descending, then higher individual IPC, then id for stability.
+        dj[y].1
+            .len()
+            .cmp(&dj[x].1.len())
+            .then_with(|| {
+                let ix = campaign.single_ipc(dj[x].0).unwrap_or(0.0);
+                let iy = campaign.single_ipc(dj[y].0).unwrap_or(0.0);
+                iy.partial_cmp(&ix).expect("finite IPC")
+            })
+            .then_with(|| dj[x].0.cmp(&dj[y].0))
+    });
+    let mut very_basic: Vec<InstId> = Vec::new();
+    for &idx in &vb_order {
+        let (a, ref dj_a) = dj[idx];
+        if very_basic.iter().all(|vb| dj_a.contains(vb)) {
+            very_basic.push(a);
+        }
+        if very_basic.len() == config.target_count {
+            break;
+        }
+    }
+    selection.very_basic = very_basic.clone();
+
+    // Step 4: complete with the greediest instructions.
+    let mut most_greedy: Vec<InstId> = Vec::new();
+    if very_basic.len() < config.target_count {
+        // Linearise the ≼greedier pre-order by the average pair IPC: an
+        // instruction that dominates another point-wise also has a larger
+        // average, so sorting by the average respects the pre-order.
+        let mut rest: Vec<InstId> =
+            representatives.iter().copied().filter(|r| !very_basic.contains(r)).collect();
+        let score = |a: InstId| -> f64 {
+            let v = campaign.feature_vector(a, &representatives);
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        rest.sort_by(|&a, &b| {
+            score(b).partial_cmp(&score(a)).expect("finite scores").then(a.cmp(&b))
+        });
+        for a in rest {
+            if very_basic.len() + most_greedy.len() >= config.target_count {
+                break;
+            }
+            most_greedy.push(a);
+        }
+    }
+    selection.most_greedy = most_greedy;
+
+    selection.basic = selection
+        .very_basic
+        .iter()
+        .chain(selection.most_greedy.iter())
+        .copied()
+        .collect();
+    selection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadratic::QuadraticConfig;
+    use palmed_isa::InstId;
+    use palmed_machine::{presets, AnalyticMeasurer};
+
+    fn paper_selection(target: usize) -> (Selection, std::sync::Arc<palmed_isa::InstructionSet>) {
+        let preset = presets::paper_ports016();
+        let measurer = AnalyticMeasurer::new(preset.mapping_arc());
+        let ids: Vec<InstId> = preset.instructions.ids().collect();
+        let campaign =
+            QuadraticCampaign::run(&measurer, &ids, QuadraticConfig::default(), |_, _| true);
+        let config = SelectionConfig { target_count: target, ..SelectionConfig::default() };
+        (select_basic_instructions(&campaign, &ids, &config), preset.instructions)
+    }
+
+    #[test]
+    fn paper_example_selects_the_expected_basic_instructions() {
+        // Sec. III-D: the heuristics pick DIVPS, BSR, JMP, JNLE and ADDSS.
+        let (sel, insts) = paper_selection(5);
+        let names: BTreeSet<&str> = sel.basic.iter().map(|&i| insts.name(i)).collect();
+        for expected in ["DIVPS", "BSR", "JMP", "ADDSS", "JNLE"] {
+            assert!(names.contains(expected), "missing {expected}; selected {names:?}");
+        }
+        assert_eq!(sel.basic.len(), 5);
+    }
+
+    #[test]
+    fn very_basic_instructions_are_pairwise_disjoint() {
+        let (sel, insts) = paper_selection(5);
+        // DIVPS (p0), BSR (p1) and JMP (p6) are mutually disjoint; the clique
+        // must contain at least these three single-port instructions.
+        let names: BTreeSet<&str> = sel.very_basic.iter().map(|&i| insts.name(i)).collect();
+        assert!(names.contains("DIVPS"));
+        assert!(names.contains("BSR"));
+        assert!(names.contains("JMP"));
+    }
+
+    #[test]
+    fn no_low_ipc_instruction_on_the_pedagogical_machine() {
+        let (sel, _) = paper_selection(5);
+        assert!(sel.low_ipc.is_empty());
+    }
+
+    #[test]
+    fn low_ipc_instructions_are_deferred() {
+        let preset = presets::skl_sp(&palmed_isa::InventoryConfig::small());
+        let measurer = AnalyticMeasurer::new(preset.mapping_arc());
+        let ids: Vec<InstId> = preset.instructions.ids_with_extension(palmed_isa::Extension::BaseIsa);
+        let campaign =
+            QuadraticCampaign::run(&measurer, &ids, QuadraticConfig::default(), |_, _| true);
+        let sel = select_basic_instructions(&campaign, &ids, &SelectionConfig::default());
+        let idiv = preset.instructions.find("IDIV").unwrap();
+        assert!(sel.low_ipc.contains(&idiv), "the divider (IPC 1/6) must be deferred");
+        assert!(!sel.basic.contains(&idiv));
+    }
+
+    #[test]
+    fn equivalent_instructions_collapse_to_one_representative() {
+        // On the SKL-like machine every IntAlu mnemonic behaves identically;
+        // the equivalence classes must merge them.
+        let preset = presets::skl_sp(&palmed_isa::InventoryConfig::small());
+        let measurer = AnalyticMeasurer::new(preset.mapping_arc());
+        let add = preset.instructions.find("ADD").unwrap();
+        let sub = preset.instructions.find("SUB").unwrap();
+        let xor = preset.instructions.find("XOR").unwrap();
+        let bsr = preset.instructions.find("BSR").unwrap();
+        let jmp = preset.instructions.find("JMP").unwrap();
+        let ids = vec![add, sub, xor, bsr, jmp];
+        let campaign =
+            QuadraticCampaign::run(&measurer, &ids, QuadraticConfig::default(), |_, _| true);
+        let sel = select_basic_instructions(&campaign, &ids, &SelectionConfig::default());
+        // ADD/SUB/XOR form one class; BSR and JMP their own.
+        assert_eq!(sel.representatives.len(), 3, "classes: {:?}", sel.classes);
+        let alu_class = sel
+            .classes
+            .iter()
+            .find(|c| c.contains(&add))
+            .expect("ADD belongs to a class");
+        assert!(alu_class.contains(&sub) && alu_class.contains(&xor));
+    }
+
+    #[test]
+    fn target_count_is_respected() {
+        let (sel, _) = paper_selection(3);
+        assert!(sel.basic.len() <= 3);
+        let (sel5, _) = paper_selection(5);
+        assert!(sel5.basic.len() <= 5);
+        assert!(sel5.basic.len() >= sel.basic.len());
+    }
+
+    #[test]
+    fn empty_candidate_list_gives_empty_selection() {
+        let preset = presets::paper_ports016();
+        let measurer = AnalyticMeasurer::new(preset.mapping_arc());
+        let campaign =
+            QuadraticCampaign::run(&measurer, &[], QuadraticConfig::default(), |_, _| true);
+        let sel = select_basic_instructions(&campaign, &[], &SelectionConfig::default());
+        assert!(sel.basic.is_empty());
+        assert!(sel.low_ipc.is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Weighted basic blocks.
+//!
+//! The paper evaluates every predictor on microkernels built from the
+//! instruction mix of real basic blocks, weighted by how often the block was
+//! executed in the original benchmark run (the weights enter the RMS error).
+
+use palmed_isa::{InstructionSet, Microkernel};
+
+/// One basic block of a benchmark suite: an instruction mix plus a dynamic
+/// execution weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// Identifier (suite name + index), for reports.
+    pub name: String,
+    /// The dependency-free microkernel built from the block's instruction mix.
+    pub kernel: Microkernel,
+    /// Dynamic execution weight (≥ 0).
+    pub weight: f64,
+}
+
+impl BasicBlock {
+    /// Creates a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is negative or not finite.
+    pub fn new(name: impl Into<String>, kernel: Microkernel, weight: f64) -> Self {
+        assert!(weight.is_finite() && weight >= 0.0, "invalid weight {weight}");
+        BasicBlock { name: name.into(), kernel, weight }
+    }
+
+    /// Number of instructions in one iteration of the block.
+    pub fn size(&self) -> u32 {
+        self.kernel.total_instructions()
+    }
+
+    /// Renders the block with resolved instruction names.
+    pub fn render(&self, insts: &InstructionSet) -> String {
+        format!(
+            "{} (w={:.1}): {}",
+            self.name,
+            self.weight,
+            self.kernel.display_with(|i| insts.name(i).to_string())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palmed_isa::InstId;
+
+    #[test]
+    fn block_accessors() {
+        let k = Microkernel::pair(InstId(0), 2, InstId(1), 1);
+        let b = BasicBlock::new("spec/0", k, 10.0);
+        assert_eq!(b.size(), 3);
+        assert_eq!(b.name, "spec/0");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn negative_weight_panics() {
+        BasicBlock::new("x", Microkernel::single(InstId(0)), -1.0);
+    }
+
+    #[test]
+    fn render_uses_instruction_names() {
+        let insts = InstructionSet::paper_example();
+        let addss = insts.find("ADDSS").unwrap();
+        let b = BasicBlock::new("poly/3", Microkernel::single(addss), 2.0);
+        assert!(b.render(&insts).contains("ADDSS"));
+    }
+}

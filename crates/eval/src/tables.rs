@@ -1,0 +1,168 @@
+//! Text renderers for the paper's tables.
+//!
+//! * [`table1`] — the qualitative feature matrix (Table I).
+//! * [`table2`] — main features of the obtained mappings (Table II), built
+//!   from [`MappingReport`]s.
+//! * [`figure4b`] — the coverage / error / τ table of Fig. 4b, built from a
+//!   [`CampaignResult`].
+
+use crate::campaign::CampaignResult;
+use palmed_core::MappingReport;
+use std::fmt::Write as _;
+
+/// Renders Table I: key features of Palmed versus related work.
+pub fn table1() -> String {
+    let rows = [
+        ("llvm-mca", false, false, true, true),
+        ("Ithemal", true, true, false, false),
+        ("IACA", false, false, true, false),
+        ("uops.info", false, true, true, false),
+        ("PMEvo", true, true, true, false),
+        ("Palmed", true, true, true, true),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "Table I: key features of Palmed vs. related work");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14} {:>20} {:>14} {:>9}",
+        "tool", "no HW counters", "no manual expertise", "interpretable", "general"
+    );
+    for (tool, no_hw, no_manual, interpretable, general) in rows {
+        let mark = |b: bool| if b { "yes" } else { "no" };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>14} {:>20} {:>14} {:>9}",
+            tool,
+            mark(no_hw),
+            mark(no_manual),
+            mark(interpretable),
+            mark(general)
+        );
+    }
+    out
+}
+
+/// Renders Table II from one report per machine.
+pub fn table2(reports: &[MappingReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table II: main features of the obtained mappings");
+    if reports.is_empty() {
+        let _ = writeln!(out, "(no mappings)");
+        return out;
+    }
+    let rows = reports[0].table_rows();
+    for (row_index, (label, _)) in rows.iter().enumerate() {
+        let _ = write!(out, "{label:<24}");
+        for report in reports {
+            let value = &report.table_rows()[row_index].1;
+            let _ = write!(out, " {value:>18}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the Fig. 4b table (coverage, RMS error, Kendall τ per tool, suite
+/// and machine) from a campaign result.
+pub fn figure4b(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 4b: coverage (%), RMS error (%) and Kendall tau per tool / suite / machine"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:<16} {:<14} {:>8} {:>8} {:>8}",
+        "machine", "suite", "tool", "Cov.", "Err.", "tauK"
+    );
+    for machine in &result.machines {
+        for (suite, tools) in &machine.suites {
+            for tool in tools {
+                if tool.metrics.is_unavailable() {
+                    let _ = writeln!(
+                        out,
+                        "{:<14} {:<16} {:<14} {:>8} {:>8} {:>8}",
+                        machine.machine,
+                        suite.name(),
+                        tool.tool,
+                        "N/A",
+                        "N/A",
+                        "N/A"
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{:<14} {:<16} {:<14} {:>8.1} {:>8.1} {:>8.2}",
+                        machine.machine,
+                        suite.name(),
+                        tool.tool,
+                        tool.metrics.coverage * 100.0,
+                        tool.metrics.rms_error * 100.0,
+                        tool.metrics.kendall_tau
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the Fig. 4a heatmaps of a campaign as ASCII panels.
+pub fn figure4a(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    for machine in &result.machines {
+        for (suite, tools) in &machine.suites {
+            for tool in tools {
+                if tool.metrics.is_unavailable() {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "--- {} / {} / {} (over-estimation mass {:.0}%)",
+                    machine.machine,
+                    suite.name(),
+                    tool.tool,
+                    tool.heatmap.overestimation_mass() * 100.0
+                );
+                out.push_str(&tool.heatmap.render_ascii());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table1_lists_all_tools_and_palmed_has_every_feature() {
+        let t = table1();
+        for tool in ["llvm-mca", "Ithemal", "IACA", "uops.info", "PMEvo", "Palmed"] {
+            assert!(t.contains(tool));
+        }
+        let palmed_line = t.lines().find(|l| l.starts_with("Palmed")).unwrap();
+        assert_eq!(palmed_line.matches("yes").count(), 4);
+    }
+
+    #[test]
+    fn table2_renders_one_column_per_machine() {
+        let mk = |name: &str| MappingReport {
+            machine: name.into(),
+            instructions_total: 100,
+            instructions_mapped: 95,
+            instructions_skipped: 5,
+            basic_instructions: 10,
+            resources_found: 12,
+            benchmarks_generated: 5000,
+            benchmarking_time: Duration::from_secs(3),
+            lp_time: Duration::from_secs(1),
+        };
+        let t = table2(&[mk("skl-sp-like"), mk("zen1-like")]);
+        assert!(t.contains("skl-sp-like"));
+        assert!(t.contains("zen1-like"));
+        assert!(t.contains("Resources found"));
+        assert!(table2(&[]).contains("no mappings"));
+    }
+}

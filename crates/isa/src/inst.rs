@@ -1,0 +1,239 @@
+//! Instruction descriptors.
+//!
+//! An *instruction* here is a symbolic entity: Palmed never inspects operands
+//! or encodings, it only needs a stable identity to benchmark and to attach a
+//! resource mapping to.  The [`ExecClass`] is the ground-truth behaviour used
+//! by the machine simulator (the analogue of "what the silicon actually does
+//! with this opcode"); Palmed itself never reads it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an instruction inside an
+/// [`InstructionSet`](crate::inventory::InstructionSet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstId(pub u32);
+
+impl InstId {
+    /// Raw index into the owning instruction set.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+/// ISA extension an instruction belongs to.
+///
+/// The paper's calibration (Sec. VI-A) runs the basic-instruction heuristics
+/// separately per extension and forbids microkernels that mix vector
+/// extensions of different widths (SSE + AVX), because such mixes incur
+/// transition penalties that violate the order-independence assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Extension {
+    /// Scalar integer / control-flow / address instructions.
+    BaseIsa,
+    /// 128-bit SSE floating-point and integer vector instructions.
+    Sse,
+    /// 256-bit AVX floating-point and integer vector instructions.
+    Avx,
+}
+
+impl Extension {
+    /// All extensions in a stable order.
+    pub const ALL: [Extension; 3] = [Extension::BaseIsa, Extension::Sse, Extension::Avx];
+
+    /// Whether two extensions may appear in the same microkernel.
+    ///
+    /// Base-ISA instructions mix freely with either vector extension; SSE and
+    /// AVX must not be mixed with each other (Sec. VI-A of the paper).
+    pub fn compatible_with(self, other: Extension) -> bool {
+        use Extension::*;
+        !matches!((self, other), (Sse, Avx) | (Avx, Sse))
+    }
+}
+
+impl fmt::Display for Extension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Extension::BaseIsa => "base",
+            Extension::Sse => "sse",
+            Extension::Avx => "avx",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Ground-truth execution class of an instruction.
+///
+/// This is the hidden behaviour the machine simulator uses to decompose an
+/// instruction into µOPs and assign them to ports.  The set of classes is a
+/// synthesis of the execution-unit families documented for Skylake-SP and
+/// Zen1; every class typically covers tens to hundreds of real mnemonics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ExecClass {
+    /// Simple scalar integer ALU operation (ADD, SUB, AND, CMP, ...).
+    IntAlu,
+    /// Scalar integer operation restricted to a subset of ALU ports
+    /// (e.g. bit-scan / LZCNT-style operations on port 1 only).
+    IntAluRestricted,
+    /// Scalar integer multiply.
+    IntMul,
+    /// Scalar integer divide (non-pipelined).
+    IntDiv,
+    /// Address-generation style operation (LEA).
+    Lea,
+    /// Conditional branch (on Skylake-like cores: ports 0 and 6).
+    Branch,
+    /// Unconditional direct jump (dedicated branch port only).
+    Jump,
+    /// Memory load (L1 hit).
+    Load,
+    /// Memory store (store-data + store-address µOPs).
+    Store,
+    /// Scalar / packed SSE floating-point add.
+    FpAddSse,
+    /// Scalar / packed SSE floating-point multiply or FMA.
+    FpMulSse,
+    /// SSE floating-point divide / square root (non-pipelined).
+    FpDivSse,
+    /// SSE integer vector ALU operation.
+    VecAluSse,
+    /// SSE shuffle / pack / unpack.
+    VecShuffleSse,
+    /// SSE conversion (CVT*, 2 µOPs on some machines).
+    VecCvtSse,
+    /// AVX 256-bit floating-point add.
+    FpAddAvx,
+    /// AVX 256-bit floating-point multiply or FMA.
+    FpMulAvx,
+    /// AVX 256-bit floating-point divide (non-pipelined).
+    FpDivAvx,
+    /// AVX 256-bit integer / logical vector operation.
+    VecAluAvx,
+    /// AVX shuffle / permute (often a single specialised port).
+    VecShuffleAvx,
+    /// Store of a vector register (wider store-data µOP).
+    VecStore,
+    /// Vector load.
+    VecLoad,
+}
+
+impl ExecClass {
+    /// All execution classes, in a stable order.
+    pub const ALL: [ExecClass; 22] = [
+        ExecClass::IntAlu,
+        ExecClass::IntAluRestricted,
+        ExecClass::IntMul,
+        ExecClass::IntDiv,
+        ExecClass::Lea,
+        ExecClass::Branch,
+        ExecClass::Jump,
+        ExecClass::Load,
+        ExecClass::Store,
+        ExecClass::FpAddSse,
+        ExecClass::FpMulSse,
+        ExecClass::FpDivSse,
+        ExecClass::VecAluSse,
+        ExecClass::VecShuffleSse,
+        ExecClass::VecCvtSse,
+        ExecClass::FpAddAvx,
+        ExecClass::FpMulAvx,
+        ExecClass::FpDivAvx,
+        ExecClass::VecAluAvx,
+        ExecClass::VecShuffleAvx,
+        ExecClass::VecStore,
+        ExecClass::VecLoad,
+    ];
+
+    /// Extension this class naturally belongs to.
+    pub fn extension(self) -> Extension {
+        use ExecClass::*;
+        match self {
+            IntAlu | IntAluRestricted | IntMul | IntDiv | Lea | Branch | Jump | Load | Store => {
+                Extension::BaseIsa
+            }
+            FpAddSse | FpMulSse | FpDivSse | VecAluSse | VecShuffleSse | VecCvtSse => {
+                Extension::Sse
+            }
+            FpAddAvx | FpMulAvx | FpDivAvx | VecAluAvx | VecShuffleAvx | VecStore | VecLoad => {
+                Extension::Avx
+            }
+        }
+    }
+}
+
+impl fmt::Display for ExecClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Full description of an instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InstDesc {
+    /// Mnemonic-style name, unique within an instruction set
+    /// (e.g. `"ADDSS_XMM_XMM"`).
+    pub name: String,
+    /// Ground-truth execution class (hidden from Palmed).
+    pub class: ExecClass,
+    /// ISA extension used for benchmark-mixing rules.
+    pub extension: Extension,
+}
+
+impl InstDesc {
+    /// Creates a descriptor, deriving the extension from the class.
+    pub fn new(name: impl Into<String>, class: ExecClass) -> Self {
+        InstDesc { name: name.into(), class, extension: class.extension() }
+    }
+}
+
+impl fmt::Display for InstDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} / {}]", self.name, self.class, self.extension)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_mixing_rules() {
+        assert!(Extension::BaseIsa.compatible_with(Extension::Sse));
+        assert!(Extension::BaseIsa.compatible_with(Extension::Avx));
+        assert!(Extension::Sse.compatible_with(Extension::Sse));
+        assert!(!Extension::Sse.compatible_with(Extension::Avx));
+        assert!(!Extension::Avx.compatible_with(Extension::Sse));
+    }
+
+    #[test]
+    fn class_extensions_are_consistent() {
+        for class in ExecClass::ALL {
+            let desc = InstDesc::new(format!("{class}"), class);
+            assert_eq!(desc.extension, class.extension());
+        }
+    }
+
+    #[test]
+    fn all_classes_listed_once() {
+        let mut seen = std::collections::HashSet::new();
+        for class in ExecClass::ALL {
+            assert!(seen.insert(class), "duplicate class {class}");
+        }
+        assert_eq!(seen.len(), ExecClass::ALL.len());
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(InstId(3).to_string(), "I3");
+        assert_eq!(Extension::Sse.to_string(), "sse");
+        assert!(!ExecClass::IntAlu.to_string().is_empty());
+        let d = InstDesc::new("ADD", ExecClass::IntAlu);
+        assert!(d.to_string().contains("ADD"));
+    }
+}

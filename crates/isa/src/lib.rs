@@ -1,0 +1,26 @@
+//! Instruction-set substrate for the Palmed reproduction.
+//!
+//! Palmed treats instructions as opaque identifiers: everything it learns
+//! about them comes from measuring the IPC of *microkernels* — infinite loops
+//! repeating a dependency-free multiset of instructions (Def. IV.1 of the
+//! paper).  This crate provides:
+//!
+//! * [`inst`] — instruction descriptors: a symbolic name, the ISA
+//!   *extension* it belongs to (base / SSE / AVX, which Palmed refuses to mix
+//!   inside one benchmark), and the *execution class* that the machine model
+//!   uses to decide which µOPs it decomposes into.
+//! * [`kernel`] — the [`Microkernel`](kernel::Microkernel) multiset type and
+//!   helpers to build the benchmark shapes the paper uses (`a`, `aabb`,
+//!   `aMb`, `i i sat^L sat`, ...).
+//! * [`inventory`] — an [`InstructionSet`](inventory::InstructionSet)
+//!   container plus generators for a synthetic, x86-flavoured instruction
+//!   inventory that mirrors the statistical structure of the real ISA
+//!   (thousands of mnemonics collapsing onto a handful of behaviours).
+
+pub mod inst;
+pub mod inventory;
+pub mod kernel;
+
+pub use inst::{ExecClass, Extension, InstDesc, InstId};
+pub use inventory::{InstructionSet, InventoryConfig};
+pub use kernel::Microkernel;

@@ -1,0 +1,54 @@
+//! Linear-programming substrate for the Palmed reproduction.
+//!
+//! The Palmed pipeline ([LP1], [LP2] and [LPAUX] in the paper) is built on
+//! top of small, dense linear programs and integer linear programs.  The
+//! original implementation delegated these to an off-the-shelf solver; this
+//! crate provides a from-scratch, dependency-free replacement:
+//!
+//! * [`model`] — a tiny modelling layer: variables with bounds, linear
+//!   expressions, constraints and an objective ([`Problem`]).
+//! * [`simplex`] — a dense two-phase primal simplex solver for continuous
+//!   linear programs.
+//! * [`milp`] — a depth-first branch-and-bound mixed-integer solver layered
+//!   on the simplex relaxation.
+//! * [`minimax`] — helpers that linearise `min`/`max` objectives, which the
+//!   Palmed formulations use pervasively (resource loads are maxima).
+//!
+//! The solver is exact (up to floating-point tolerance) and geared towards
+//! the problem sizes Palmed generates: tens to a few hundred variables and
+//! constraints per solve, solved many thousands of times.
+//!
+//! # Example
+//!
+//! ```
+//! use palmed_lp::{Problem, Sense};
+//!
+//! // maximise x + 2y subject to x + y <= 4, x <= 3, y <= 2, x,y >= 0
+//! let mut p = Problem::new(Sense::Maximize);
+//! let x = p.add_var("x", 0.0, f64::INFINITY);
+//! let y = p.add_var("y", 0.0, 2.0);
+//! p.add_le(p.expr().term(1.0, x).term(1.0, y), 4.0);
+//! p.add_le(p.expr().term(1.0, x), 3.0);
+//! p.set_objective(p.expr().term(1.0, x).term(2.0, y));
+//! let sol = p.solve().unwrap();
+//! assert!((sol.objective - 6.0).abs() < 1e-6);
+//! assert!((sol[x] - 2.0).abs() < 1e-6);
+//! assert!((sol[y] - 2.0).abs() < 1e-6);
+//! ```
+
+pub mod error;
+pub mod milp;
+pub mod minimax;
+pub mod model;
+pub mod simplex;
+
+pub use error::{LpError, LpResult};
+pub use milp::MilpOptions;
+pub use model::{Constraint, ConstraintOp, LinExpr, Problem, Sense, Solution, VarId};
+pub use simplex::SimplexOptions;
+
+/// Default numeric tolerance used throughout the solver.
+pub const EPS: f64 = 1e-9;
+
+/// Tolerance used when deciding whether a value is integral.
+pub const INT_EPS: f64 = 1e-6;

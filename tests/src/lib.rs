@@ -1,0 +1,23 @@
+//! Cross-crate integration tests for the Palmed reproduction.
+//!
+//! The tests live in `tests/tests/`; this library only hosts a few shared
+//! helpers for building machines and kernels.
+
+use palmed_isa::{InstId, Microkernel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random dependency-free kernel over the given instructions.
+pub fn random_kernel(ids: &[InstId], rng: &mut StdRng, max_distinct: usize, max_mult: u32) -> Microkernel {
+    let mut kernel = Microkernel::new();
+    let distinct = rng.gen_range(1..=max_distinct.max(1));
+    for _ in 0..distinct {
+        kernel.add(ids[rng.gen_range(0..ids.len())], rng.gen_range(1..=max_mult.max(1)));
+    }
+    kernel
+}
+
+/// A seeded RNG for reproducible integration tests.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
