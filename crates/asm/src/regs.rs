@@ -97,6 +97,7 @@ impl RegisterPool {
     }
 
     /// Returns the next register in round-robin order.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> &'static str {
         let names = self.class.names();
         let name = names[self.cursor % names.len()];

@@ -266,7 +266,7 @@ fn tournament<'a>(
     let mut best: Option<&(Genome, f64)> = None;
     for _ in 0..size.max(1) {
         let candidate = &population[rng.gen_range(0..population.len())];
-        if best.map_or(true, |b| candidate.1 < b.1) {
+        if best.is_none_or(|b| candidate.1 < b.1) {
             best = Some(candidate);
         }
     }

@@ -163,6 +163,7 @@ pub fn solve_bwp(
         .collect();
 
     let mut best: Option<BwpSolution> = None;
+    let simplex_options = SimplexOptions::default();
     for _ in 0..config.max_rounds {
         // For a fixed choice of saturating resource per kernel, the LP
         // decomposes by resource: the variables `ρ_{i,r}` of resource `r`
@@ -208,7 +209,16 @@ pub fn solve_bwp(
                 }
             }
             problem.set_objective(objective);
-            let solution = problem.solve_relaxation(&SimplexOptions::default())?;
+            // Deliberately a *cold* solve: the saturation objective has many
+            // optimal vertices and the alternating heuristic interprets the
+            // returned vertex (it re-selects each kernel's saturating
+            // resource from the weights).  Warm-starting from the previous
+            // round makes the vertex path-dependent, and empirically steers
+            // the alternation to measurably worse mappings on the SKL-like
+            // evaluation machine; a deterministic cold start keeps every
+            // round reproducible.  The solve still uses the sparse revised
+            // engine, so each LP remains cheap.
+            let solution = problem.solve_relaxation(&simplex_options)?;
             for (&inst, &v) in &vars {
                 weights.insert((inst, r), solution[v].max(0.0));
             }
@@ -240,7 +250,7 @@ pub fn solve_bwp(
             }
             mapping.set_usage(inst, usage);
         }
-        let improved = best.as_ref().map_or(true, |b| total_slack < b.total_slack - config.tolerance);
+        let improved = best.as_ref().is_none_or(|b| total_slack < b.total_slack - config.tolerance);
         let next_chosen: Vec<usize> = kernels
             .iter()
             .map(|(kernel, ipc)| {

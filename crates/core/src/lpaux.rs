@@ -18,7 +18,7 @@
 use crate::conjunctive::ConjunctiveMapping;
 use crate::saturate::SaturatingKernels;
 use palmed_isa::{InstId, Microkernel};
-use palmed_lp::{LinExpr, LpError, Problem, Sense};
+use palmed_lp::{revised, Basis, LinExpr, LpError, Problem, Sense, SimplexOptions};
 use palmed_machine::Measurer;
 
 /// Configuration of the per-instruction completion.
@@ -73,6 +73,24 @@ pub fn map_instruction<M: Measurer>(
     inst: InstId,
     config: &CompletionConfig,
 ) -> CompletionOutcome {
+    map_instruction_warm(measurer, mapping, saturating, inst, config, &mut None)
+}
+
+/// [`map_instruction`] with an explicit warm-start slot.
+///
+/// Consecutive completion LPs share their structure — same `|R|` unknowns,
+/// same constraint layout, only the measured coefficients differ — so
+/// [`complete_mapping`] threads the previous instruction's optimal [`Basis`]
+/// through this slot and each solve typically starts one or two pivots from
+/// its optimum.  On success the slot is refreshed with the new basis.
+pub fn map_instruction_warm<M: Measurer>(
+    measurer: &M,
+    mapping: &mut ConjunctiveMapping,
+    saturating: &SaturatingKernels,
+    inst: InstId,
+    config: &CompletionConfig,
+    warm: &mut Option<Basis>,
+) -> CompletionOutcome {
     if mapping.supports(inst) {
         return CompletionOutcome::Mapped;
     }
@@ -113,14 +131,14 @@ pub fn map_instruction<M: Measurer>(
         let inst_count = kernel.multiplicity(inst) as f64;
         // Usage of every resource r' in this benchmark:
         //   (inst_count * rho_{inst,r'} + fixed core load) * scale  <= 1
-        for rp in 0..num_resources {
+        for (rp, &rho_rp) in rho.iter().enumerate() {
             let fixed: f64 = kernel
                 .iter()
                 .filter(|&(i, _)| i != inst)
                 .map(|(i, c)| c as f64 * mapping.usage(i, crate::ResourceId(rp as u32)))
                 .sum();
             let mut usage = LinExpr::constant(fixed * scale);
-            usage.add_term(inst_count * scale, rho[rp]);
+            usage.add_term(inst_count * scale, rho_rp);
             // Real measurements (greedy scheduling, quantisation, noise) can
             // make the benchmark slightly faster than the frozen core mapping
             // allows, which would render the nominal `<= 1` bound infeasible;
@@ -151,10 +169,13 @@ pub fn map_instruction<M: Measurer>(
     }
     problem.set_objective(objective);
 
-    match problem.solve() {
-        Ok(solution) => {
-            let usage: Vec<f64> = rho.iter().map(|&v| solution[v].max(0.0)).collect();
+    let solved =
+        revised::solve_with_warm_start(&problem, &SimplexOptions::default(), warm.as_ref());
+    match solved {
+        Ok(info) => {
+            let usage: Vec<f64> = rho.iter().map(|&v| info.solution[v].max(0.0)).collect();
             mapping.set_usage(inst, usage);
+            *warm = Some(info.basis);
             CompletionOutcome::Mapped
         }
         Err(e) => CompletionOutcome::Failed(e),
@@ -170,9 +191,14 @@ pub fn complete_mapping<M: Measurer>(
     instructions: &[InstId],
     config: &CompletionConfig,
 ) -> Vec<(InstId, CompletionOutcome)> {
+    // One rolling basis across the sweep: every completion LP has the same
+    // shape, so each instruction warm-starts from its predecessor.
+    let mut warm: Option<Basis> = None;
     instructions
         .iter()
-        .map(|&inst| (inst, map_instruction(measurer, mapping, saturating, inst, config)))
+        .map(|&inst| {
+            (inst, map_instruction_warm(measurer, mapping, saturating, inst, config, &mut warm))
+        })
         .collect()
 }
 

@@ -16,6 +16,7 @@
 
 use palmed_isa::{InstId, Microkernel};
 use palmed_machine::Measurer;
+use palmed_par::par_map;
 use std::collections::HashMap;
 
 /// Configuration of the quadratic campaign.
@@ -61,19 +62,24 @@ impl QuadraticCampaign {
     ///
     /// `compatible` decides whether two instructions may share a benchmark
     /// (the extension-mixing rule); it is always called with `a <= b`.
-    pub fn run<M: Measurer>(
+    ///
+    /// The per-benchmark measurements are embarrassingly parallel and fan
+    /// out over the available cores; results are recorded in the same
+    /// deterministic order as the sequential loop would produce.
+    pub fn run<M: Measurer + Sync>(
         measurer: &M,
         instructions: &[InstId],
         config: QuadraticConfig,
-        compatible: impl Fn(InstId, InstId) -> bool,
+        compatible: impl Fn(InstId, InstId) -> bool + Sync,
     ) -> Self {
         let mut campaign = QuadraticCampaign { config, ..Default::default() };
 
         // Individual IPCs and the low-IPC filter.
+        let single_kernels: Vec<Microkernel> =
+            instructions.iter().map(|&a| Microkernel::single(a)).collect();
+        let single_ipcs = par_map(&single_kernels, |kernel| measurer.ipc(kernel));
         let mut usable = Vec::new();
-        for &a in instructions {
-            let kernel = Microkernel::single(a);
-            let ipc = measurer.ipc(&kernel);
+        for ((&a, kernel), ipc) in instructions.iter().zip(single_kernels).zip(single_ipcs) {
             campaign.singles.insert(a, ipc);
             campaign.kernels.push((kernel, ipc));
             if ipc >= config.min_ipc {
@@ -81,18 +87,22 @@ impl QuadraticCampaign {
             }
         }
 
-        // Pair benchmarks.
+        // Pair benchmarks: enumerate in deterministic order, measure in
+        // parallel, then record sequentially.
+        let mut pair_jobs: Vec<(InstId, InstId, Microkernel)> = Vec::new();
         for (i, &a) in usable.iter().enumerate() {
             for &b in &usable[i + 1..] {
                 let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
                 if !compatible(lo, hi) {
                     continue;
                 }
-                let kernel = campaign.pair_kernel(a, b);
-                let ipc = measurer.ipc(&kernel);
-                campaign.pairs.insert((lo, hi), ipc);
-                campaign.kernels.push((kernel, ipc));
+                pair_jobs.push((lo, hi, campaign.pair_kernel(a, b)));
             }
+        }
+        let pair_ipcs = par_map(&pair_jobs, |(_, _, kernel)| measurer.ipc(kernel));
+        for ((lo, hi, kernel), ipc) in pair_jobs.into_iter().zip(pair_ipcs) {
+            campaign.pairs.insert((lo, hi), ipc);
+            campaign.kernels.push((kernel, ipc));
         }
         campaign
     }

@@ -69,7 +69,7 @@ pub fn select_saturating_kernels(
                 continue;
             }
             let cons = consumption(mapping, kernel);
-            if best.map_or(true, |(_, c)| cons < c) {
+            if best.is_none_or(|(_, c)| cons < c) {
                 best = Some((kernel, cons));
             }
         }

@@ -24,6 +24,7 @@ use palmed_machine::{
     presets::PresetMachine, AnalyticMeasurer, BackendKind, BackendMeasurer, MeasurementNoise,
     Measurer, MemoizingMeasurer, SimulationConfig,
 };
+use palmed_par::par_map;
 use std::sync::Arc;
 
 /// Configuration of a full evaluation campaign.
@@ -191,15 +192,17 @@ impl Campaign {
         let mut suites = Vec::new();
         for kind in SuiteKind::ALL {
             let blocks = generate_suite(kind, &insts, &config.suite);
-            let native_ipcs: Vec<f64> =
-                blocks.iter().map(|b| native.ipc(&b.kernel)).collect();
+            // Per-block native measurements are independent; fan out across
+            // cores (results keep the block order).
+            let native_ipcs: Vec<f64> = par_map(&blocks, |b| native.ipc(&b.kernel));
 
-            let mut tools: Vec<(&str, &dyn ThroughputPredictor, bool)> = Vec::new();
-            tools.push(("palmed", &palmed_predictor as &dyn ThroughputPredictor, true));
-            tools.push(("uops-style", &uops, is_intel_like));
-            tools.push(("pmevo", &pmevo, true));
-            tools.push(("iaca-like", &iaca, is_intel_like));
-            tools.push(("llvm-mca-like", &mca, true));
+            let tools: Vec<(&str, &dyn ThroughputPredictor, bool)> = vec![
+                ("palmed", &palmed_predictor as &dyn ThroughputPredictor, true),
+                ("uops-style", &uops, is_intel_like),
+                ("pmevo", &pmevo, true),
+                ("iaca-like", &iaca, is_intel_like),
+                ("llvm-mca-like", &mca, true),
+            ];
 
             let mut results = Vec::new();
             for (name, tool, available) in tools {

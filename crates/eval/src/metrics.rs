@@ -89,7 +89,7 @@ mod tests {
             "fake"
         }
         fn supports(&self, inst: InstId) -> bool {
-            !self.supports_even_only || inst.0 % 2 == 0
+            !self.supports_even_only || inst.0.is_multiple_of(2)
         }
         fn predict_ipc(&self, kernel: &Microkernel) -> Option<f64> {
             if kernel.instructions().any(|i| self.supports(i)) {

@@ -1,7 +1,7 @@
 //! Synthetic benchmark suites.
 //!
 //! The paper extracts basic blocks from SPECint2017 (static binary analysis
-//! + performance counters) and PolyBench/C (QEMU translation blocks with
+//! plus performance counters) and PolyBench/C (QEMU translation blocks with
 //! execution counts).  Neither source is redistributable, so this module
 //! generates *synthetic* suites with the same statistical character:
 //!

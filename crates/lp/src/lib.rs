@@ -1,22 +1,32 @@
 //! Linear-programming substrate for the Palmed reproduction.
 //!
 //! The Palmed pipeline ([LP1], [LP2] and [LPAUX] in the paper) is built on
-//! top of small, dense linear programs and integer linear programs.  The
-//! original implementation delegated these to an off-the-shelf solver; this
-//! crate provides a from-scratch, dependency-free replacement:
+//! thousands of small, sparse linear programs and integer linear programs.
+//! The original implementation delegated these to an off-the-shelf solver;
+//! this crate provides a from-scratch, dependency-free replacement:
 //!
 //! * [`model`] — a tiny modelling layer: variables with bounds, linear
 //!   expressions, constraints and an objective ([`Problem`]).
-//! * [`simplex`] — a dense two-phase primal simplex solver for continuous
-//!   linear programs.
+//! * [`revised`] — the production solver: a **sparse revised simplex** over
+//!   column-major (CSC) storage with implicit lower/upper variable bounds
+//!   (no bound rows, no free-variable splitting), a dense-LU + product-form
+//!   eta factorised basis, and **warm starting** via a reusable [`Basis`]
+//!   handle ([`solve_with_warm_start`]).
+//! * [`simplex`] — shared [`SimplexOptions`] and the default `solve` entry
+//!   point (routes to the revised solver).
+//! * [`simplex_dense`] — the original dense two-phase tableau, retained
+//!   behind the same `Problem`/`Solution` API purely for differential
+//!   testing against the revised path.
 //! * [`milp`] — a depth-first branch-and-bound mixed-integer solver layered
-//!   on the simplex relaxation.
+//!   on the simplex relaxation.  Child nodes tighten variable *bounds* (not
+//!   rows) and warm-start from the parent basis.
 //! * [`minimax`] — helpers that linearise `min`/`max` objectives, which the
 //!   Palmed formulations use pervasively (resource loads are maxima).
 //!
 //! The solver is exact (up to floating-point tolerance) and geared towards
 //! the problem sizes Palmed generates: tens to a few hundred variables and
-//! constraints per solve, solved many thousands of times.
+//! constraints per solve, solved many thousands of times — often as small
+//! perturbations of each other, which is where warm starts pay off.
 //!
 //! # Example
 //!
@@ -35,16 +45,40 @@
 //! assert!((sol[x] - 2.0).abs() < 1e-6);
 //! assert!((sol[y] - 2.0).abs() < 1e-6);
 //! ```
+//!
+//! # Warm starting
+//!
+//! ```
+//! use palmed_lp::{revised, Problem, Sense, SimplexOptions};
+//!
+//! let build = |rhs: f64| {
+//!     let mut p = Problem::new(Sense::Maximize);
+//!     let x = p.add_var("x", 0.0, 3.0);
+//!     let y = p.add_var("y", 0.0, 3.0);
+//!     p.add_le(p.expr().term(1.0, x).term(1.0, y), rhs);
+//!     p.set_objective(p.expr().term(2.0, x).term(1.0, y));
+//!     p
+//! };
+//! let opts = SimplexOptions::default();
+//! let first = revised::solve_with_warm_start(&build(4.0), &opts, None).unwrap();
+//! // Perturb the right-hand side and restart from the previous basis.
+//! let again =
+//!     revised::solve_with_warm_start(&build(4.5), &opts, Some(&first.basis)).unwrap();
+//! assert!(again.iterations <= first.iterations);
+//! ```
 
 pub mod error;
 pub mod milp;
 pub mod minimax;
 pub mod model;
+pub mod revised;
 pub mod simplex;
+pub mod simplex_dense;
 
 pub use error::{LpError, LpResult};
 pub use milp::MilpOptions;
 pub use model::{Constraint, ConstraintOp, LinExpr, Problem, Sense, Solution, VarId};
+pub use revised::{solve_with_warm_start, Basis, SolveInfo};
 pub use simplex::SimplexOptions;
 
 /// Default numeric tolerance used throughout the solver.

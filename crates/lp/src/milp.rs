@@ -7,7 +7,8 @@
 
 use crate::error::{LpError, LpResult};
 use crate::model::{Problem, Sense, Solution, SolveStatus};
-use crate::simplex::{self, SimplexOptions};
+use crate::revised::{self, Basis};
+use crate::simplex::SimplexOptions;
 use crate::INT_EPS;
 
 /// Options controlling the branch-and-bound search.
@@ -29,26 +30,34 @@ impl Default for MilpOptions {
     }
 }
 
-/// One branch-and-bound node: a set of tightened variable bounds.
+/// One branch-and-bound node: a set of tightened variable bounds plus the
+/// basis its parent's relaxation ended on (the warm-start seed).
 #[derive(Debug, Clone)]
 struct Node {
     bounds: Vec<(usize, f64, f64)>,
     depth: usize,
+    parent_basis: Option<Basis>,
 }
 
-fn apply_bounds(base: &Problem, bounds: &[(usize, f64, f64)]) -> Problem {
+/// Applies branching decisions by *tightening variable bounds* rather than
+/// appending `>=`/`<=` rows.  The bounded-variable revised simplex handles
+/// bounds implicitly, so child relaxations keep the parent's constraint
+/// matrix dimensions — which is exactly what lets them warm-start from the
+/// parent basis.  Returns `None` when the accumulated bounds are
+/// contradictory (the child is trivially infeasible).
+fn apply_bounds(base: &Problem, bounds: &[(usize, f64, f64)]) -> Option<Problem> {
     let mut p = base.clone();
     for &(var, lo, hi) in bounds {
-        // Tighten by re-adding explicit constraints; simplest and safe.
         let v = crate::model::VarId(var);
-        if lo > f64::NEG_INFINITY {
-            p.add_ge(p.expr().term(1.0, v), lo);
+        let def = &p.vars()[var];
+        let new_lo = def.lower.max(lo);
+        let new_hi = def.upper.min(hi);
+        if new_lo > new_hi {
+            return None;
         }
-        if hi < f64::INFINITY {
-            p.add_le(p.expr().term(1.0, v), hi);
-        }
+        p.set_var_bounds(v, new_lo, new_hi);
     }
-    p
+    Some(p)
 }
 
 /// Finds the integer variable whose relaxation value is most fractional.
@@ -87,7 +96,7 @@ pub fn solve(
     let better = |a: f64, b: f64| if maximize { a > b + options.absolute_gap } else { a < b - options.absolute_gap };
 
     let mut incumbent: Option<Solution> = None;
-    let mut stack = vec![Node { bounds: Vec::new(), depth: 0 }];
+    let mut stack = vec![Node { bounds: Vec::new(), depth: 0, parent_basis: None }];
     let mut nodes = 0usize;
     let mut any_feasible_relaxation = false;
 
@@ -103,12 +112,24 @@ pub fn solve(
         }
         nodes += 1;
 
-        let sub = apply_bounds(problem, &node.bounds);
-        let relaxed = match simplex::solve(&sub, simplex_options) {
-            Ok(sol) => sol,
+        let Some(sub) = apply_bounds(problem, &node.bounds) else {
+            // Contradictory branch bounds: prune without an LP solve.
+            continue;
+        };
+        // Children only perturb variable bounds, so the parent's final basis
+        // is dimensionally valid and usually a handful of pivots from the
+        // child's optimum.
+        let info = match revised::solve_with_warm_start(
+            &sub,
+            simplex_options,
+            node.parent_basis.as_ref(),
+        ) {
+            Ok(info) => info,
             Err(LpError::Infeasible) => continue,
             Err(e) => return Err(e),
         };
+        let relaxed = info.solution;
+        let node_basis = info.basis;
         any_feasible_relaxation = true;
 
         // Bound: prune if the relaxation cannot beat the incumbent.
@@ -144,29 +165,28 @@ pub fn solve(
                 down.push((var, f64::NEG_INFINITY, floor));
                 let mut up = node.bounds.clone();
                 up.push((var, ceil, f64::INFINITY));
+                let child = |bounds: Vec<(usize, f64, f64)>| Node {
+                    bounds,
+                    depth: node.depth + 1,
+                    parent_basis: Some(node_basis.clone()),
+                };
                 // Depth-first: explore the branch closer to the fractional
                 // value first (pushed last).
                 if value - floor < 0.5 {
-                    stack.push(Node { bounds: up, depth: node.depth + 1 });
-                    stack.push(Node { bounds: down, depth: node.depth + 1 });
+                    stack.push(child(up));
+                    stack.push(child(down));
                 } else {
-                    stack.push(Node { bounds: down, depth: node.depth + 1 });
-                    stack.push(Node { bounds: up, depth: node.depth + 1 });
+                    stack.push(child(down));
+                    stack.push(child(up));
                 }
             }
         }
     }
 
-    match incumbent {
-        Some(sol) => Ok(sol),
-        None => {
-            if any_feasible_relaxation {
-                Err(LpError::Infeasible)
-            } else {
-                Err(LpError::Infeasible)
-            }
-        }
-    }
+    // No incumbent: integer-infeasible, whether or not some relaxation was
+    // continuously feasible.
+    let _ = any_feasible_relaxation;
+    incumbent.ok_or(LpError::Infeasible)
 }
 
 #[cfg(test)]

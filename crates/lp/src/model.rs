@@ -117,6 +117,41 @@ impl LinExpr {
         self.terms.is_empty()
     }
 
+    /// Iterates over the coalesced sparse terms of the expression: duplicate
+    /// variables are merged, zero coefficients dropped, and terms are yielded
+    /// in increasing variable order.
+    ///
+    /// This is the allocation-light path the solvers use to assemble sparse
+    /// standard forms; unlike [`LinExpr::to_dense`] its cost is
+    /// `O(k log k)` in the number of terms `k`, independent of the number of
+    /// variables in the problem.
+    pub fn sparse_terms(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        let mut terms = self.terms.clone();
+        terms.sort_unstable_by_key(|&(v, _)| v);
+        let mut coalesced: Vec<(VarId, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            match coalesced.last_mut() {
+                Some((last_v, last_c)) if *last_v == v => *last_c += c,
+                _ => coalesced.push((v, c)),
+            }
+        }
+        coalesced.into_iter().filter(|&(_, c)| c != 0.0)
+    }
+
+    /// Checks that every term references a variable below `n_vars` and has a
+    /// finite coefficient, without allocating a dense vector.
+    pub(crate) fn validate_against(&self, n_vars: usize) -> LpResult<()> {
+        for &(v, c) in &self.terms {
+            if v.0 >= n_vars {
+                return Err(LpError::UnknownVariable { index: v.0, problem_size: n_vars });
+            }
+            if !c.is_finite() {
+                return Err(LpError::NonFiniteCoefficient { context: format!("term for {v}") });
+            }
+        }
+        Ok(())
+    }
+
     /// Collapses duplicate variable terms into a dense coefficient vector of
     /// length `n_vars`.
     pub fn to_dense(&self, n_vars: usize) -> LpResult<Vec<f64>> {
@@ -252,6 +287,24 @@ impl Problem {
         id
     }
 
+    /// Overwrites the bounds of an existing variable.
+    ///
+    /// This is how branch-and-bound tightens child-node domains: adjusting
+    /// the bound keeps the constraint matrix (and hence any saved [`Basis`])
+    /// dimensionally identical, where adding explicit `>=`/`<=` rows would
+    /// invalidate warm starts.
+    ///
+    /// [`Basis`]: crate::revised::Basis
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this problem.
+    pub fn set_var_bounds(&mut self, var: VarId, lower: f64, upper: f64) {
+        let def = &mut self.vars[var.0];
+        def.lower = lower;
+        def.upper = upper;
+    }
+
     /// Convenience constructor for an empty expression tied to this problem.
     ///
     /// Purely cosmetic: expressions are not checked against the problem until
@@ -349,12 +402,12 @@ impl Problem {
             }
         }
         let n = self.vars.len();
-        self.objective.to_dense(n)?;
+        self.objective.validate_against(n)?;
         if !self.objective.constant_part().is_finite() {
             return Err(LpError::NonFiniteCoefficient { context: "objective constant".into() });
         }
         for (i, c) in self.constraints.iter().enumerate() {
-            c.expr.to_dense(n)?;
+            c.expr.validate_against(n)?;
             if !c.rhs.is_finite() {
                 return Err(LpError::NonFiniteCoefficient {
                     context: format!("right-hand side of constraint {i}"),
@@ -427,6 +480,34 @@ mod tests {
         let x = p.add_var("x", 0.0, 1.0);
         let e = p.expr().term(1.0, x).term(2.5, x);
         assert_eq!(e.to_dense(1).unwrap(), vec![3.5]);
+    }
+
+    #[test]
+    fn sparse_terms_coalesce_sort_and_drop_zeros() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0);
+        let y = p.add_var("y", 0.0, 1.0);
+        let z = p.add_var("z", 0.0, 1.0);
+        let e = p
+            .expr()
+            .term(2.0, z)
+            .term(1.0, x)
+            .term(-2.0, z)
+            .term(0.5, y)
+            .term(1.5, x);
+        let terms: Vec<(VarId, f64)> = e.sparse_terms().collect();
+        assert_eq!(terms, vec![(x, 2.5), (y, 0.5)]);
+        // z cancelled to zero and was dropped entirely.
+        assert!(terms.iter().all(|&(v, _)| v != z));
+    }
+
+    #[test]
+    fn set_var_bounds_overwrites() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 10.0);
+        p.set_var_bounds(x, 2.0, 3.0);
+        assert_eq!(p.vars()[0].lower, 2.0);
+        assert_eq!(p.vars()[0].upper, 3.0);
     }
 
     #[test]

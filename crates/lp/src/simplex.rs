@@ -1,24 +1,20 @@
-//! Dense two-phase primal simplex solver.
+//! Simplex facade: shared options plus the default (sparse revised) solver.
 //!
-//! The solver works on a classical dense tableau.  The problem is first
-//! rewritten into *standard form*:
+//! Two interchangeable simplex implementations live in this crate:
 //!
-//! * every variable is shifted so that its lower bound becomes zero (free
-//!   variables are split into a positive and a negative part),
-//! * finite upper bounds become explicit `<=` rows,
-//! * every row is turned into an equality by adding a slack or surplus
-//!   column, with a non-negative right-hand side.
+//! * [`crate::revised`] — sparse revised simplex with implicit variable
+//!   bounds, an LU+eta factorised basis and warm starting.  This is the
+//!   production path; [`solve`] routes here.
+//! * [`crate::simplex_dense`] — the original dense two-phase tableau, kept
+//!   for differential testing.
 //!
-//! Phase 1 minimises the sum of artificial variables to find a basic feasible
-//! solution; phase 2 then optimises the user objective.  Dantzig pricing is
-//! used by default with a switch to Bland's rule after a pivot budget to
-//! guarantee termination in the presence of degeneracy.
+//! Both honour the same [`SimplexOptions`].
 
-use crate::error::{LpError, LpResult};
-use crate::model::{ConstraintOp, Problem, Sense, Solution, SolveStatus};
-use crate::EPS;
+use crate::error::LpResult;
+use crate::model::{Problem, Solution};
+use crate::revised;
 
-/// Options controlling the simplex solver.
+/// Options controlling the simplex solvers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimplexOptions {
     /// Hard limit on the number of pivots across both phases.
@@ -35,562 +31,12 @@ impl Default for SimplexOptions {
     }
 }
 
-/// A problem rewritten into standard form together with the bookkeeping
-/// needed to map a standard-form solution back onto the original variables.
-struct StandardForm {
-    /// Dense constraint matrix, `rows x cols` (structural columns only).
-    rows: Vec<Vec<f64>>,
-    /// Right-hand sides, all non-negative.
-    rhs: Vec<f64>,
-    /// Objective coefficients for the structural columns (minimisation).
-    objective: Vec<f64>,
-    /// Constant offset of the objective (added back at the end).
-    objective_offset: f64,
-    /// Whether the original problem was a maximisation.
-    maximize: bool,
-    /// For each original variable: mapping onto standard-form columns.
-    var_map: Vec<VarMapping>,
-    /// Number of structural columns.
-    n_cols: usize,
-    /// For each row, the column of its slack variable (if any).  A slack
-    /// column whose coefficient is `+1` after right-hand-side normalisation
-    /// can serve directly as that row's initial basic variable, making an
-    /// artificial column (and most of phase 1) unnecessary.
-    slack_of_row: Vec<Option<usize>>,
-}
-
-/// How an original variable is represented in standard form.
-#[derive(Debug, Clone, Copy)]
-enum VarMapping {
-    /// `x = shift + column` (variable with a finite lower bound).
-    Shifted { col: usize, shift: f64 },
-    /// `x = pos - neg` (free variable split into two columns).
-    Split { pos: usize, neg: usize },
-}
-
-fn build_standard_form(problem: &Problem) -> LpResult<StandardForm> {
-    let n = problem.num_vars();
-    let mut var_map = Vec::with_capacity(n);
-    let mut n_cols = 0usize;
-    // Extra `<=` rows generated by finite upper bounds.
-    let mut bound_rows: Vec<(usize, f64)> = Vec::new();
-
-    for (i, v) in problem.vars().iter().enumerate() {
-        if v.lower.is_finite() {
-            let col = n_cols;
-            n_cols += 1;
-            var_map.push(VarMapping::Shifted { col, shift: v.lower });
-            if v.upper.is_finite() {
-                bound_rows.push((i, v.upper - v.lower));
-            }
-        } else {
-            // Free (or only upper-bounded) variable: split into two columns.
-            let pos = n_cols;
-            let neg = n_cols + 1;
-            n_cols += 2;
-            var_map.push(VarMapping::Split { pos, neg });
-            if v.upper.is_finite() {
-                bound_rows.push((i, v.upper));
-            }
-        }
-    }
-
-    let dense_row = |expr: &crate::model::LinExpr| -> LpResult<Vec<f64>> {
-        let orig = expr.to_dense(n)?;
-        let mut row = vec![0.0; n_cols];
-        for (i, &c) in orig.iter().enumerate() {
-            if c == 0.0 {
-                continue;
-            }
-            match var_map[i] {
-                VarMapping::Shifted { col, .. } => row[col] += c,
-                VarMapping::Split { pos, neg } => {
-                    row[pos] += c;
-                    row[neg] -= c;
-                }
-            }
-        }
-        Ok(row)
-    };
-
-    // Constant shift contributed by lower-bound shifting of each row.
-    let shift_of = |expr: &crate::model::LinExpr| -> LpResult<f64> {
-        let orig = expr.to_dense(n)?;
-        let mut shift = 0.0;
-        for (i, &c) in orig.iter().enumerate() {
-            if let VarMapping::Shifted { shift: s, .. } = var_map[i] {
-                shift += c * s;
-            }
-        }
-        Ok(shift)
-    };
-
-    let mut rows = Vec::new();
-    let mut rhs = Vec::new();
-    let mut ops = Vec::new();
-
-    for c in problem.constraints() {
-        let row = dense_row(&c.expr)?;
-        let shift = shift_of(&c.expr)?;
-        rows.push(row);
-        rhs.push(c.rhs - shift);
-        ops.push(c.op);
-    }
-    for (var, ub) in bound_rows {
-        let mut row = vec![0.0; n_cols];
-        match var_map[var] {
-            VarMapping::Shifted { col, .. } => row[col] = 1.0,
-            VarMapping::Split { pos, neg } => {
-                row[pos] = 1.0;
-                row[neg] = -1.0;
-            }
-        }
-        rows.push(row);
-        rhs.push(ub);
-        ops.push(ConstraintOp::Le);
-    }
-
-    // Objective.  The tableau always minimises; maximisation is handled by
-    // negating the cost row.  The objective value reported to the caller is
-    // recomputed from the original expression, so no offset bookkeeping is
-    // required here.
-    let maximize = problem.sense() == Sense::Maximize;
-    let mut objective = dense_row(problem.objective())?;
-    let objective_offset = problem.objective().constant_part() + shift_of(problem.objective())?;
-    if maximize {
-        for c in &mut objective {
-            *c = -*c;
-        }
-    }
-
-    // Turn every row into `<=`/`>=`/`==` with non-negative rhs by flipping.
-    // We keep the op list; slack handling happens in the tableau builder.
-    let mut sf = StandardForm {
-        rows,
-        rhs,
-        objective,
-        objective_offset,
-        maximize,
-        var_map,
-        n_cols,
-        slack_of_row: Vec::new(),
-    };
-    // Canonicalise: every row becomes an equality with an added slack column
-    // (+1 for <=, -1 for >=).
-    let mut new_rows = Vec::with_capacity(sf.rows.len());
-    let mut new_rhs = Vec::with_capacity(sf.rhs.len());
-    let mut slack_cols = 0usize;
-    let mut slack_specs: Vec<Option<(usize, f64)>> = Vec::with_capacity(sf.rows.len());
-    for (i, op) in ops.iter().enumerate() {
-        let spec = match op {
-            ConstraintOp::Le => Some((slack_cols, 1.0)),
-            ConstraintOp::Ge => Some((slack_cols, -1.0)),
-            ConstraintOp::Eq => None,
-        };
-        if spec.is_some() {
-            slack_cols += 1;
-        }
-        slack_specs.push(spec);
-        new_rows.push(std::mem::take(&mut sf.rows[i]));
-        new_rhs.push(sf.rhs[i]);
-    }
-    // Extend every row with slack columns.
-    for (i, row) in new_rows.iter_mut().enumerate() {
-        row.resize(sf.n_cols + slack_cols, 0.0);
-        if let Some((sc, sign)) = slack_specs[i] {
-            row[sf.n_cols + sc] = sign;
-        }
-    }
-    sf.objective.resize(sf.n_cols + slack_cols, 0.0);
-    sf.slack_of_row = slack_specs
-        .iter()
-        .map(|spec| spec.map(|(sc, _)| sf.n_cols + sc))
-        .collect();
-    sf.rows = new_rows;
-    sf.rhs = new_rhs;
-    sf.n_cols += slack_cols;
-    Ok(sf)
-}
-
-/// Dense simplex tableau with an explicit basis.
-struct Tableau {
-    /// `m x (n + 1)` matrix; the last column is the right-hand side.
-    a: Vec<Vec<f64>>,
-    /// Basis: for each row, the column currently basic in it.
-    basis: Vec<usize>,
-    m: usize,
-    n: usize,
-}
-
-impl Tableau {
-    fn rhs(&self, row: usize) -> f64 {
-        self.a[row][self.n]
-    }
-
-    /// Performs a pivot on (row, col).
-    fn pivot(&mut self, row: usize, col: usize) {
-        let pivot_value = self.a[row][col];
-        debug_assert!(pivot_value.abs() > EPS);
-        let inv = 1.0 / pivot_value;
-        for j in 0..=self.n {
-            self.a[row][j] *= inv;
-        }
-        for i in 0..self.m {
-            if i == row {
-                continue;
-            }
-            let factor = self.a[i][col];
-            if factor == 0.0 {
-                continue;
-            }
-            for j in 0..=self.n {
-                self.a[i][j] -= factor * self.a[row][j];
-            }
-        }
-        self.basis[row] = col;
-    }
-}
-
-/// Runs the primal simplex on a tableau given a reduced-cost row.
-///
-/// `costs` is the objective coefficient for every column (minimisation).
-/// Returns the optimal objective value of the phase.
-///
-/// The reduced-cost row `z_j = c_j − c_B·B⁻¹A_j` is computed once at phase
-/// entry (O(n·m)) and then updated alongside every pivot (O(n)), so pricing
-/// an iteration costs O(n) instead of O(n·m).
-fn run_phase(
-    tableau: &mut Tableau,
-    costs: &[f64],
-    options: &SimplexOptions,
-    iterations: &mut usize,
-    allowed_cols: &dyn Fn(usize) -> bool,
-) -> LpResult<f64> {
-    let m = tableau.m;
-    let n = tableau.n;
-    let tol = options.tolerance;
-
-    // Initial reduced costs and objective value of the current basis.
-    let mut reduced = costs.to_vec();
-    let mut objective = 0.0;
-    for i in 0..m {
-        let cb = costs[tableau.basis[i]];
-        if cb != 0.0 {
-            objective += cb * tableau.rhs(i);
-            for j in 0..n {
-                reduced[j] -= cb * tableau.a[i][j];
-            }
-        }
-    }
-
-    loop {
-        if *iterations >= options.max_iterations {
-            return Err(LpError::IterationLimit { iterations: *iterations });
-        }
-        let mut entering: Option<usize> = None;
-        let mut best = -tol;
-        let use_bland = *iterations >= options.bland_threshold;
-        for (j, &z) in reduced.iter().enumerate() {
-            if z >= -tol || !allowed_cols(j) {
-                continue;
-            }
-            if use_bland {
-                entering = Some(j);
-                break;
-            }
-            if z < best {
-                best = z;
-                entering = Some(j);
-            }
-        }
-        let Some(col) = entering else {
-            return Ok(objective);
-        };
-
-        // Ratio test.
-        let mut leaving: Option<usize> = None;
-        let mut best_ratio = f64::INFINITY;
-        for i in 0..m {
-            let a = tableau.a[i][col];
-            if a > tol {
-                let ratio = tableau.rhs(i) / a;
-                let better = ratio < best_ratio - tol
-                    || (ratio < best_ratio + tol
-                        && leaving.is_some_and(|l| tableau.basis[i] < tableau.basis[l]));
-                if leaving.is_none() || better {
-                    best_ratio = ratio;
-                    leaving = Some(i);
-                }
-            }
-        }
-        let Some(row) = leaving else {
-            return Err(LpError::Unbounded);
-        };
-        tableau.pivot(row, col);
-        // Update the reduced-cost row against the (now normalised) pivot row.
-        let factor = reduced[col];
-        if factor != 0.0 {
-            for j in 0..n {
-                reduced[j] -= factor * tableau.a[row][j];
-            }
-            objective += factor * tableau.rhs(row);
-        }
-        reduced[col] = 0.0;
-        *iterations += 1;
-    }
-}
-
-/// Solves the continuous LP `problem` with the two-phase primal simplex.
+/// Solves the continuous LP with the default (sparse revised) simplex.
 ///
 /// # Errors
 ///
-/// Returns [`LpError::Infeasible`], [`LpError::Unbounded`] or
-/// [`LpError::IterationLimit`] as appropriate.
+/// Returns [`crate::LpError::Infeasible`], [`crate::LpError::Unbounded`] or
+/// [`crate::LpError::IterationLimit`] as appropriate.
 pub fn solve(problem: &Problem, options: &SimplexOptions) -> LpResult<Solution> {
-    let sf = build_standard_form(problem)?;
-    let m = sf.rows.len();
-    let n_struct = sf.n_cols;
-
-    // Decide, per row, whether its slack column can serve as the initial
-    // basic variable (coefficient +1 after the right-hand side has been made
-    // non-negative).  Only the remaining rows need an artificial column.
-    let flips: Vec<bool> = sf.rhs.iter().map(|&r| r < 0.0).collect();
-    let mut initial_basic: Vec<Option<usize>> = vec![None; m];
-    let mut artificial_rows: Vec<usize> = Vec::new();
-    for i in 0..m {
-        match sf.slack_of_row[i] {
-            Some(col) => {
-                let coefficient = if flips[i] { -sf.rows[i][col] } else { sf.rows[i][col] };
-                if coefficient > 0.0 {
-                    initial_basic[i] = Some(col);
-                } else {
-                    artificial_rows.push(i);
-                }
-            }
-            None => artificial_rows.push(i),
-        }
-    }
-    let n_artificial = artificial_rows.len();
-    let n_total = n_struct + n_artificial;
-
-    // Build the tableau: structural columns, artificial columns, rhs.
-    let mut a = Vec::with_capacity(m);
-    let mut basis = vec![0usize; m];
-    for i in 0..m {
-        let mut row = Vec::with_capacity(n_total + 1);
-        let flip = flips[i];
-        for j in 0..n_struct {
-            row.push(if flip { -sf.rows[i][j] } else { sf.rows[i][j] });
-        }
-        for &k in &artificial_rows {
-            row.push(if k == i { 1.0 } else { 0.0 });
-        }
-        row.push(if flip { -sf.rhs[i] } else { sf.rhs[i] });
-        a.push(row);
-    }
-    for (offset, &i) in artificial_rows.iter().enumerate() {
-        basis[i] = n_struct + offset;
-    }
-    for i in 0..m {
-        if let Some(col) = initial_basic[i] {
-            basis[i] = col;
-        }
-    }
-    let mut tableau = Tableau { a, basis, m, n: n_total };
-
-    let mut iterations = 0usize;
-
-    // Phase 1: minimise the sum of artificial variables (skipped entirely
-    // when every row starts on its own slack).
-    if n_artificial > 0 {
-        let mut phase1_costs = vec![0.0; n_total];
-        for j in n_struct..n_total {
-            phase1_costs[j] = 1.0;
-        }
-        let phase1_obj =
-            run_phase(&mut tableau, &phase1_costs, options, &mut iterations, &|_| true)?;
-        if phase1_obj > options.tolerance.max(1e-7) {
-            return Err(LpError::Infeasible);
-        }
-
-        // Drive any artificial variable out of the basis if possible; rows
-        // where this is impossible are redundant (all-zero) and can stay.
-        for i in 0..m {
-            if tableau.basis[i] >= n_struct {
-                let pivot_col =
-                    (0..n_struct).find(|&j| tableau.a[i][j].abs() > options.tolerance);
-                if let Some(col) = pivot_col {
-                    tableau.pivot(i, col);
-                }
-            }
-        }
-    }
-
-    // Phase 2: minimise the real objective over structural columns only.
-    let mut phase2_costs = vec![0.0; n_total];
-    phase2_costs[..n_struct].copy_from_slice(&sf.objective[..n_struct]);
-    let allowed = |j: usize| j < n_struct;
-    let _phase2_obj =
-        run_phase(&mut tableau, &phase2_costs, options, &mut iterations, &allowed)?;
-
-    // Read out variable values.
-    let mut col_values = vec![0.0; n_total];
-    for i in 0..m {
-        col_values[tableau.basis[i]] = tableau.rhs(i);
-    }
-    let mut values = vec![0.0; problem.num_vars()];
-    for (i, mapping) in sf.var_map.iter().enumerate() {
-        values[i] = match *mapping {
-            VarMapping::Shifted { col, shift } => shift + col_values[col],
-            VarMapping::Split { pos, neg } => col_values[pos] - col_values[neg],
-        };
-    }
-
-    // The objective is recomputed from the original expression: it is exact
-    // and avoids tracking the shift/negation offsets of the standard form.
-    let objective = problem.objective().evaluate(&values);
-    let _ = (sf.maximize, sf.objective_offset);
-
-    Ok(Solution { values, objective, status: SolveStatus::Optimal })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::model::{Problem, Sense};
-
-    fn assert_close(a: f64, b: f64) {
-        assert!((a - b).abs() < 1e-6, "{a} != {b}");
-    }
-
-    #[test]
-    fn simple_maximization() {
-        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> x=2, y=6, obj=36
-        let mut p = Problem::new(Sense::Maximize);
-        let x = p.add_var("x", 0.0, f64::INFINITY);
-        let y = p.add_var("y", 0.0, f64::INFINITY);
-        p.add_le(p.expr().term(1.0, x), 4.0);
-        p.add_le(p.expr().term(2.0, y), 12.0);
-        p.add_le(p.expr().term(3.0, x).term(2.0, y), 18.0);
-        p.set_objective(p.expr().term(3.0, x).term(5.0, y));
-        let sol = p.solve().unwrap();
-        assert_close(sol.objective, 36.0);
-        assert_close(sol[x], 2.0);
-        assert_close(sol[y], 6.0);
-    }
-
-    #[test]
-    fn simple_minimization_with_ge() {
-        // min x + y s.t. x + 2y >= 4, 3x + y >= 6 -> x = 1.6, y = 1.2, obj = 2.8
-        let mut p = Problem::new(Sense::Minimize);
-        let x = p.add_var("x", 0.0, f64::INFINITY);
-        let y = p.add_var("y", 0.0, f64::INFINITY);
-        p.add_ge(p.expr().term(1.0, x).term(2.0, y), 4.0);
-        p.add_ge(p.expr().term(3.0, x).term(1.0, y), 6.0);
-        p.set_objective(p.expr().term(1.0, x).term(1.0, y));
-        let sol = p.solve().unwrap();
-        assert_close(sol.objective, 2.8);
-    }
-
-    #[test]
-    fn equality_constraints() {
-        // min 2x + 3y s.t. x + y == 10, x - y == 2 -> x=6, y=4, obj=24
-        let mut p = Problem::new(Sense::Minimize);
-        let x = p.add_var("x", 0.0, f64::INFINITY);
-        let y = p.add_var("y", 0.0, f64::INFINITY);
-        p.add_eq(p.expr().term(1.0, x).term(1.0, y), 10.0);
-        p.add_eq(p.expr().term(1.0, x).term(-1.0, y), 2.0);
-        p.set_objective(p.expr().term(2.0, x).term(3.0, y));
-        let sol = p.solve().unwrap();
-        assert_close(sol[x], 6.0);
-        assert_close(sol[y], 4.0);
-        assert_close(sol.objective, 24.0);
-    }
-
-    #[test]
-    fn infeasible_problem_is_detected() {
-        let mut p = Problem::new(Sense::Minimize);
-        let x = p.add_var("x", 0.0, 1.0);
-        p.add_ge(p.expr().term(1.0, x), 2.0);
-        p.set_objective(p.expr().term(1.0, x));
-        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
-    }
-
-    #[test]
-    fn unbounded_problem_is_detected() {
-        let mut p = Problem::new(Sense::Maximize);
-        let x = p.add_var("x", 0.0, f64::INFINITY);
-        p.set_objective(p.expr().term(1.0, x));
-        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
-    }
-
-    #[test]
-    fn free_variables_are_supported() {
-        // min x subject to x >= -5 via constraint (variable itself is free)
-        let mut p = Problem::new(Sense::Minimize);
-        let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY);
-        p.add_ge(p.expr().term(1.0, x), -5.0);
-        p.set_objective(p.expr().term(1.0, x));
-        let sol = p.solve().unwrap();
-        assert_close(sol[x], -5.0);
-    }
-
-    #[test]
-    fn negative_lower_bounds_are_supported() {
-        // max x + y with x in [-3, -1], y in [-2, 2], x + y <= 0
-        let mut p = Problem::new(Sense::Maximize);
-        let x = p.add_var("x", -3.0, -1.0);
-        let y = p.add_var("y", -2.0, 2.0);
-        p.add_le(p.expr().term(1.0, x).term(1.0, y), 0.0);
-        p.set_objective(p.expr().term(1.0, x).term(1.0, y));
-        let sol = p.solve().unwrap();
-        assert_close(sol.objective, 0.0);
-    }
-
-    #[test]
-    fn upper_bounds_are_respected() {
-        let mut p = Problem::new(Sense::Maximize);
-        let x = p.add_var("x", 0.0, 2.5);
-        p.set_objective(p.expr().term(1.0, x));
-        let sol = p.solve().unwrap();
-        assert_close(sol[x], 2.5);
-    }
-
-    #[test]
-    fn objective_constant_is_included() {
-        let mut p = Problem::new(Sense::Minimize);
-        let x = p.add_var("x", 1.0, 10.0);
-        p.set_objective(p.expr().term(2.0, x).plus(7.0));
-        let sol = p.solve().unwrap();
-        assert_close(sol.objective, 9.0);
-    }
-
-    #[test]
-    fn degenerate_problem_terminates() {
-        // A classic degenerate LP; mostly a termination smoke test.
-        let mut p = Problem::new(Sense::Maximize);
-        let x1 = p.add_var("x1", 0.0, f64::INFINITY);
-        let x2 = p.add_var("x2", 0.0, f64::INFINITY);
-        let x3 = p.add_var("x3", 0.0, f64::INFINITY);
-        p.add_le(p.expr().term(0.5, x1).term(-5.5, x2).term(-2.5, x3), 0.0);
-        p.add_le(p.expr().term(0.5, x1).term(-1.5, x2).term(-0.5, x3), 0.0);
-        p.add_le(p.expr().term(1.0, x1), 1.0);
-        p.set_objective(p.expr().term(10.0, x1).term(-57.0, x2).term(-9.0, x3));
-        let sol = p.solve().unwrap();
-        // Optimum: x1 = 1, x3 = 1 (constraint 1 and 2 satisfied), objective 1.
-        assert_close(sol.objective, 1.0);
-    }
-
-    #[test]
-    fn redundant_equalities_are_handled() {
-        // x + y == 2 listed twice.
-        let mut p = Problem::new(Sense::Maximize);
-        let x = p.add_var("x", 0.0, f64::INFINITY);
-        let y = p.add_var("y", 0.0, f64::INFINITY);
-        p.add_eq(p.expr().term(1.0, x).term(1.0, y), 2.0);
-        p.add_eq(p.expr().term(1.0, x).term(1.0, y), 2.0);
-        p.set_objective(p.expr().term(1.0, x));
-        let sol = p.solve().unwrap();
-        assert_close(sol[x], 2.0);
-    }
+    revised::solve(problem, options)
 }

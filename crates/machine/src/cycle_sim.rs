@@ -139,8 +139,8 @@ pub fn simulate_ipc(
         }
 
         // Dispatch: each free port takes the oldest compatible pending µOP.
-        for port in 0..num_ports {
-            if port_busy_until[port] > cycle {
+        for (port, busy_until) in port_busy_until.iter_mut().enumerate().take(num_ports) {
+            if *busy_until > cycle {
                 continue;
             }
             let mut chosen: Option<usize> = None;
@@ -159,7 +159,7 @@ pub fn simulate_ipc(
             if let Some(idx) = chosen {
                 let uop = pending.swap_remove(idx);
                 let (_, busy) = uop_ports[uop.kind];
-                port_busy_until[port] = cycle + busy.ceil() as u64;
+                *busy_until = cycle + busy.ceil() as u64;
             }
         }
     }

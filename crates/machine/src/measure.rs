@@ -18,9 +18,8 @@ use crate::disjunctive::DisjunctiveMapping;
 use crate::noise::MeasurementNoise;
 use crate::throughput;
 use palmed_isa::{InstructionSet, Microkernel};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A device able to report the steady-state IPC of a microkernel.
 ///
@@ -209,21 +208,25 @@ impl Measurer for BackendMeasurer {
 /// reproduction fast while preserving the benchmark count semantics: the
 /// measurement count only grows for *distinct* kernels, which matches the
 /// paper's "generated microbenchmarks" statistic.
+///
+/// The cache is behind a `Mutex` so the wrapper stays [`Sync`] and can be
+/// shared by the parallel measurement loops (measurers are deterministic, so
+/// a racing duplicate measurement of the same kernel is harmless).
 #[derive(Debug)]
 pub struct MemoizingMeasurer<M> {
     inner: M,
-    cache: RefCell<HashMap<Microkernel, f64>>,
+    cache: Mutex<HashMap<Microkernel, f64>>,
 }
 
 impl<M: Measurer> MemoizingMeasurer<M> {
     /// Wraps a measurer with a cache.
     pub fn new(inner: M) -> Self {
-        MemoizingMeasurer { inner, cache: RefCell::new(HashMap::new()) }
+        MemoizingMeasurer { inner, cache: Mutex::new(HashMap::new()) }
     }
 
     /// Number of distinct kernels measured.
     pub fn distinct_kernels(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.lock().unwrap().len()
     }
 
     /// Consumes the wrapper and returns the inner measurer.
@@ -234,11 +237,11 @@ impl<M: Measurer> MemoizingMeasurer<M> {
 
 impl<M: Measurer> Measurer for MemoizingMeasurer<M> {
     fn ipc(&self, kernel: &Microkernel) -> f64 {
-        if let Some(&v) = self.cache.borrow().get(kernel) {
+        if let Some(&v) = self.cache.lock().unwrap().get(kernel) {
             return v;
         }
         let v = self.inner.ipc(kernel);
-        self.cache.borrow_mut().insert(kernel.clone(), v);
+        self.cache.lock().unwrap().insert(kernel.clone(), v);
         v
     }
 
@@ -255,18 +258,18 @@ impl<M: Measurer> Measurer for MemoizingMeasurer<M> {
 #[derive(Debug)]
 pub struct CountingMeasurer<M> {
     inner: M,
-    calls: RefCell<usize>,
+    calls: Mutex<usize>,
 }
 
 impl<M: Measurer> CountingMeasurer<M> {
     /// Wraps a measurer with a call counter.
     pub fn new(inner: M) -> Self {
-        CountingMeasurer { inner, calls: RefCell::new(0) }
+        CountingMeasurer { inner, calls: Mutex::new(0) }
     }
 
     /// Total number of `ipc` calls made through the wrapper.
     pub fn calls(&self) -> usize {
-        *self.calls.borrow()
+        *self.calls.lock().unwrap()
     }
 
     /// Consumes the wrapper and returns the inner measurer.
@@ -277,7 +280,7 @@ impl<M: Measurer> CountingMeasurer<M> {
 
 impl<M: Measurer> Measurer for CountingMeasurer<M> {
     fn ipc(&self, kernel: &Microkernel) -> f64 {
-        *self.calls.borrow_mut() += 1;
+        *self.calls.lock().unwrap() += 1;
         self.inner.ipc(kernel)
     }
 

@@ -21,32 +21,76 @@ use crate::disjunctive::DisjunctiveMapping;
 use crate::port::PortSet;
 use palmed_isa::Microkernel;
 use palmed_lp::{Problem, Sense};
+use std::collections::BTreeSet;
 
 /// Minimal number of cycles needed to execute one iteration of `kernel` on
 /// the mapping, assuming an optimal (fractional) port assignment.
 ///
 /// Returns 0 for an empty kernel.
+///
+/// The Hall bound is maximised not over all `2^P - 1` port subsets but over
+/// the **closure under union of the distinct µOP port sets** occurring in the
+/// kernel.  This is exact: for any subset `J`, replacing `J` by the union
+/// `J' ⊆ J` of the µOP port sets contained in `J` keeps the confined load
+/// identical while only shrinking the divisor `|J|`, so the maximising subset
+/// can always be taken to be a union of µOP port sets.  Real kernels use a
+/// handful of distinct port sets, so the closure is tiny compared to the
+/// power set (and, unlike the power set, independent of the machine's port
+/// count).
 pub fn optimal_execution_time(mapping: &DisjunctiveMapping, kernel: &Microkernel) -> f64 {
     if kernel.is_empty() {
         return 0.0;
     }
     let loads = mapping.kernel_load(kernel);
     let num_ports = mapping.machine().num_ports;
-    assert!(num_ports <= 24, "subset enumeration limited to 24 ports, got {num_ports}");
+    assert!(num_ports <= 32, "port-set masks are 32-bit, got {num_ports} ports");
 
-    let mut t: f64 = 0.0;
-    // Enumerate non-empty port subsets J and apply the Hall bound.
-    for subset_mask in 1u32..(1u32 << num_ports) {
-        let subset = PortSet::from_mask(subset_mask);
+    // Distinct loaded port sets, then their closure under union (worklist).
+    let mut generators: Vec<u32> = Vec::new();
+    for &(ports, load) in &loads {
+        let mask = ports.mask();
+        if load > 0.0 && mask != 0 && !generators.contains(&mask) {
+            generators.push(mask);
+        }
+    }
+    let mut closure: BTreeSet<u32> = generators.iter().copied().collect();
+    let mut frontier: Vec<u32> = generators.clone();
+    while let Some(m) = frontier.pop() {
+        for &g in &generators {
+            let union = m | g;
+            if closure.insert(union) {
+                frontier.push(union);
+            }
+        }
+    }
+
+    let confined_ratio = |subset: PortSet| -> f64 {
         let mut confined = 0.0;
         for &(ports, load) in &loads {
             if ports.is_subset_of(subset) {
                 confined += load;
             }
         }
-        if confined > 0.0 {
-            t = t.max(confined / subset.len() as f64);
+        confined / subset.len() as f64
+    };
+
+    let mut t: f64 = 0.0;
+    for &mask in &closure {
+        t = t.max(confined_ratio(PortSet::from_mask(mask)));
+    }
+
+    // Cross-check against the exhaustive power-set enumeration on machines
+    // small enough to afford it.
+    #[cfg(debug_assertions)]
+    if num_ports <= 12 {
+        let mut exhaustive: f64 = 0.0;
+        for subset_mask in 1u32..(1u32 << num_ports) {
+            exhaustive = exhaustive.max(confined_ratio(PortSet::from_mask(subset_mask)));
         }
+        debug_assert!(
+            (t - exhaustive).abs() <= 1e-9 * exhaustive.max(1.0),
+            "union-closure bound {t} disagrees with power-set bound {exhaustive}"
+        );
     }
 
     // Front-end bounds.
@@ -235,6 +279,44 @@ mod tests {
         let map = Arc::new(m).bind(Arc::clone(&insts));
         let idiv = insts.find("IDIV").unwrap();
         assert!(close(ipc(&map, &Microkernel::single(idiv).scaled(3)), 1.0 / 5.0));
+    }
+
+    #[test]
+    fn union_closure_matches_lp_on_a_many_port_machine() {
+        // 20 ports: the old power-set enumeration would visit ~10^6 subsets;
+        // the union closure visits a handful.  The LP formulation provides an
+        // independent exact reference.
+        let insts = Arc::new(InstructionSet::from_descs([
+            InstDesc::new("A", ExecClass::FpAddSse),
+            InstDesc::new("B", ExecClass::IntAluRestricted),
+            InstDesc::new("C", ExecClass::Branch),
+        ]));
+        let mut m = MachineDescription::new("wide", 20, FrontEnd::instructions_only(16.0));
+        m.define_class(
+            ExecClass::FpAddSse,
+            vec![MicroOp::pipelined(PortSet::from_ports([0, 1, 2, 3]))],
+        );
+        m.define_class(
+            ExecClass::IntAluRestricted,
+            vec![MicroOp::pipelined(PortSet::from_ports([2, 3, 4]))],
+        );
+        m.define_class(
+            ExecClass::Branch,
+            vec![MicroOp::pipelined(PortSet::from_ports([17, 18, 19]))],
+        );
+        let map = Arc::new(m).bind(Arc::clone(&insts));
+        let a = insts.find("A").unwrap();
+        let b = insts.find("B").unwrap();
+        let c = insts.find("C").unwrap();
+        for k in [
+            Microkernel::from_counts([(a, 7), (b, 3), (c, 2)]),
+            Microkernel::from_counts([(a, 1), (b, 9)]),
+            Microkernel::single(c).scaled(5),
+        ] {
+            let closure = optimal_execution_time(&map, &k);
+            let lp = optimal_execution_time_lp(&map, &k).unwrap();
+            assert!((closure - lp).abs() < 1e-6, "mismatch for {k}: {closure} vs {lp}");
+        }
     }
 
     #[test]

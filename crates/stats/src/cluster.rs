@@ -90,7 +90,7 @@ pub fn hierarchical_clusters(items: &[Vec<f64>], threshold: f64, linkage: Linkag
         for i in 0..clusters.len() {
             for j in (i + 1)..clusters.len() {
                 let d = cluster_distance(&clusters[i], &clusters[j], linkage);
-                if d <= threshold && best.map_or(true, |(_, _, bd)| d < bd) {
+                if d <= threshold && best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((i, j, d));
                 }
             }

@@ -1,0 +1,5 @@
+//! Host package for the runnable examples in this directory.
+//!
+//! The actual example sources live next to this package's manifest (see the
+//! `[[example]]` targets); run them with e.g.
+//! `cargo run --release -p palmed-examples --example quickstart`.

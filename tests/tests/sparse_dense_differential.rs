@@ -1,0 +1,185 @@
+//! Differential testing of the two simplex implementations.
+//!
+//! The sparse revised solver (`palmed_lp::revised`) and the retained dense
+//! tableau (`palmed_lp::simplex_dense`) share no standard-form, pricing or
+//! pivoting code, so agreement across a few hundred random instances —
+//! bounded, degenerate, infeasible and unbounded ones — is strong evidence
+//! that both are correct.
+
+use palmed_lp::{revised, simplex_dense, LpError, Problem, Sense, SimplexOptions, Solution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random LP: up to 8 variables with mixed finite/infinite/fixed bounds,
+/// up to 8 constraints with mixed operators, small integer-ish coefficients
+/// (well-scaled so that tolerance differences cannot flip feasibility).
+fn random_problem(rng: &mut StdRng) -> Problem {
+    let sense = if rng.gen_bool(0.5) { Sense::Maximize } else { Sense::Minimize };
+    let mut p = Problem::new(sense);
+    let n = rng.gen_range(1..=8usize);
+    let m = rng.gen_range(1..=8usize);
+
+    let mut vars = Vec::with_capacity(n);
+    for i in 0..n {
+        let (lower, upper) = match rng.gen_range(0..10u32) {
+            0..=3 => (0.0, f64::INFINITY),
+            4..=6 => (0.0, rng.gen_range(1..=6) as f64 * 0.5),
+            7 => (-(rng.gen_range(1..=4) as f64), rng.gen_range(1..=4) as f64),
+            8 => {
+                // Upper-bounded-only: rests at its upper bound in the revised
+                // solver, and is split + bound-rowed in the dense one.
+                if rng.gen_bool(0.5) {
+                    (f64::NEG_INFINITY, rng.gen_range(1..=4) as f64 * 0.5)
+                } else {
+                    (f64::NEG_INFINITY, f64::INFINITY)
+                }
+            }
+            _ => {
+                // Fixed variable.
+                let v = rng.gen_range(0..=2) as f64 * 0.5;
+                (v, v)
+            }
+        };
+        vars.push(p.add_var(format!("x{i}"), lower, upper));
+    }
+
+    for _ in 0..m {
+        let mut expr = p.expr();
+        let nnz = rng.gen_range(1..=3.min(n));
+        for _ in 0..nnz {
+            let v = vars[rng.gen_range(0..n)];
+            let c = rng.gen_range(-4..=4) as f64 * 0.5;
+            if c != 0.0 {
+                expr.add_term(c, v);
+            }
+        }
+        // Mostly `<=` rows with non-negative right-hand sides keep a healthy
+        // share of instances feasible and bounded; `>=`/`==` rows with
+        // occasionally negative sides still exercise infeasibility.
+        match rng.gen_range(0..10u32) {
+            0..=5 => p.add_le(expr, rng.gen_range(0..=8) as f64 * 0.5),
+            6..=7 => p.add_ge(expr, rng.gen_range(-8..=4) as f64 * 0.5),
+            _ => p.add_eq(expr, rng.gen_range(-2..=6) as f64 * 0.5),
+        }
+    }
+
+    let mut obj = p.expr();
+    for &v in &vars {
+        let c = rng.gen_range(-3..=3) as f64;
+        if c != 0.0 {
+            obj.add_term(c, v);
+        }
+    }
+    p.set_objective(obj);
+    p
+}
+
+fn is_feasible(p: &Problem, sol: &Solution, tol: f64) -> bool {
+    for (def, &v) in p.vars().iter().zip(&sol.values) {
+        if v < def.lower - tol || v > def.upper + tol {
+            return false;
+        }
+    }
+    for c in p.constraints() {
+        let lhs = c.expr.evaluate(&sol.values);
+        let ok = match c.op {
+            palmed_lp::ConstraintOp::Le => lhs <= c.rhs + tol,
+            palmed_lp::ConstraintOp::Ge => lhs >= c.rhs - tol,
+            palmed_lp::ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[test]
+fn revised_and_dense_agree_on_random_lps() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_1AB5);
+    let options = SimplexOptions::default();
+    let mut optimal = 0usize;
+    let mut infeasible = 0usize;
+    let mut unbounded = 0usize;
+
+    for case in 0..200 {
+        let p = random_problem(&mut rng);
+        p.validate().expect("generator builds valid problems");
+        let sparse = revised::solve(&p, &options);
+        let dense = simplex_dense::solve(&p, &options);
+        match (&sparse, &dense) {
+            (Ok(a), Ok(b)) => {
+                optimal += 1;
+                assert!(
+                    (a.objective - b.objective).abs() <= 1e-5 * (1.0 + b.objective.abs()),
+                    "case {case}: objectives diverge: sparse {} vs dense {}",
+                    a.objective,
+                    b.objective
+                );
+                assert!(is_feasible(&p, a, 1e-6), "case {case}: sparse solution infeasible");
+                assert!(is_feasible(&p, b, 1e-6), "case {case}: dense solution infeasible");
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => infeasible += 1,
+            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => unbounded += 1,
+            (a, b) => panic!("case {case}: outcome mismatch: sparse {a:?} vs dense {b:?}"),
+        }
+    }
+
+    // The generator must actually exercise all three outcome classes.
+    assert!(optimal >= 40, "only {optimal} optimal instances generated");
+    assert!(infeasible >= 10, "only {infeasible} infeasible instances generated");
+    assert!(unbounded >= 10, "only {unbounded} unbounded instances generated");
+}
+
+#[test]
+fn warm_start_beats_cold_start_on_perturbed_rhs() {
+    // A transportation-like LP; perturb the supply vector and restart.
+    let build = |bump: f64| {
+        let n = 12usize;
+        let mut p = Problem::new(Sense::Minimize);
+        let mut vars = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                vars.push(p.add_var(format!("x_{i}_{j}"), 0.0, f64::INFINITY));
+            }
+        }
+        for i in 0..n {
+            let mut row = p.expr();
+            for j in 0..n {
+                row.add_term(1.0, vars[i * n + j]);
+            }
+            p.add_eq(row, 1.0 + i as f64 + bump);
+        }
+        for j in 0..n {
+            let mut col = p.expr();
+            for i in 0..n {
+                col.add_term(1.0, vars[i * n + j]);
+            }
+            p.add_ge(col, 0.5 + j as f64 * 0.5);
+        }
+        let mut obj = p.expr();
+        for (k, &v) in vars.iter().enumerate() {
+            obj.add_term(1.0 + (k % 7) as f64, v);
+        }
+        p.set_objective(obj);
+        p
+    };
+    let options = SimplexOptions::default();
+    let cold = revised::solve_with_warm_start(&build(0.0), &options, None).unwrap();
+    let perturbed = build(0.25);
+    let re_cold = revised::solve_with_warm_start(&perturbed, &options, None).unwrap();
+    let warm =
+        revised::solve_with_warm_start(&perturbed, &options, Some(&cold.basis)).unwrap();
+    assert!(
+        (warm.solution.objective - re_cold.solution.objective).abs() <= 1e-6,
+        "warm and cold must agree: {} vs {}",
+        warm.solution.objective,
+        re_cold.solution.objective
+    );
+    assert!(
+        warm.iterations < re_cold.iterations,
+        "warm start must pivot less: warm {} vs cold {}",
+        warm.iterations,
+        re_cold.iterations
+    );
+}

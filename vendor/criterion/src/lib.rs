@@ -1,0 +1,201 @@
+//! Minimal, dependency-free stand-in for the subset of the `criterion` API
+//! this workspace's benches use.
+//!
+//! It really measures: each [`Bencher::iter`] call calibrates a batch size so
+//! one sample takes a few milliseconds, collects `sample_size` samples and
+//! reports the median nanoseconds per iteration on stdout.  No statistical
+//! machinery, no HTML reports — just stable, comparable numbers.
+//!
+//! Set `CRITERION_JSON=<path>` to additionally dump all results of the run
+//! as a JSON array of `{"bench": name, "ns_per_iter": median}` objects
+//! (used to record `BENCH_lp.json` baselines in-tree).
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Identifier combining a function name and a parameter, `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("transportation", 64)` displays as
+    /// `transportation/64`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier consisting of the parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement driver handed to the closure of a bench target.
+pub struct Bencher {
+    sample_size: usize,
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns/iter over the samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count whose batch takes >= ~2 ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let samples = self.sample_size.max(3);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(full_name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { sample_size, result_ns: 0.0 };
+    f(&mut bencher);
+    println!("{full_name:<60} time: {:>12}/iter", human(bencher.result_ns));
+    RESULTS.lock().unwrap().push((full_name.to_string(), bencher.result_ns));
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, 10, |b| f(b));
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Writes the collected results as JSON to `$CRITERION_JSON`, if set.
+///
+/// Called automatically by the `criterion_main!`-generated `main`.
+pub fn write_json_results() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"ns_per_iter\": {:.1}}}{}\n",
+            name.replace('"', "'"),
+            ns,
+            sep
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: could not write {path}: {e}");
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::write_json_results();
+        }
+    };
+}

@@ -1,0 +1,16 @@
+//! Minimal stand-in for `serde` in the offline build.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types but
+//! never serialises them (there is no serde_json or other format crate in the
+//! tree), so the traits are empty markers and the derives are no-ops.  If a
+//! future PR needs real serialisation, replace this shim with the actual
+//! crates and everything downstream keeps compiling unchanged.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (lifetime elided: the shimmed
+/// derives never reference it).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
