@@ -4,7 +4,7 @@
 //! measure is turned into an assembly loop (dependency-free, L1-resident,
 //! unrolled enough to hide the loop overhead), assembled, and timed with the
 //! cycle counter.  This crate is that benchmark-generator back-end: it
-//! renders a [`Microkernel`] into an x86-64 (AT&T syntax) assembly file that
+//! renders a [`Microkernel`](palmed_isa::Microkernel) into an x86-64 (AT&T syntax) assembly file that
 //! follows the same construction rules as the paper's generator:
 //!
 //! * **no dependencies** — destination registers rotate through a pool so no
@@ -19,7 +19,7 @@
 //!   SSE and AVX lives in the campaign configuration.
 //!
 //! The simulated back-ends of `palmed-machine` do not consume this output —
-//! they work on the [`Microkernel`] directly — but rendering every kernel of
+//! they work on the [`Microkernel`](palmed_isa::Microkernel) directly — but rendering every kernel of
 //! a campaign is how the reproduction would be hooked to real silicon, and
 //! the textual output doubles as a human-readable description of each
 //! benchmark.

@@ -1,9 +1,10 @@
 //! Baseline throughput predictors the paper compares Palmed against.
 //!
 //! The evaluation of the paper (Fig. 4) pits Palmed against four families of
-//! tools.  Each family is reproduced here as a [`ThroughputPredictor`]
-//! implementation with the decision procedure — and the characteristic
-//! blind spots — of the original:
+//! tools.  Each family is reproduced here as a
+//! [`ThroughputPredictor`](palmed_core::ThroughputPredictor) implementation
+//! with the decision procedure — and the characteristic blind spots — of the
+//! original:
 //!
 //! * [`uops`] — a **uops.info-style** model: the exact (oracle) port mapping
 //!   published per instruction, evaluated by spreading each µOP uniformly

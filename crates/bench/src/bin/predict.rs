@@ -1,0 +1,157 @@
+//! End-to-end serving demo: infer once, persist, reload, predict at scale.
+//!
+//! The binary walks the full `palmed-serve` lifecycle on a preset machine:
+//!
+//! 1. infer a conjunctive mapping from cycle measurements only;
+//! 2. save it as a `PALMED-MODEL v1` artifact and reload it through a
+//!    [`ModelRegistry`], verifying the round trip is bit-lossless;
+//! 3. generate a basic-block corpus, save it as `PALMED-CORPUS v1` text and
+//!    load it back;
+//! 4. serve the corpus through the deduplicating [`BatchPredictor`] and
+//!    cross-check every prediction against the in-memory mapping;
+//! 5. report accuracy against the native machine next to the uops-style
+//!    baseline.
+//!
+//! Usage: `cargo run --release -p palmed-bench --bin predict -- \
+//!     [--full] [--blocks N] [--out DIR]`
+//!
+//! The default (quick) mode runs the paper's 3-port pedagogical machine and a
+//! small corpus in well under a second — it doubles as the CI smoke test.
+//! `--full` infers on the SKL-SP-like machine and serves 10 000 blocks.
+
+use palmed_core::{Palmed, PalmedConfig};
+use palmed_eval::blocks::{blocks_to_corpus, corpus_to_blocks};
+use palmed_eval::metrics::evaluate_tool;
+use palmed_eval::suite::{generate_suite, SuiteConfig, SuiteKind};
+use palmed_isa::InventoryConfig;
+use palmed_machine::{presets, AnalyticMeasurer, Measurer, MemoizingMeasurer};
+use palmed_serve::{BatchPredictor, Corpus, ModelArtifact, ModelRegistry, PreparedBatch};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let blocks = flag_value(&args, "--blocks")
+        .map(|v| v.parse::<usize>().expect("--blocks takes a number"))
+        .unwrap_or(if full { 10_000 } else { 400 });
+    let out: PathBuf = flag_value(&args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("palmed-serve-demo"));
+    std::fs::create_dir_all(&out).expect("output directory is creatable");
+
+    let preset = if full {
+        presets::skl_sp(&InventoryConfig::small())
+    } else {
+        presets::paper_ports016()
+    };
+    let config = if full { PalmedConfig::evaluation() } else { PalmedConfig::small() };
+
+    // ---- 1. One-time inference. ----
+    println!("[1/5] inferring a mapping for `{}`...", preset.name());
+    let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(preset.mapping_arc()));
+    let start = Instant::now();
+    let inferred = Palmed::new(config).infer(&measurer);
+    println!(
+        "      {} instructions mapped onto {} resources in {:.2?}",
+        inferred.mapping.num_instructions(),
+        inferred.mapping.num_resources(),
+        start.elapsed()
+    );
+
+    // ---- 2. Persist and reload through the registry. ----
+    let model_path = out.join("model.palmed");
+    let artifact = ModelArtifact::new(
+        preset.name(),
+        preset.description.name.clone(),
+        (*preset.instructions).clone(),
+        inferred.mapping.clone(),
+    );
+    artifact.save(&model_path).expect("artifact saves");
+    let bytes = std::fs::metadata(&model_path).map(|m| m.len()).unwrap_or(0);
+    println!("[2/5] saved model artifact to {} ({bytes} bytes)", model_path.display());
+    let mut registry = ModelRegistry::new();
+    let served = registry.load_file(&model_path).expect("artifact reloads with a valid checksum");
+    if served.artifact != artifact {
+        eprintln!("FATAL: reloaded artifact differs from the saved one");
+        std::process::exit(1);
+    }
+    println!("      reloaded through the registry: checksum ok, round trip lossless");
+
+    // ---- 3. Corpus to and from disk. ----
+    let corpus_path = out.join("corpus.txt");
+    let suite = generate_suite(
+        SuiteKind::SpecLike,
+        &preset.instructions,
+        &SuiteConfig { num_blocks: blocks, ..SuiteConfig::default() },
+    );
+    blocks_to_corpus(&suite).save(&corpus_path, &preset.instructions).expect("corpus saves");
+    let served = registry.get(preset.name()).expect("model is registered");
+    let corpus = Corpus::load(&corpus_path, &served.artifact.instructions)
+        .expect("corpus reloads against the artifact's own instruction set");
+    println!(
+        "[3/5] corpus of {} blocks written and reloaded from {}",
+        corpus.len(),
+        corpus_path.display()
+    );
+
+    // ---- 4. Serve the corpus: ingest once, serve repeatedly. ----
+    let batch = BatchPredictor::new(&served.compiled);
+    let start = Instant::now();
+    let prepared = PreparedBatch::from_corpus(&corpus);
+    let ingested_in = start.elapsed();
+    let start = Instant::now();
+    let result = batch.predict_prepared(&prepared);
+    let served_in = start.elapsed();
+    let covered = result.ipcs.iter().flatten().count();
+    println!(
+        "[4/5] ingested {} blocks ({} distinct) in {:.2?}; served in {:.2?} — \
+         {:.0} blocks/s steady state, {covered} covered",
+        corpus.len(),
+        prepared.distinct(),
+        ingested_in,
+        served_in,
+        corpus.len() as f64 / served_in.as_secs_f64()
+    );
+    let start = Instant::now();
+    let mut mismatches = 0usize;
+    for (block, served_ipc) in corpus.blocks.iter().zip(&result.ipcs) {
+        let reference = inferred.mapping.ipc(&block.kernel);
+        if reference.map(f64::to_bits) != served_ipc.map(f64::to_bits) {
+            mismatches += 1;
+        }
+    }
+    let cold = start.elapsed();
+    if mismatches > 0 {
+        eprintln!("FATAL: {mismatches} served predictions differ from the in-memory mapping");
+        std::process::exit(1);
+    }
+    println!(
+        "      every prediction bit-identical to the in-memory mapping \
+         (per-call legacy sweep of the same corpus: {:.2?}, {:.1}x the served path)",
+        cold,
+        cold.as_secs_f64() / served_in.as_secs_f64()
+    );
+
+    // ---- 5. Accuracy against the native machine. ----
+    let native = AnalyticMeasurer::new(preset.mapping_arc());
+    let eval_blocks = corpus_to_blocks(&corpus);
+    let native_ipcs: Vec<f64> = eval_blocks.iter().map(|b| native.ipc(&b.kernel)).collect();
+    let palmed = evaluate_tool(&served.compiled, &eval_blocks, &native_ipcs);
+    let uops = palmed_baselines::UopsStylePredictor::new(preset.mapping_arc());
+    let uops_metrics = evaluate_tool(&uops, &eval_blocks, &native_ipcs);
+    println!("[5/5] accuracy vs the native machine:");
+    println!("      tool            coverage   RMS err   Kendall tau");
+    for (name, m) in [("palmed (served)", palmed), ("uops-style", uops_metrics)] {
+        println!(
+            "      {name:<15} {:>8.1}% {:>9.3} {:>13.3}",
+            m.coverage * 100.0,
+            m.rms_error,
+            m.kendall_tau
+        );
+    }
+}

@@ -17,8 +17,16 @@
 
 use palmed_isa::{InstId, InstructionSet, Microkernel};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
+
+thread_local! {
+    /// Reusable load buffer for the borrow-free entry points
+    /// ([`ConjunctiveMapping::execution_time`] & friends), so the legacy
+    /// per-call API does not allocate on every prediction.
+    static LOAD_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Identifier of an abstract resource within a [`ConjunctiveMapping`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -143,7 +151,17 @@ impl ConjunctiveMapping {
     /// Instructions absent from the mapping contribute nothing (this mirrors
     /// the paper's evaluation rule for unsupported instructions).
     pub fn kernel_load(&self, kernel: &Microkernel) -> Vec<f64> {
-        let mut load = vec![0.0; self.num_resources()];
+        let mut load = Vec::new();
+        self.kernel_load_into(kernel, &mut load);
+        load
+    }
+
+    /// Allocation-free variant of [`kernel_load`](Self::kernel_load): writes
+    /// the per-resource load into `load`, clearing and resizing it as needed.
+    /// Reusing the same buffer across calls amortises the allocation away.
+    pub fn kernel_load_into(&self, kernel: &Microkernel, load: &mut Vec<f64>) {
+        load.clear();
+        load.resize(self.num_resources(), 0.0);
         for (inst, count) in kernel.iter() {
             if let Some(usage) = self.usage.get(&inst) {
                 for (l, u) in load.iter_mut().zip(usage) {
@@ -151,14 +169,20 @@ impl ConjunctiveMapping {
                 }
             }
         }
-        load
     }
 
     /// Execution time `t(K)` of one loop iteration (Def. IV.2).
     ///
     /// Returns 0 when no mapped instruction appears in the kernel.
     pub fn execution_time(&self, kernel: &Microkernel) -> f64 {
-        self.kernel_load(kernel).into_iter().fold(0.0, f64::max)
+        LOAD_SCRATCH.with_borrow_mut(|scratch| self.execution_time_with(kernel, scratch))
+    }
+
+    /// [`execution_time`](Self::execution_time) with a caller-provided
+    /// scratch buffer (its content on entry is irrelevant).
+    pub fn execution_time_with(&self, kernel: &Microkernel, scratch: &mut Vec<f64>) -> f64 {
+        self.kernel_load_into(kernel, scratch);
+        scratch.iter().copied().fold(0.0, f64::max)
     }
 
     /// Throughput (IPC) of a microkernel (Def. IV.3).
@@ -167,7 +191,12 @@ impl ConjunctiveMapping {
     /// unmapped ones; returns `None` when the execution time is zero (no
     /// mapped instruction contributes any load).
     pub fn ipc(&self, kernel: &Microkernel) -> Option<f64> {
-        let t = self.execution_time(kernel);
+        LOAD_SCRATCH.with_borrow_mut(|scratch| self.ipc_with(kernel, scratch))
+    }
+
+    /// [`ipc`](Self::ipc) with a caller-provided scratch buffer.
+    pub fn ipc_with(&self, kernel: &Microkernel, scratch: &mut Vec<f64>) -> Option<f64> {
+        let t = self.execution_time_with(kernel, scratch);
         if t <= 0.0 {
             None
         } else {
@@ -177,8 +206,17 @@ impl ConjunctiveMapping {
 
     /// The resource that bottlenecks `kernel`, together with its load.
     pub fn bottleneck(&self, kernel: &Microkernel) -> Option<(ResourceId, f64)> {
-        let load = self.kernel_load(kernel);
-        let (idx, &max) = load
+        LOAD_SCRATCH.with_borrow_mut(|scratch| self.bottleneck_with(kernel, scratch))
+    }
+
+    /// [`bottleneck`](Self::bottleneck) with a caller-provided scratch buffer.
+    pub fn bottleneck_with(
+        &self,
+        kernel: &Microkernel,
+        scratch: &mut Vec<f64>,
+    ) -> Option<(ResourceId, f64)> {
+        self.kernel_load_into(kernel, scratch);
+        let (idx, &max) = scratch
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))?;
@@ -312,6 +350,22 @@ mod tests {
         let insts = InstructionSet::paper_example();
         // Only 2 of the 6 paper instructions are mapped here.
         assert!((m.coverage(&insts) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_load_into_matches_allocating_variant_and_reuses_capacity() {
+        let (m, addss, bsr) = example();
+        let k = Microkernel::pair(addss, 2, bsr, 1);
+        let mut scratch = vec![99.0; 17];
+        m.kernel_load_into(&k, &mut scratch);
+        assert_eq!(scratch, m.kernel_load(&k));
+        let capacity = scratch.capacity();
+        assert!((m.execution_time_with(&k, &mut scratch) - 1.5).abs() < 1e-12);
+        assert!((m.ipc_with(&k, &mut scratch).unwrap() - 2.0).abs() < 1e-12);
+        let (r, load) = m.bottleneck_with(&k, &mut scratch).unwrap();
+        assert_eq!(m.resource_name(r), "r01");
+        assert!((load - 1.5).abs() < 1e-12);
+        assert_eq!(scratch.capacity(), capacity, "scratch must be reused, not reallocated");
     }
 
     #[test]

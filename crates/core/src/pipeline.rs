@@ -19,7 +19,7 @@
 //! ```
 //!
 //! The pipeline talks to the machine exclusively through the
-//! [`Measurer`](palmed_machine::Measurer) trait — cycle measurements only,
+//! [`Measurer`] trait — cycle measurements only,
 //! no hardware counters — which is the paper's central constraint.
 
 use crate::conjunctive::ConjunctiveMapping;

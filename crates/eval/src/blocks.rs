@@ -5,6 +5,7 @@
 //! executed in the original benchmark run (the weights enter the RMS error).
 
 use palmed_isa::{InstructionSet, Microkernel};
+use palmed_serve::{Corpus, CorpusBlock};
 
 /// One basic block of a benchmark suite: an instruction mix plus a dynamic
 /// execution weight.
@@ -43,6 +44,26 @@ impl BasicBlock {
             self.kernel.display_with(|i| insts.name(i).to_string())
         )
     }
+
+    /// Converts the block into the serving layer's corpus representation.
+    pub fn to_corpus_block(&self) -> CorpusBlock {
+        CorpusBlock::new(self.name.clone(), self.weight, self.kernel.clone())
+    }
+
+    /// Builds a block from a loaded corpus entry.
+    pub fn from_corpus_block(block: &CorpusBlock) -> BasicBlock {
+        BasicBlock::new(block.name.clone(), block.kernel.clone(), block.weight)
+    }
+}
+
+/// Converts a generated suite into a saveable [`Corpus`].
+pub fn blocks_to_corpus(blocks: &[BasicBlock]) -> Corpus {
+    blocks.iter().map(BasicBlock::to_corpus_block).collect()
+}
+
+/// Converts a loaded [`Corpus`] into evaluation blocks.
+pub fn corpus_to_blocks(corpus: &Corpus) -> Vec<BasicBlock> {
+    corpus.blocks.iter().map(BasicBlock::from_corpus_block).collect()
 }
 
 #[cfg(test)]
@@ -70,5 +91,19 @@ mod tests {
         let addss = insts.find("ADDSS").unwrap();
         let b = BasicBlock::new("poly/3", Microkernel::single(addss), 2.0);
         assert!(b.render(&insts).contains("ADDSS"));
+    }
+
+    #[test]
+    fn corpus_conversion_round_trips_through_text() {
+        let insts = InstructionSet::paper_example();
+        let addss = insts.find("ADDSS").unwrap();
+        let bsr = insts.find("BSR").unwrap();
+        let blocks = vec![
+            BasicBlock::new("s/0", Microkernel::pair(addss, 2, bsr, 1), 10.0),
+            BasicBlock::new("s/1", Microkernel::single(bsr), 1.5),
+        ];
+        let corpus = blocks_to_corpus(&blocks);
+        let reloaded = Corpus::parse(&corpus.render(&insts), &insts).unwrap();
+        assert_eq!(corpus_to_blocks(&reloaded), blocks);
     }
 }

@@ -25,6 +25,7 @@ use palmed_machine::{
     Measurer, MemoizingMeasurer, SimulationConfig,
 };
 use palmed_par::par_map;
+use palmed_serve::CompiledModel;
 use std::sync::Arc;
 
 /// Configuration of a full evaluation campaign.
@@ -162,7 +163,11 @@ impl Campaign {
         let mut report = palmed_result.report.clone();
         report.machine = preset.name().to_string();
         report.benchmarks_generated = inference_measurer.distinct_kernels();
-        let palmed_predictor = palmed_result.predictor();
+        // The campaign serves heavy prediction traffic (every tool × suite ×
+        // block), so Palmed is evaluated through its compiled serving form —
+        // bit-identical to `PalmedResult::predictor()`, without the per-call
+        // BTreeMap walks.
+        let palmed_predictor = CompiledModel::compile("palmed", &palmed_result.mapping);
 
         // ---- Baselines. ----
         // PMEvo trains on one representative per execution class plus the

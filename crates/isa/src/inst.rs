@@ -55,6 +55,12 @@ impl Extension {
         use Extension::*;
         !matches!((self, other), (Sse, Avx) | (Avx, Sse))
     }
+
+    /// Parses the [`Display`](fmt::Display) form back into an extension
+    /// (`"base"`, `"sse"`, `"avx"`); used by text model artifacts.
+    pub fn from_name(name: &str) -> Option<Extension> {
+        Extension::ALL.into_iter().find(|e| e.to_string() == name)
+    }
 }
 
 impl fmt::Display for Extension {
@@ -150,6 +156,12 @@ impl ExecClass {
         ExecClass::VecLoad,
     ];
 
+    /// Parses the [`Display`](fmt::Display) form back into a class (e.g.
+    /// `"IntAlu"`, `"FpMulAvx"`); used by text model artifacts.
+    pub fn from_name(name: &str) -> Option<ExecClass> {
+        ExecClass::ALL.into_iter().find(|c| c.to_string() == name)
+    }
+
     /// Extension this class naturally belongs to.
     pub fn extension(self) -> Extension {
         use ExecClass::*;
@@ -226,6 +238,18 @@ mod tests {
             assert!(seen.insert(class), "duplicate class {class}");
         }
         assert_eq!(seen.len(), ExecClass::ALL.len());
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for class in ExecClass::ALL {
+            assert_eq!(ExecClass::from_name(&class.to_string()), Some(class));
+        }
+        for ext in Extension::ALL {
+            assert_eq!(Extension::from_name(&ext.to_string()), Some(ext));
+        }
+        assert_eq!(ExecClass::from_name("NotAClass"), None);
+        assert_eq!(Extension::from_name("mmx"), None);
     }
 
     #[test]

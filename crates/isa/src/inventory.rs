@@ -7,7 +7,7 @@
 //! paper's example: 754 instructions on ports {0,1,6} form only 9 classes).
 //! [`InstructionSet::synthetic`] reproduces that structure: a configurable
 //! number of named opcode variants is generated for every
-//! [`ExecClass`](crate::ExecClass), so the inference pipeline sees a large
+//! [`ExecClass`], so the inference pipeline sees a large
 //! instruction list with realistic redundancy.
 
 use crate::inst::{ExecClass, Extension, InstDesc, InstId};

@@ -9,10 +9,10 @@
 //!   *extension* it belongs to (base / SSE / AVX, which Palmed refuses to mix
 //!   inside one benchmark), and the *execution class* that the machine model
 //!   uses to decide which µOPs it decomposes into.
-//! * [`kernel`] — the [`Microkernel`](kernel::Microkernel) multiset type and
+//! * [`kernel`] — the [`Microkernel`] multiset type and
 //!   helpers to build the benchmark shapes the paper uses (`a`, `aabb`,
 //!   `aMb`, `i i sat^L sat`, ...).
-//! * [`inventory`] — an [`InstructionSet`](inventory::InstructionSet)
+//! * [`inventory`] — an [`InstructionSet`]
 //!   container plus generators for a synthetic, x86-flavoured instruction
 //!   inventory that mirrors the statistical structure of the real ISA
 //!   (thousands of mnemonics collapsing onto a handful of behaviours).

@@ -1,6 +1,6 @@
 //! Linear-programming substrate for the Palmed reproduction.
 //!
-//! The Palmed pipeline ([LP1], [LP2] and [LPAUX] in the paper) is built on
+//! The Palmed pipeline (LP1, LP2 and LPAUX in the paper) is built on
 //! thousands of small, sparse linear programs and integer linear programs.
 //! The original implementation delegated these to an off-the-shelf solver;
 //! this crate provides a from-scratch, dependency-free replacement:

@@ -10,15 +10,14 @@
 //!
 //! * [`port`] — ports, port sets and µOP descriptors.
 //! * [`disjunctive`] — machine descriptions and the resolved
-//!   [`DisjunctiveMapping`](disjunctive::DisjunctiveMapping) for an
-//!   instruction set.
+//!   [`DisjunctiveMapping`] for an instruction set.
 //! * [`throughput`] — exact optimal steady-state throughput of a microkernel
 //!   on a disjunctive mapping (subset/Hall formula, cross-checked by an LP).
 //! * [`cycle_sim`] — a cycle-level greedy issue simulator with a finite
 //!   scheduler window, used as the "really executed" alternative back-end.
 //! * [`noise`] — measurement perturbation so that inference sees realistic,
 //!   not mathematically exact, IPC values.
-//! * [`measure`] — the [`Measurer`](measure::Measurer) trait: the *only*
+//! * [`measure`] — the [`Measurer`] trait: the *only*
 //!   interface Palmed uses to talk to a machine, mirroring the paper's
 //!   "cycle measurements only" constraint; plus caching and counting
 //!   wrappers.

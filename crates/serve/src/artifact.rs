@@ -1,0 +1,503 @@
+//! The versioned text codec for inferred models.
+//!
+//! See the crate-level docs for the `PALMED-MODEL v1` grammar.  Design
+//! decisions:
+//!
+//! * **Hand-rolled writer and parser.**  The workspace's vendored serde is a
+//!   deliberate no-op shim (no network access to fetch the real one), so the
+//!   artifact layer cannot lean on derives; a line-oriented format with an
+//!   explicit grammar is also easier to inspect, diff and hand-edit than any
+//!   generic serialisation.
+//! * **Lossless numbers.**  Usage values are written with Rust's shortest
+//!   round-trip `Display` form and re-read with `str::parse::<f64>`, which
+//!   reproduces every bit; a reloaded model predicts bit-identically.
+//! * **Integrity checksum.**  The final line carries an FNV-1a 64 hash of
+//!   every preceding byte.  Truncation, bit rot and hand edits that forget to
+//!   re-hash are rejected at load time instead of silently mis-predicting.
+
+use crate::compiled::CompiledModel;
+use palmed_core::ConjunctiveMapping;
+use palmed_isa::{ExecClass, Extension, InstDesc, InstId, InstructionSet};
+use std::fmt;
+use std::path::Path;
+
+/// A persistable inferred model: provenance, instruction set and mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// Architecture / machine preset this model serves (e.g. `"skl-sp-like"`).
+    pub machine: String,
+    /// Name of the originating disjunctive mapping / machine description the
+    /// model was inferred against (provenance only; not needed to predict).
+    pub source: String,
+    /// The instruction inventory the mapping's [`InstId`]s index into.
+    pub instructions: InstructionSet,
+    /// The inferred conjunctive resource mapping.
+    pub mapping: ConjunctiveMapping,
+}
+
+/// Why an artifact failed to load.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The first content line is not `PALMED-MODEL v1`.
+    MissingHeader,
+    /// The final `checksum` line is absent (e.g. a truncated file).
+    MissingChecksum,
+    /// The stored checksum does not match the file content.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the file content.
+        computed: u64,
+    },
+    /// A line violates the grammar.
+    Malformed {
+        /// 1-based line number in the artifact text.
+        line: usize,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::MissingHeader => {
+                write!(f, "not a model artifact: missing `PALMED-MODEL v1` header")
+            }
+            ArtifactError::MissingChecksum => {
+                write!(f, "truncated artifact: missing `checksum` trailer")
+            }
+            ArtifactError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact corrupted: stored checksum {stored:016x} != computed {computed:016x}"
+            ),
+            ArtifactError::Malformed { line, reason } => {
+                write!(f, "malformed artifact at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit hash, the integrity checksum of the artifact format.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Replaces whitespace in a name so it stays a single token on its line.
+fn token(name: &str) -> String {
+    let cleaned: String =
+        name.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect();
+    if cleaned.is_empty() {
+        "_".to_string()
+    } else {
+        cleaned
+    }
+}
+
+impl ModelArtifact {
+    /// Bundles an inferred mapping with its instruction set and provenance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping references an instruction outside the set — an
+    /// artifact must stay self-describing.
+    pub fn new(
+        machine: impl Into<String>,
+        source: impl Into<String>,
+        instructions: InstructionSet,
+        mapping: ConjunctiveMapping,
+    ) -> Self {
+        for inst in mapping.instructions() {
+            assert!(
+                inst.index() < instructions.len(),
+                "mapping references {inst} but the instruction set has {} entries",
+                instructions.len()
+            );
+        }
+        ModelArtifact { machine: machine.into(), source: source.into(), instructions, mapping }
+    }
+
+    /// Flattens the artifact's mapping into a [`CompiledModel`] named after
+    /// the machine.
+    pub fn compile(&self) -> CompiledModel {
+        CompiledModel::compile(self.machine.clone(), &self.mapping)
+    }
+
+    /// Renders the artifact in the `PALMED-MODEL v1` text format, checksum
+    /// line included.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("PALMED-MODEL v1\n");
+        out.push_str(&format!("machine {}\n", token(&self.machine)));
+        out.push_str(&format!("source {}\n", token(&self.source)));
+        out.push_str(&format!("instructions {}\n", self.instructions.len()));
+        for (id, desc) in self.instructions.iter() {
+            out.push_str(&format!(
+                "I {} {} {} {}\n",
+                id.index(),
+                token(&desc.name),
+                desc.class,
+                desc.extension
+            ));
+        }
+        out.push_str(&format!("resources {}\n", self.mapping.num_resources()));
+        for r in self.mapping.resources() {
+            out.push_str(&format!("R {} {}\n", r.index(), token(self.mapping.resource_name(r))));
+        }
+        out.push_str(&format!("rows {}\n", self.mapping.num_instructions()));
+        for inst in self.mapping.instructions() {
+            out.push_str(&format!("M {}", inst.index()));
+            let usage = self.mapping.usage_vector(inst).expect("mapped instruction has a row");
+            for (r, &value) in usage.iter().enumerate() {
+                if value != 0.0 {
+                    out.push_str(&format!(" {r}:{value}"));
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out.push_str(&format!("checksum {:016x}\n", fnv1a64(out.as_bytes())));
+        out
+    }
+
+    /// Parses an artifact from its text form, verifying the checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArtifactError`] on any grammar violation, truncation or
+    /// checksum mismatch; never panics on untrusted input.
+    pub fn parse(text: &str) -> Result<Self, ArtifactError> {
+        // --- Integrity: locate and verify the checksum trailer. ---
+        let body_end = text.rfind("checksum ").ok_or(ArtifactError::MissingChecksum)?;
+        if body_end > 0 && text.as_bytes()[body_end - 1] != b'\n' {
+            return Err(ArtifactError::MissingChecksum);
+        }
+        let checksum_line = text[body_end..].trim_end();
+        let stored = checksum_line
+            .strip_prefix("checksum ")
+            .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+            .ok_or(ArtifactError::MissingChecksum)?;
+        let computed = fnv1a64(&text.as_bytes()[..body_end]);
+        if stored != computed {
+            return Err(ArtifactError::ChecksumMismatch { stored, computed });
+        }
+
+        // --- Grammar: a small line cursor over the checksummed body. ---
+        let mut lines = text[..body_end]
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+        let mut next = |what: &str| -> Result<(usize, &str), ArtifactError> {
+            lines.next().ok_or_else(|| ArtifactError::Malformed {
+                line: 0,
+                reason: format!("unexpected end of artifact, expected {what}"),
+            })
+        };
+        let malformed = |line: usize, reason: String| ArtifactError::Malformed { line, reason };
+
+        let (line, header) = next("header")?;
+        if header != "PALMED-MODEL v1" {
+            return Err(if line == 1 && !header.starts_with("PALMED-MODEL") {
+                ArtifactError::MissingHeader
+            } else {
+                malformed(line, format!("unsupported header `{header}`"))
+            });
+        }
+
+        let mut field = |key: &str| -> Result<String, ArtifactError> {
+            let (line, l) = next(key)?;
+            l.strip_prefix(key)
+                .map(|v| v.trim().to_string())
+                .ok_or_else(|| malformed(line, format!("expected `{key} ...`, found `{l}`")))
+        };
+        let machine = field("machine ")?;
+        let source = field("source ")?;
+
+        let count = |value: &str, line: usize| -> Result<usize, ArtifactError> {
+            value.parse().map_err(|_| malformed(line, format!("invalid count `{value}`")))
+        };
+
+        // Instruction section.
+        let (line, l) = next("instructions")?;
+        let n = l
+            .strip_prefix("instructions ")
+            .ok_or_else(|| malformed(line, format!("expected `instructions <n>`, found `{l}`")))
+            .and_then(|v| count(v, line))?;
+        let mut instructions = InstructionSet::new();
+        for i in 0..n {
+            let (line, l) = next("an `I` line")?;
+            let mut parts = l.split_whitespace();
+            let ok = parts.next() == Some("I")
+                && parts.next().and_then(|v| v.parse::<usize>().ok()) == Some(i);
+            let name = parts.next();
+            let class = parts.next().and_then(ExecClass::from_name);
+            let extension = parts.next().and_then(Extension::from_name);
+            match (ok, name, class, extension) {
+                (true, Some(name), Some(class), Some(extension)) if parts.next().is_none() => {
+                    if instructions.find(name).is_some() {
+                        return Err(malformed(line, format!("duplicate instruction `{name}`")));
+                    }
+                    instructions.push(InstDesc { name: name.to_string(), class, extension });
+                }
+                _ => {
+                    return Err(malformed(
+                        line,
+                        format!("expected `I {i} <name> <class> <extension>`, found `{l}`"),
+                    ))
+                }
+            }
+        }
+
+        // Resource section.
+        let (line, l) = next("resources")?;
+        let m = l
+            .strip_prefix("resources ")
+            .ok_or_else(|| malformed(line, format!("expected `resources <m>`, found `{l}`")))
+            .and_then(|v| count(v, line))?;
+        // `m` is untrusted (the checksum is integrity, not authentication):
+        // cap the pre-allocation; the per-line loop below bounds the real
+        // growth by the file length.
+        let mut resource_names = Vec::with_capacity(m.min(4096));
+        for r in 0..m {
+            let (line, l) = next("an `R` line")?;
+            let mut parts = l.split_whitespace();
+            let ok = parts.next() == Some("R")
+                && parts.next().and_then(|v| v.parse::<usize>().ok()) == Some(r);
+            match (ok, parts.next(), parts.next()) {
+                (true, Some(name), None) => resource_names.push(name.to_string()),
+                _ => return Err(malformed(line, format!("expected `R {r} <name>`, found `{l}`"))),
+            }
+        }
+        let mut mapping = ConjunctiveMapping::new(resource_names);
+
+        // Usage rows.
+        let (line, l) = next("rows")?;
+        let k = l
+            .strip_prefix("rows ")
+            .ok_or_else(|| malformed(line, format!("expected `rows <k>`, found `{l}`")))
+            .and_then(|v| count(v, line))?;
+        for _ in 0..k {
+            let (line, l) = next("an `M` line")?;
+            let mut parts = l.split_whitespace();
+            if parts.next() != Some("M") {
+                return Err(malformed(line, format!("expected `M <inst> ...`, found `{l}`")));
+            }
+            let inst = parts
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&i| i < instructions.len())
+                .ok_or_else(|| malformed(line, format!("invalid instruction index in `{l}`")))?;
+            let inst = InstId(inst as u32);
+            if mapping.supports(inst) {
+                return Err(malformed(line, format!("duplicate row for instruction {inst}")));
+            }
+            let mut usage = vec![0.0; m];
+            for entry in parts {
+                let (r, value) = entry
+                    .split_once(':')
+                    .and_then(|(r, v)| Some((r.parse::<usize>().ok()?, v.parse::<f64>().ok()?)))
+                    .filter(|&(r, v)| r < m && v.is_finite() && v >= 0.0)
+                    .ok_or_else(|| {
+                        malformed(line, format!("invalid usage entry `{entry}` in `{l}`"))
+                    })?;
+                if usage[r] != 0.0 {
+                    return Err(malformed(line, format!("duplicate resource {r} in `{l}`")));
+                }
+                usage[r] = value;
+            }
+            mapping.set_usage(inst, usage);
+        }
+
+        let (line, l) = next("`end`")?;
+        if l != "end" {
+            return Err(malformed(line, format!("expected `end`, found `{l}`")));
+        }
+        if let Some((line, l)) = lines.next() {
+            return Err(malformed(line, format!("trailing content `{l}` after `end`")));
+        }
+
+        Ok(ModelArtifact { machine, source, instructions, mapping })
+    }
+
+    /// Saves the rendered artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.render())?;
+        Ok(())
+    }
+
+    /// Loads and verifies an artifact from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and every [`ArtifactError`] of
+    /// [`ModelArtifact::parse`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        Self::parse(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palmed_isa::Microkernel;
+
+    fn example() -> ModelArtifact {
+        let instructions = InstructionSet::paper_example();
+        let mut mapping = ConjunctiveMapping::new(vec!["r1".into(), "r01".into(), "r016".into()]);
+        mapping.set_usage(InstId(2), vec![0.0, 0.5, 1.0 / 3.0]);
+        mapping.set_usage(InstId(3), vec![1.0, 0.5, 1.0 / 3.0]);
+        ModelArtifact::new("skl-ports016", "paper-fig1", instructions, mapping)
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_exact() {
+        let artifact = example();
+        let text = artifact.render();
+        let reloaded = ModelArtifact::parse(&text).unwrap();
+        assert_eq!(reloaded, artifact);
+        // And rendering again is byte-stable.
+        assert_eq!(reloaded.render(), text);
+    }
+
+    #[test]
+    fn reloaded_model_predicts_bit_identically() {
+        let artifact = example();
+        let reloaded = ModelArtifact::parse(&artifact.render()).unwrap();
+        let compiled = reloaded.compile();
+        let mut scratch = compiled.scratch();
+        let k = Microkernel::pair(InstId(2), 2, InstId(3), 1);
+        assert_eq!(
+            artifact.mapping.ipc(&k).map(f64::to_bits),
+            compiled.ipc_with(&k, &mut scratch).map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn checksum_rejects_corruption() {
+        let text = example().render();
+        // Flip one usage digit without touching the checksum line.
+        let corrupted = text.replacen("0.5", "0.7", 1);
+        assert_ne!(corrupted, text);
+        match ModelArtifact::parse(&corrupted) {
+            Err(ArtifactError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let text = example().render();
+        // Cut anywhere before the trailer: the checksum line disappears.
+        let truncated = &text[..text.len() / 2];
+        assert!(matches!(
+            ModelArtifact::parse(truncated),
+            Err(ArtifactError::MissingChecksum)
+        ));
+        // Dropping body lines but keeping the trailer is caught by the hash.
+        let without_rows: String = text
+            .lines()
+            .filter(|l| !l.starts_with("M "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(matches!(
+            ModelArtifact::parse(&without_rows),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_useful_errors() {
+        assert!(matches!(ModelArtifact::parse(""), Err(ArtifactError::MissingChecksum)));
+        let mut body = String::from("PALMED-CORPUS v1\nend\n");
+        body.push_str(&format!("checksum {:016x}\n", fnv1a64(body.as_bytes())));
+        assert!(matches!(ModelArtifact::parse(&body), Err(ArtifactError::MissingHeader)));
+        let mut body = String::from("PALMED-MODEL v1\nmachine x\nsource y\ninstructions zz\n");
+        body.push_str(&format!("checksum {:016x}\n", fnv1a64(body.as_bytes())));
+        match ModelArtifact::parse(&body) {
+            Err(ArtifactError::Malformed { line: 4, .. }) => {}
+            other => panic!("expected malformed line 4, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_declared_counts_error_instead_of_panicking() {
+        // The checksum is integrity, not authentication: an attacker can
+        // re-hash a crafted body, so declared counts must not drive
+        // allocations or panics.
+        for body in [
+            "PALMED-MODEL v1\nmachine m\nsource s\ninstructions 0\nresources 18446744073709551615\n",
+            "PALMED-MODEL v1\nmachine m\nsource s\ninstructions 99999999999\n",
+        ] {
+            let mut text = body.to_string();
+            text.push_str(&format!("checksum {:016x}\n", fnv1a64(text.as_bytes())));
+            assert!(matches!(
+                ModelArtifact::parse(&text),
+                Err(ArtifactError::Malformed { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn comments_are_checksummed_but_ignored_by_the_grammar() {
+        let artifact = example();
+        let text = artifact.render();
+        let with_comment = text.replacen(
+            "machine ",
+            "# an inserted comment\nmachine ",
+            1,
+        );
+        // Comment changed the bytes: the old checksum no longer matches...
+        assert!(matches!(
+            ModelArtifact::parse(&with_comment),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        // ...but re-hashing the edited body makes it parse identically.
+        let body_end = with_comment.rfind("checksum ").unwrap();
+        let mut rehashed = with_comment[..body_end].to_string();
+        rehashed.push_str(&format!("checksum {:016x}\n", fnv1a64(rehashed.as_bytes())));
+        assert_eq!(ModelArtifact::parse(&rehashed).unwrap(), artifact);
+    }
+
+    #[test]
+    fn save_and_load_through_the_filesystem() {
+        let artifact = example();
+        let path = std::env::temp_dir().join("palmed-serve-artifact-test.palmed");
+        artifact.save(&path).unwrap();
+        let loaded = ModelArtifact::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, artifact);
+        assert!(matches!(
+            ModelArtifact::load(std::env::temp_dir().join("palmed-serve-no-such-file")),
+            Err(ArtifactError::Io(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping references")]
+    fn artifact_requires_a_covering_instruction_set() {
+        let mut mapping = ConjunctiveMapping::with_resources(1);
+        mapping.set_usage(InstId(99), vec![1.0]);
+        ModelArtifact::new("m", "s", InstructionSet::paper_example(), mapping);
+    }
+}

@@ -1,0 +1,274 @@
+//! The compiled predictor: a [`ConjunctiveMapping`] flattened for serving.
+//!
+//! [`ConjunctiveMapping`] stores usage rows in a `BTreeMap` keyed by
+//! [`InstId`] — ideal while the inference pipeline is still inserting and
+//! removing rows, but every prediction then pays one tree lookup per distinct
+//! instruction plus a dense sweep over all resources (zeros included).
+//! [`CompiledModel`] freezes the mapping into a CSR-style arena: a dense
+//! `row_ptr` table indexed by instruction, one flat `(resource, usage)` slice
+//! per instruction with zero entries dropped, and resource indices kept
+//! dense.  Prediction walks two flat arrays and writes into a caller-provided
+//! scratch buffer — no allocation, no pointer chasing.
+//!
+//! The arithmetic performs the same additions in the same order as the
+//! `BTreeMap` path (kernels iterate in instruction order in both, and
+//! skipping an exact `+ 0.0` cannot change a finite non-negative
+//! accumulator), so compiled predictions are **bit-identical** to
+//! [`ConjunctiveMapping::ipc`] — asserted by the round-trip property tests.
+
+use palmed_core::{ConjunctiveMapping, ResourceId, ThroughputPredictor};
+use palmed_isa::{InstId, Microkernel};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable load buffer for the borrow-free [`ThroughputPredictor`]
+    /// entry point, so trait-object consumers (e.g. the evaluation campaign)
+    /// stay allocation-free per call like the scratch-based API.
+    static LOAD_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A conjunctive mapping compiled into flat arrays for allocation-free
+/// prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledModel {
+    name: String,
+    resource_names: Vec<String>,
+    /// Whether the instruction at a given index has a row (an all-zero row
+    /// still counts as mapped, exactly like the `BTreeMap` representation).
+    mapped: Vec<bool>,
+    /// CSR row boundaries, one entry per instruction index plus a sentinel.
+    row_ptr: Vec<u32>,
+    /// Resource index of every non-zero usage entry.
+    cols: Vec<u32>,
+    /// Usage value of every non-zero usage entry.
+    vals: Vec<f64>,
+}
+
+impl CompiledModel {
+    /// Flattens `mapping` into its compiled form under a display name.
+    pub fn compile(name: impl Into<String>, mapping: &ConjunctiveMapping) -> Self {
+        let num_rows = mapping.instructions().last().map_or(0, |i| i.index() + 1);
+        let mut mapped = vec![false; num_rows];
+        let mut row_ptr = Vec::with_capacity(num_rows + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0u32);
+        for (index, is_mapped) in mapped.iter_mut().enumerate() {
+            if let Some(usage) = mapping.usage_vector(InstId(index as u32)) {
+                *is_mapped = true;
+                for (r, &value) in usage.iter().enumerate() {
+                    if value != 0.0 {
+                        cols.push(r as u32);
+                        vals.push(value);
+                    }
+                }
+            }
+            row_ptr.push(cols.len() as u32);
+        }
+        CompiledModel {
+            name: name.into(),
+            resource_names: mapping.resources().map(|r| mapping.resource_name(r).to_string()).collect(),
+            mapped,
+            row_ptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Number of abstract resources.
+    pub fn num_resources(&self) -> usize {
+        self.resource_names.len()
+    }
+
+    /// Number of mapped instructions.
+    pub fn num_instructions(&self) -> usize {
+        self.mapped.iter().filter(|&&m| m).count()
+    }
+
+    /// Number of non-zero `(instruction, resource)` usage entries.
+    pub fn num_entries(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Name of a resource.
+    pub fn resource_name(&self, r: ResourceId) -> &str {
+        &self.resource_names[r.index()]
+    }
+
+    /// A scratch buffer sized for this model, for the `_with` entry points.
+    pub fn scratch(&self) -> Vec<f64> {
+        vec![0.0; self.num_resources()]
+    }
+
+    /// Sparse usage row of an instruction: `(resource index, usage)` pairs in
+    /// ascending resource order.  Empty for unmapped instructions.
+    pub fn row(&self, inst: InstId) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let range = if inst.index() + 1 < self.row_ptr.len() {
+            self.row_ptr[inst.index()] as usize..self.row_ptr[inst.index() + 1] as usize
+        } else {
+            0..0
+        };
+        self.cols[range.clone()].iter().copied().zip(self.vals[range].iter().copied())
+    }
+
+    /// Writes the per-resource load of one kernel iteration into `scratch`
+    /// (cleared and resized as needed).  Allocation-free once the buffer has
+    /// the right capacity.
+    pub fn load_into(&self, kernel: &Microkernel, scratch: &mut Vec<f64>) {
+        scratch.clear();
+        scratch.resize(self.num_resources(), 0.0);
+        for (inst, count) in kernel.iter() {
+            let index = inst.index();
+            if index >= self.mapped.len() {
+                continue;
+            }
+            let (start, end) = (self.row_ptr[index] as usize, self.row_ptr[index + 1] as usize);
+            let count = count as f64;
+            for (col, val) in self.cols[start..end].iter().zip(&self.vals[start..end]) {
+                scratch[*col as usize] += count * val;
+            }
+        }
+    }
+
+    /// Execution time `t(K)` of one loop iteration (Def. IV.2).
+    pub fn execution_time_with(&self, kernel: &Microkernel, scratch: &mut Vec<f64>) -> f64 {
+        self.load_into(kernel, scratch);
+        scratch.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Throughput (IPC) of a microkernel (Def. IV.3), bit-identical to
+    /// [`ConjunctiveMapping::ipc`].
+    pub fn ipc_with(&self, kernel: &Microkernel, scratch: &mut Vec<f64>) -> Option<f64> {
+        let t = self.execution_time_with(kernel, scratch);
+        if t <= 0.0 {
+            None
+        } else {
+            Some(kernel.total_instructions() as f64 / t)
+        }
+    }
+
+    /// The resource that bottlenecks `kernel`, together with its load.
+    pub fn bottleneck_with(
+        &self,
+        kernel: &Microkernel,
+        scratch: &mut Vec<f64>,
+    ) -> Option<(ResourceId, f64)> {
+        self.load_into(kernel, scratch);
+        let (idx, &max) = scratch
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))?;
+        if max > 0.0 {
+            Some((ResourceId(idx as u32), max))
+        } else {
+            None
+        }
+    }
+}
+
+impl ThroughputPredictor for CompiledModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn supports(&self, inst: InstId) -> bool {
+        self.mapped.get(inst.index()).copied().unwrap_or(false)
+    }
+
+    /// Trait-object entry point, backed by a thread-local scratch buffer so
+    /// it stays allocation-free per call.  Explicit hot paths should still
+    /// prefer [`CompiledModel::ipc_with`] or a [`BatchPredictor`] (see
+    /// [`crate::batch`]).
+    ///
+    /// [`BatchPredictor`]: crate::BatchPredictor
+    fn predict_ipc(&self, kernel: &Microkernel) -> Option<f64> {
+        LOAD_SCRATCH.with_borrow_mut(|scratch| self.ipc_with(kernel, scratch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> (ConjunctiveMapping, InstId, InstId) {
+        let mut m = ConjunctiveMapping::new(vec!["r1".into(), "r01".into(), "r016".into()]);
+        let addss = InstId(0);
+        let bsr = InstId(3);
+        m.set_usage(addss, vec![0.0, 0.5, 1.0 / 3.0]);
+        m.set_usage(bsr, vec![1.0, 0.5, 1.0 / 3.0]);
+        (m, addss, bsr)
+    }
+
+    #[test]
+    fn compile_builds_sparse_rows() {
+        let (m, addss, bsr) = example();
+        let c = CompiledModel::compile("palmed", &m);
+        assert_eq!(c.num_resources(), 3);
+        assert_eq!(c.num_instructions(), 2);
+        // ADDSS has a zero on r1 that the CSR drops; BSR keeps all three.
+        assert_eq!(c.num_entries(), 5);
+        assert_eq!(c.row(addss).collect::<Vec<_>>(), vec![(1, 0.5), (2, 1.0 / 3.0)]);
+        assert_eq!(c.row(bsr).count(), 3);
+        assert_eq!(c.row(InstId(1)).count(), 0);
+        assert_eq!(c.row(InstId(99)).count(), 0);
+    }
+
+    #[test]
+    fn predictions_are_bit_identical_to_the_mapping() {
+        let (m, addss, bsr) = example();
+        let c = CompiledModel::compile("palmed", &m);
+        let mut scratch = c.scratch();
+        let kernels = [
+            Microkernel::pair(addss, 2, bsr, 1),
+            Microkernel::pair(addss, 1, bsr, 2),
+            Microkernel::single(addss).scaled(7),
+            Microkernel::pair(addss, 3, InstId(42), 5),
+            Microkernel::single(InstId(42)),
+            Microkernel::new(),
+        ];
+        for k in &kernels {
+            let reference = m.ipc(k);
+            let compiled = c.ipc_with(k, &mut scratch);
+            assert_eq!(reference.map(f64::to_bits), compiled.map(f64::to_bits), "kernel {k}");
+            assert_eq!(
+                m.execution_time(k).to_bits(),
+                c.execution_time_with(k, &mut scratch).to_bits()
+            );
+            assert_eq!(m.bottleneck(k), c.bottleneck_with(k, &mut scratch));
+        }
+    }
+
+    #[test]
+    fn supports_matches_the_mapping_even_for_zero_rows() {
+        let mut m = ConjunctiveMapping::with_resources(2);
+        m.set_usage(InstId(1), vec![0.0, 0.0]);
+        let c = CompiledModel::compile("palmed", &m);
+        assert!(!c.supports(InstId(0)));
+        assert!(c.supports(InstId(1)));
+        assert!(!c.supports(InstId(2)));
+        assert_eq!(m.supports(InstId(1)), c.supports(InstId(1)));
+    }
+
+    #[test]
+    fn trait_path_agrees_with_scratch_path() {
+        let (m, addss, bsr) = example();
+        let c = CompiledModel::compile("served", &m);
+        assert_eq!(c.name(), "served");
+        let k = Microkernel::pair(addss, 2, bsr, 1);
+        let mut scratch = c.scratch();
+        assert_eq!(
+            c.predict_ipc(&k).map(f64::to_bits),
+            c.ipc_with(&k, &mut scratch).map(f64::to_bits)
+        );
+        let _ = m;
+    }
+
+    #[test]
+    fn empty_mapping_compiles() {
+        let m = ConjunctiveMapping::with_resources(0);
+        let c = CompiledModel::compile("empty", &m);
+        assert_eq!(c.num_resources(), 0);
+        assert_eq!(c.num_instructions(), 0);
+        assert_eq!(c.predict_ipc(&Microkernel::single(InstId(0))), None);
+    }
+}

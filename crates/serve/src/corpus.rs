@@ -1,0 +1,329 @@
+//! Text corpora of weighted basic blocks.
+//!
+//! See the crate-level docs for the `PALMED-CORPUS v1` grammar: one block per
+//! line as `<name> <weight> <inst>×<count> ...`.  A corpus file plus a model
+//! artifact is everything a serving process needs — no in-process suite
+//! generator, no shared binary state.
+
+use palmed_isa::{InstructionSet, Microkernel};
+use std::fmt;
+use std::path::Path;
+
+/// Header line of the corpus format.
+const HEADER: &str = "PALMED-CORPUS v1";
+
+/// One weighted basic block of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusBlock {
+    /// Identifier (unique names are recommended but not enforced).
+    pub name: String,
+    /// Dynamic execution weight (≥ 0, finite).
+    pub weight: f64,
+    /// The dependency-free instruction mix of the block.
+    pub kernel: Microkernel,
+}
+
+impl CorpusBlock {
+    /// Creates a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is negative or not finite.
+    pub fn new(name: impl Into<String>, weight: f64, kernel: Microkernel) -> Self {
+        assert!(weight.is_finite() && weight >= 0.0, "invalid weight {weight}");
+        CorpusBlock { name: name.into(), weight, kernel }
+    }
+}
+
+/// A loadable workload: an ordered list of weighted basic blocks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Corpus {
+    /// The blocks, in file order.
+    pub blocks: Vec<CorpusBlock>,
+}
+
+/// Why a corpus failed to load.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The first line is not `PALMED-CORPUS v1`.
+    MissingHeader,
+    /// A block line violates the grammar or names an unknown instruction.
+    Malformed {
+        /// 1-based line number in the corpus text.
+        line: usize,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "corpus I/O error: {e}"),
+            CorpusError::MissingHeader => {
+                write!(f, "not a corpus: missing `{HEADER}` header")
+            }
+            CorpusError::Malformed { line, reason } => {
+                write!(f, "malformed corpus at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the corpus has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Sum of the block weights.
+    pub fn total_weight(&self) -> f64 {
+        self.blocks.iter().map(|b| b.weight).sum()
+    }
+
+    /// Renders the corpus in the `PALMED-CORPUS v1` text format, resolving
+    /// instruction names through `insts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block references an instruction outside `insts`.
+    pub fn render(&self, insts: &InstructionSet) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        for block in &self.blocks {
+            let mut name: String = block
+                .name
+                .chars()
+                .map(|c| if c.is_whitespace() { '_' } else { c })
+                .collect();
+            // A leading '#' would turn the block into a comment on reload.
+            if name.is_empty() || name.starts_with('#') {
+                name.insert(0, '_');
+            }
+            out.push_str(&format!("{name} {}", block.weight));
+            for (inst, count) in block.kernel.iter() {
+                out.push_str(&format!(" {}×{}", insts.name(inst), count));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a corpus, resolving instruction names through `insts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CorpusError`] on a missing header, malformed line, bad
+    /// weight/count or unknown instruction name; never panics.
+    pub fn parse(text: &str, insts: &InstructionSet) -> Result<Self, CorpusError> {
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+        match lines.next() {
+            Some((_, header)) if header == HEADER => {}
+            _ => return Err(CorpusError::MissingHeader),
+        }
+        let malformed = |line: usize, reason: String| CorpusError::Malformed { line, reason };
+
+        let mut blocks = Vec::new();
+        for (line, l) in lines {
+            if l.is_empty() || l.starts_with('#') {
+                continue;
+            }
+            let mut parts = l.split_whitespace();
+            let name = parts.next().expect("non-empty line has a first token");
+            let weight = parts
+                .next()
+                .and_then(|w| w.parse::<f64>().ok())
+                .filter(|w| w.is_finite() && *w >= 0.0)
+                .ok_or_else(|| malformed(line, format!("invalid weight in `{l}`")))?;
+            let mut kernel = Microkernel::new();
+            for entry in parts {
+                let (inst, count) = entry
+                    .split_once('×')
+                    .ok_or_else(|| {
+                        malformed(line, format!("expected `<inst>×<count>`, found `{entry}`"))
+                    })
+                    .and_then(|(n, c)| {
+                        let inst = insts.find(n).ok_or_else(|| {
+                            malformed(line, format!("unknown instruction `{n}`"))
+                        })?;
+                        let count = c.parse::<u32>().ok().filter(|&c| c > 0).ok_or_else(|| {
+                            malformed(line, format!("invalid count `{c}` in `{entry}`"))
+                        })?;
+                        Ok((inst, count))
+                    })?;
+                // Repeated entries accumulate; reject sums that would
+                // overflow the u32 multiplicity instead of wrapping.
+                if kernel.multiplicity(inst).checked_add(count).is_none() {
+                    return Err(malformed(
+                        line,
+                        format!("multiplicity overflow for `{entry}` in `{l}`"),
+                    ));
+                }
+                kernel.add(inst, count);
+            }
+            blocks.push(CorpusBlock::new(name, weight, kernel));
+        }
+        Ok(Corpus { blocks })
+    }
+
+    /// Saves the rendered corpus to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>, insts: &InstructionSet) -> Result<(), CorpusError> {
+        std::fs::write(path, self.render(insts))?;
+        Ok(())
+    }
+
+    /// Loads a corpus from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and every [`CorpusError`] of
+    /// [`Corpus::parse`].
+    pub fn load(path: impl AsRef<Path>, insts: &InstructionSet) -> Result<Self, CorpusError> {
+        Self::parse(&std::fs::read_to_string(path)?, insts)
+    }
+}
+
+impl FromIterator<CorpusBlock> for Corpus {
+    fn from_iter<T: IntoIterator<Item = CorpusBlock>>(iter: T) -> Self {
+        Corpus { blocks: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palmed_isa::InstId;
+
+    fn insts() -> InstructionSet {
+        InstructionSet::paper_example()
+    }
+
+    fn example(insts: &InstructionSet) -> Corpus {
+        let addss = insts.find("ADDSS").unwrap();
+        let bsr = insts.find("BSR").unwrap();
+        let jmp = insts.find("JMP").unwrap();
+        Corpus {
+            blocks: vec![
+                CorpusBlock::new("spec/0", 1000.0, Microkernel::pair(addss, 2, bsr, 1)),
+                CorpusBlock::new("spec/1", 2.5, Microkernel::single(jmp)),
+                CorpusBlock::new("poly 3", 0.0, Microkernel::from_counts([(addss, 4), (jmp, 1)])),
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let insts = insts();
+        let corpus = example(&insts);
+        let text = corpus.render(&insts);
+        let reloaded = Corpus::parse(&text, &insts).unwrap();
+        assert_eq!(reloaded.len(), 3);
+        assert_eq!(reloaded.blocks[0], corpus.blocks[0]);
+        assert_eq!(reloaded.blocks[1], corpus.blocks[1]);
+        // Whitespace in names is sanitised on write.
+        assert_eq!(reloaded.blocks[2].name, "poly_3");
+        assert_eq!(reloaded.blocks[2].kernel, corpus.blocks[2].kernel);
+        assert!((reloaded.total_weight() - corpus.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let insts = insts();
+        let text = "PALMED-CORPUS v1\n# a comment\n\nb 1 ADDSS×2\n";
+        let corpus = Corpus::parse(text, &insts).unwrap();
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus.blocks[0].kernel.total_instructions(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        let insts = insts();
+        assert!(matches!(Corpus::parse("", &insts), Err(CorpusError::MissingHeader)));
+        assert!(matches!(
+            Corpus::parse("PALMED-MODEL v1\n", &insts),
+            Err(CorpusError::MissingHeader)
+        ));
+        for (bad, expected_line) in [
+            ("PALMED-CORPUS v1\nb nan ADDSS×1\n", 2),
+            ("PALMED-CORPUS v1\nb 1 ADDSS×1\nc 1 NOPE×1\n", 3),
+            ("PALMED-CORPUS v1\nb 1 ADDSS×0\n", 2),
+            ("PALMED-CORPUS v1\nb 1 ADDSS\n", 2),
+        ] {
+            match Corpus::parse(bad, &insts) {
+                Err(CorpusError::Malformed { line, .. }) => assert_eq!(line, expected_line),
+                other => panic!("expected malformed for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_instruction_entries_accumulate() {
+        let insts = insts();
+        let corpus = Corpus::parse("PALMED-CORPUS v1\nb 1 ADDSS×2 ADDSS×3\n", &insts).unwrap();
+        let addss = insts.find("ADDSS").unwrap();
+        assert_eq!(corpus.blocks[0].kernel.multiplicity(addss), 5);
+    }
+
+    #[test]
+    fn overflowing_multiplicities_are_rejected_not_wrapped() {
+        let insts = insts();
+        let text = "PALMED-CORPUS v1\nb 1 ADDSS×4294967295 ADDSS×2\n";
+        assert!(matches!(
+            Corpus::parse(text, &insts),
+            Err(CorpusError::Malformed { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn comment_like_names_survive_the_round_trip() {
+        let insts = insts();
+        let addss = insts.find("ADDSS").unwrap();
+        let corpus: Corpus =
+            [CorpusBlock::new("#hot", 1.0, Microkernel::single(addss))].into_iter().collect();
+        let reloaded = Corpus::parse(&corpus.render(&insts), &insts).unwrap();
+        assert_eq!(reloaded.len(), 1, "a '#'-named block must not become a comment");
+        assert_eq!(reloaded.blocks[0].name, "_#hot");
+    }
+
+    #[test]
+    fn empty_corpus_round_trips() {
+        let insts = insts();
+        let corpus = Corpus::new();
+        assert!(corpus.is_empty());
+        let reloaded = Corpus::parse(&corpus.render(&insts), &insts).unwrap();
+        assert!(reloaded.is_empty());
+    }
+
+    #[test]
+    fn unknown_ids_panic_on_render() {
+        let insts = insts();
+        let corpus: Corpus =
+            [CorpusBlock::new("x", 1.0, Microkernel::single(InstId(999)))].into_iter().collect();
+        assert!(std::panic::catch_unwind(|| corpus.render(&insts)).is_err());
+    }
+}

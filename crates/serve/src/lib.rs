@@ -1,0 +1,99 @@
+//! The Palmed serving layer: persist an inferred model once, predict
+//! millions of times.
+//!
+//! The inference pipeline of `palmed-core` is expensive (benchmark campaigns
+//! plus LP solves); the resulting
+//! [`ConjunctiveMapping`](palmed_core::ConjunctiveMapping) is tiny.  This crate
+//! separates the two lifetimes the way a production system does:
+//!
+//! * [`artifact`] — a versioned, self-describing **text codec** for inferred
+//!   models ([`ModelArtifact`]): instruction set, resource rows, provenance
+//!   and an integrity checksum.  Hand-rolled writer and parser — no serde.
+//! * [`compiled`] — [`CompiledModel`]: the mapping flattened into a CSR-style
+//!   arena (one flat `(resource, usage)` row slice per instruction, dense
+//!   resource indices) predicting IPC allocation-free through a
+//!   caller-provided scratch buffer.  Predictions are **bit-identical** to
+//!   [`ConjunctiveMapping::ipc`](palmed_core::ConjunctiveMapping::ipc).
+//! * [`batch`] — [`BatchPredictor`]: dedupes identical microkernels by hash
+//!   into a reusable [`PreparedBatch`] (ingest, once per workload), then
+//!   shards the distinct ones across threads with `palmed-par` and scatters
+//!   results back into input order (serve, once per model or query).
+//! * [`corpus`] — a text format for basic-block workloads ([`Corpus`]), so
+//!   prediction traffic can come from files instead of in-process generators.
+//! * [`registry`] — [`ModelRegistry`]: several named architectures served
+//!   side by side, each held as artifact + compiled form.
+//!
+//! # Model artifact format (`PALMED-MODEL v1`)
+//!
+//! Line-oriented UTF-8 text.  Lines starting with `#` are comments; they are
+//! ignored by the parser but, like every other byte before the `checksum`
+//! line, enter the checksum.  All names are whitespace-free tokens.  Usage
+//! values are written in Rust's shortest round-trip decimal form, so a
+//! save/load cycle reproduces every `f64` bit for bit.
+//!
+//! ```text
+//! PALMED-MODEL v1
+//! machine <name>                        architecture / preset this model serves
+//! source <name>                         originating disjunctive machine description
+//! instructions <n>
+//! I <index> <name> <class> <extension>  n lines, index dense and ascending
+//! resources <m>
+//! R <index> <name>                      m lines, index dense and ascending
+//! rows <k>
+//! M <inst-index> <res>:<value> ...      k lines, sparse usage rows, ascending
+//! end
+//! checksum <16 hex digits>              FNV-1a 64 over all preceding bytes
+//! ```
+//!
+//! # Corpus format (`PALMED-CORPUS v1`)
+//!
+//! One basic block per line: a name, a dynamic execution weight, and the
+//! instruction mix as `NAME×COUNT` pairs (`×` is U+00D7, which cannot occur
+//! in instruction names):
+//!
+//! ```text
+//! PALMED-CORPUS v1
+//! <name> <weight> <inst>×<count> <inst>×<count> ...
+//! ```
+//!
+//! # Quickstart
+//!
+//! ```
+//! use palmed_core::{Palmed, PalmedConfig};
+//! use palmed_machine::{presets, AnalyticMeasurer, MemoizingMeasurer};
+//! use palmed_serve::{BatchPredictor, ModelArtifact};
+//! use palmed_isa::Microkernel;
+//!
+//! // One-time inference on the paper's pedagogical machine.
+//! let machine = presets::paper_ports016();
+//! let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(machine.mapping_arc()));
+//! let result = Palmed::new(PalmedConfig::small()).infer(&measurer);
+//!
+//! // Persist, reload, compile, serve.
+//! let artifact = ModelArtifact::new(
+//!     machine.name(),
+//!     machine.description.name.clone(),
+//!     (*machine.instructions).clone(),
+//!     result.mapping.clone(),
+//! );
+//! let reloaded = ModelArtifact::parse(&artifact.render()).unwrap();
+//! let model = reloaded.compile();
+//! let addss = reloaded.instructions.find("ADDSS").unwrap();
+//! let bsr = reloaded.instructions.find("BSR").unwrap();
+//! let kernels = vec![Microkernel::pair(addss, 2, bsr, 1); 1000];
+//! let served = BatchPredictor::new(&model).predict(&kernels);
+//! assert_eq!(served.distinct, 1); // 1000 identical blocks, 1 evaluation
+//! assert_eq!(served.ipcs.len(), 1000);
+//! ```
+
+pub mod artifact;
+pub mod batch;
+pub mod compiled;
+pub mod corpus;
+pub mod registry;
+
+pub use artifact::{ArtifactError, ModelArtifact};
+pub use batch::{BatchPredictor, BatchResult, PreparedBatch};
+pub use compiled::CompiledModel;
+pub use corpus::{Corpus, CorpusBlock, CorpusError};
+pub use registry::{ModelRegistry, ServedModel};

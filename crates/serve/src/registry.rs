@@ -1,0 +1,145 @@
+//! The model registry: several named architectures served side by side.
+//!
+//! A serving process typically holds one model per target machine
+//! (`skl-sp-like`, `zen1-like`, ...) and dispatches each prediction request
+//! to the right one.  [`ModelRegistry`] owns that table: every entry is a
+//! [`ServedModel`] pairing the self-describing [`ModelArtifact`] (needed to
+//! resolve instruction names from corpora) with its ready-to-serve
+//! [`CompiledModel`].
+
+use crate::artifact::{ArtifactError, ModelArtifact};
+use crate::batch::BatchPredictor;
+use crate::compiled::CompiledModel;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A registered model: the artifact plus its compiled form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedModel {
+    /// The self-describing artifact (instruction set, mapping, provenance).
+    pub artifact: ModelArtifact,
+    /// The compiled predictor built from the artifact.
+    pub compiled: CompiledModel,
+}
+
+impl ServedModel {
+    /// Compiles an artifact into a servable entry.
+    pub fn from_artifact(artifact: ModelArtifact) -> Self {
+        let compiled = artifact.compile();
+        ServedModel { artifact, compiled }
+    }
+
+    /// A batch predictor over the compiled model.
+    pub fn batch(&self) -> BatchPredictor<'_> {
+        BatchPredictor::new(&self.compiled)
+    }
+}
+
+/// Named model table, keyed by architecture name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, ServedModel>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Registers an artifact under its own machine name, compiling it;
+    /// replaces any previous model of that name and returns the entry.
+    pub fn register(&mut self, artifact: ModelArtifact) -> &ServedModel {
+        let name = artifact.machine.clone();
+        self.register_as(name, artifact)
+    }
+
+    /// Registers an artifact under an explicit name.
+    pub fn register_as(&mut self, name: impl Into<String>, artifact: ModelArtifact) -> &ServedModel {
+        let name = name.into();
+        self.models.insert(name.clone(), ServedModel::from_artifact(artifact));
+        &self.models[&name]
+    }
+
+    /// Loads, verifies, compiles and registers an artifact file under the
+    /// machine name stored in the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelArtifact::load`] failures; the registry is left
+    /// unchanged on error.
+    pub fn load_file(&mut self, path: impl AsRef<Path>) -> Result<&ServedModel, ArtifactError> {
+        Ok(self.register(ModelArtifact::load(path)?))
+    }
+
+    /// Looks a model up by name.
+    pub fn get(&self, name: &str) -> Option<&ServedModel> {
+        self.models.get(name)
+    }
+
+    /// Registered architecture names, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.models.keys().map(String::as_str)
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palmed_core::ConjunctiveMapping;
+    use palmed_isa::{InstId, InstructionSet, Microkernel};
+
+    fn artifact(machine: &str, usage: f64) -> ModelArtifact {
+        let mut mapping = ConjunctiveMapping::with_resources(1);
+        mapping.set_usage(InstId(2), vec![usage]);
+        ModelArtifact::new(machine, "test", InstructionSet::paper_example(), mapping)
+    }
+
+    #[test]
+    fn register_get_and_names() {
+        let mut registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        registry.register(artifact("skl", 0.5));
+        registry.register(artifact("zen", 1.0));
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names().collect::<Vec<_>>(), vec!["skl", "zen"]);
+        let skl = registry.get("skl").unwrap();
+        assert_eq!(skl.compiled.num_instructions(), 1);
+        assert!(registry.get("m1").is_none());
+    }
+
+    #[test]
+    fn reregistering_replaces_the_model() {
+        let mut registry = ModelRegistry::new();
+        registry.register(artifact("skl", 0.5));
+        registry.register(artifact("skl", 0.25));
+        assert_eq!(registry.len(), 1);
+        let k = Microkernel::single(InstId(2));
+        let served = registry.get("skl").unwrap();
+        let ipc = served.batch().predict(std::slice::from_ref(&k)).ipcs[0].unwrap();
+        assert!((ipc - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_file_round_trips_through_disk() {
+        let path = std::env::temp_dir().join("palmed-serve-registry-test.palmed");
+        artifact("disk-machine", 0.5).save(&path).unwrap();
+        let mut registry = ModelRegistry::new();
+        let served = registry.load_file(&path).unwrap();
+        assert_eq!(served.artifact.machine, "disk-machine");
+        std::fs::remove_file(&path).ok();
+        assert!(registry.get("disk-machine").is_some());
+        assert!(registry.load_file(&path).is_err());
+        assert_eq!(registry.len(), 1, "failed load must not disturb the registry");
+    }
+}
