@@ -93,7 +93,7 @@ impl ThroughputPredictor for UopsStylePredictor {
         // Aggregate µOP loads of the supported instructions by port set.
         let mut loads: Vec<(PortSet, f64)> = Vec::new();
         let mut any = false;
-        for (inst, count) in kernel.iter() {
+        for &(inst, count) in kernel.as_slice() {
             if !self.supports(inst) {
                 continue; // unsupported instructions take no resource at all
             }

@@ -1,0 +1,179 @@
+//! Criterion bench: ingest (dedup) and model-load cost of the serving layer.
+//!
+//! PR 2 measured that deduplicating a 10k-block stream costs about one whole
+//! prediction per block — hashing and comparing `BTreeMap`-backed kernels
+//! walks pointer-chasing tree nodes.  This bench pins the fix:
+//!
+//! * `ingest_btreemap_pr2` — the PR 2 baseline reconstructed faithfully: the
+//!   stream's kernels as `BTreeMap<InstId, u32>` multisets, deduplicated
+//!   through the same Fx-style hasher, distinct entries cloned out (exactly
+//!   what the old `PreparedBatch::from_kernels` did);
+//! * `ingest_flat` — today's `PreparedBatch::from_kernels` over flat
+//!   sorted-vec kernels: one contiguous hash per input, interned with cached
+//!   hashes;
+//! * `ingest_corpus_interned` — `PreparedBatch::from_corpus`: the corpus
+//!   interned its kernels at parse time, so ingest is index bookkeeping;
+//! * `model_parse_v1` / `model_load_v2b` — the text artifact parse vs the
+//!   binary validate-and-copy load of the same inferred SKL-like model.
+//!
+//! Record with `CRITERION_JSON=BENCH_ingest.json cargo bench --bench
+//! ingest_throughput`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use palmed_core::{Palmed, PalmedConfig};
+use palmed_eval::suite::{generate_suite, SuiteConfig, SuiteKind};
+use palmed_isa::{FxBuildHasher, InstId, InventoryConfig, Microkernel};
+use palmed_machine::{presets, AnalyticMeasurer, MemoizingMeasurer};
+use palmed_serve::{Corpus, ModelArtifact, PreparedBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+
+const STREAM_LEN: usize = 10_000;
+const POOL_SIZE: usize = 2_000;
+
+/// The PR 2 ingest, reconstructed: dedup `BTreeMap` multisets by hash and
+/// clone the distinct ones out.
+fn ingest_btreemap(kernels: &[BTreeMap<InstId, u32>]) -> (Vec<BTreeMap<InstId, u32>>, Vec<u32>) {
+    let mut index_of: HashMap<&BTreeMap<InstId, u32>, u32, FxBuildHasher> = HashMap::default();
+    let mut order: Vec<&BTreeMap<InstId, u32>> = Vec::new();
+    let mut slots: Vec<u32> = Vec::new();
+    for kernel in kernels {
+        let next = order.len() as u32;
+        let index = *index_of.entry(kernel).or_insert_with(|| {
+            order.push(kernel);
+            next
+        });
+        slots.push(index);
+    }
+    (order.into_iter().cloned().collect(), slots)
+}
+
+fn bench_ingest_throughput(c: &mut Criterion) {
+    let preset = presets::skl_sp(&InventoryConfig::small());
+    let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(preset.mapping_arc()));
+    let mapping = Palmed::new(PalmedConfig::evaluation()).infer(&measurer).mapping;
+
+    // Weighted draw from a static pool: hot blocks repeat, as in any trace.
+    let pool = generate_suite(
+        SuiteKind::SpecLike,
+        &preset.instructions,
+        &SuiteConfig { num_blocks: POOL_SIZE, ..SuiteConfig::default() },
+    );
+    let cumulative: Vec<f64> = pool
+        .iter()
+        .scan(0.0, |acc, b| {
+            *acc += b.weight;
+            Some(*acc)
+        })
+        .collect();
+    let total = *cumulative.last().expect("non-empty pool");
+    let mut rng = StdRng::seed_from_u64(2022);
+    let kernels: Vec<Microkernel> = (0..STREAM_LEN)
+        .map(|_| {
+            let draw = rng.gen::<f64>() * total;
+            let i = cumulative.partition_point(|&c| c < draw).min(pool.len() - 1);
+            pool[i].kernel.clone()
+        })
+        .collect();
+    // The same stream as (a) PR 2-representation multisets and (b) a corpus
+    // whose kernels were interned when it was built.
+    let map_kernels: Vec<BTreeMap<InstId, u32>> =
+        kernels.iter().map(|k| k.iter().collect()).collect();
+    let corpus: Corpus = kernels
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (format!("b{i}"), 1.0, k.clone()))
+        .collect();
+
+    let flat = PreparedBatch::from_kernels(kernels.iter());
+    let (map_distinct, map_slots) = ingest_btreemap(&map_kernels);
+    assert_eq!(flat.distinct(), map_distinct.len(), "representations must dedup identically");
+    assert_eq!(flat.distinct(), PreparedBatch::from_corpus(&corpus).distinct());
+    drop((map_distinct, map_slots));
+    eprintln!("stream: {STREAM_LEN} blocks, {} distinct", flat.distinct());
+
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("ingest_btreemap_pr2", STREAM_LEN),
+        &map_kernels,
+        |b, kernels| b.iter(|| ingest_btreemap(kernels).1.len()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("ingest_flat", STREAM_LEN),
+        &kernels,
+        |b, kernels| b.iter(|| PreparedBatch::from_kernels(kernels.iter()).len()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("ingest_corpus_interned", STREAM_LEN),
+        &corpus,
+        |b, corpus| b.iter(|| PreparedBatch::from_corpus(corpus).len()),
+    );
+    group.finish();
+
+    // Model load: the v1 text parse vs the v2b binary validate-and-copy of
+    // the same inferred model.
+    let artifact = ModelArtifact::new(
+        preset.name(),
+        preset.description.name.clone(),
+        (*preset.instructions).clone(),
+        mapping,
+    );
+    let text = artifact.render();
+    let bin = artifact.render_v2();
+    assert_eq!(ModelArtifact::parse(&text).unwrap(), ModelArtifact::parse_v2(&bin).unwrap());
+    eprintln!("artifact: v1 text {} bytes, v2b binary {} bytes", text.len(), bin.len());
+
+    let mut group = c.benchmark_group("model_load");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("model_parse_v1", text.len()), &text, |b, text| {
+        b.iter(|| ModelArtifact::parse(text).unwrap().instructions.len())
+    });
+    group.bench_with_input(BenchmarkId::new("model_load_v2b", bin.len()), &bin, |b, bin| {
+        b.iter(|| ModelArtifact::parse_bytes(bin).unwrap().instructions.len())
+    });
+    group.finish();
+
+    // The scale the v2b format exists for: a paper-sized inventory (the v1
+    // text codec's float parsing dominates load there).  The mapping is
+    // synthesised deterministically — the codecs cannot tell.
+    let large_insts = palmed_isa::InstructionSet::synthetic(&InventoryConfig::large());
+    let resources = 30usize;
+    let mut large_mapping = palmed_core::ConjunctiveMapping::with_resources(resources);
+    for id in large_insts.ids() {
+        let mut usage = vec![0.0; resources];
+        let mut x = (id.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let entries = 4 + (x % 13) as usize;
+        for _ in 0..entries {
+            x ^= x >> 31;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            let r = (x % resources as u64) as usize;
+            usage[r] = 0.125 + ((x >> 32) % 1000) as f64 / 1000.0;
+        }
+        large_mapping.set_usage(id, usage);
+    }
+    let large = ModelArtifact::new("skl-like-large", "synthetic", large_insts, large_mapping);
+    let text = large.render();
+    let bin = large.render_v2();
+    assert_eq!(ModelArtifact::parse(&text).unwrap(), ModelArtifact::parse_v2(&bin).unwrap());
+    eprintln!(
+        "large artifact: {} instructions; v1 text {} bytes, v2b binary {} bytes",
+        large.instructions.len(),
+        text.len(),
+        bin.len()
+    );
+
+    let mut group = c.benchmark_group("model_load_large");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("model_parse_v1", text.len()), &text, |b, text| {
+        b.iter(|| ModelArtifact::parse(text).unwrap().instructions.len())
+    });
+    group.bench_with_input(BenchmarkId::new("model_load_v2b", bin.len()), &bin, |b, bin| {
+        b.iter(|| ModelArtifact::parse_bytes(bin).unwrap().instructions.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_throughput);
+criterion_main!(benches);

@@ -82,6 +82,28 @@ fn main() {
     }
     println!("      reloaded through the registry: checksum ok, round trip lossless");
 
+    // The binary v2b artifact must carry the same model: save, sniff-load,
+    // compare both the artifact and the verbatim compiled form.
+    let v2_path = out.join("model.palmed2");
+    artifact.save_v2(&v2_path).expect("v2 artifact saves");
+    let v2_bytes = std::fs::metadata(&v2_path).map(|m| m.len()).unwrap_or(0);
+    let v2_loaded = ModelArtifact::load(&v2_path).expect("v2 artifact reloads");
+    if v2_loaded != artifact {
+        eprintln!("FATAL: v2 round trip differs from the saved artifact");
+        std::process::exit(1);
+    }
+    let mut v2_registry = ModelRegistry::new();
+    let v2_served = v2_registry.load_file(&v2_path).expect("registry sniffs the v2 format");
+    if v2_served.compiled != served.compiled {
+        eprintln!("FATAL: v2 verbatim compiled model differs from the compiled v1 reload");
+        std::process::exit(1);
+    }
+    println!(
+        "      v2b binary artifact round trip lossless ({v2_bytes} bytes, \
+         {:.0}% of the text form)",
+        100.0 * v2_bytes as f64 / bytes.max(1) as f64
+    );
+
     // ---- 3. Corpus to and from disk. ----
     let corpus_path = out.join("corpus.txt");
     let suite = generate_suite(
@@ -119,8 +141,8 @@ fn main() {
     );
     let start = Instant::now();
     let mut mismatches = 0usize;
-    for (block, served_ipc) in corpus.blocks.iter().zip(&result.ipcs) {
-        let reference = inferred.mapping.ipc(&block.kernel);
+    for ((_, kernel), served_ipc) in corpus.iter().zip(&result.ipcs) {
+        let reference = inferred.mapping.ipc(kernel);
         if reference.map(f64::to_bits) != served_ipc.map(f64::to_bits) {
             mismatches += 1;
         }

@@ -63,6 +63,41 @@ impl ConjunctiveMapping {
         ConjunctiveMapping { resource_names, usage: BTreeMap::new() }
     }
 
+    /// Builds a mapping from per-instruction dense usage rows in one pass —
+    /// equivalent to calling [`set_usage`](Self::set_usage) per row, but the
+    /// row table is collected in bulk (the binary artifact codec's load
+    /// path).
+    ///
+    /// Rows must already hold validated values (finite, non-negative; the
+    /// codecs check entries before dense reconstruction) — the value sweep
+    /// only runs in debug builds, unlike [`set_usage`](Self::set_usage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row length differs from the number of resources.
+    pub fn from_rows(
+        resource_names: Vec<String>,
+        rows: impl IntoIterator<Item = (InstId, Vec<f64>)>,
+    ) -> Self {
+        let num_resources = resource_names.len();
+        let usage: BTreeMap<InstId, Vec<f64>> = rows
+            .into_iter()
+            .inspect(|(inst, row)| {
+                assert_eq!(
+                    row.len(),
+                    num_resources,
+                    "usage vector length {} != resource count {num_resources} for {inst}",
+                    row.len()
+                );
+                debug_assert!(
+                    row.iter().all(|&u| u.is_finite() && u >= 0.0),
+                    "usage values must be finite and non-negative: {row:?}"
+                );
+            })
+            .collect();
+        ConjunctiveMapping { resource_names, usage }
+    }
+
     /// Creates an empty mapping with `n` anonymous resources `R0..R(n-1)`.
     pub fn with_resources(n: usize) -> Self {
         Self::new((0..n).map(|i| format!("R{i}")).collect())
@@ -162,7 +197,7 @@ impl ConjunctiveMapping {
     pub fn kernel_load_into(&self, kernel: &Microkernel, load: &mut Vec<f64>) {
         load.clear();
         load.resize(self.num_resources(), 0.0);
-        for (inst, count) in kernel.iter() {
+        for &(inst, count) in kernel.as_slice() {
             if let Some(usage) = self.usage.get(&inst) {
                 for (l, u) in load.iter_mut().zip(usage) {
                     *l += count as f64 * u;

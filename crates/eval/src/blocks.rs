@@ -45,25 +45,21 @@ impl BasicBlock {
         )
     }
 
-    /// Converts the block into the serving layer's corpus representation.
-    pub fn to_corpus_block(&self) -> CorpusBlock {
-        CorpusBlock::new(self.name.clone(), self.weight, self.kernel.clone())
-    }
-
-    /// Builds a block from a loaded corpus entry.
-    pub fn from_corpus_block(block: &CorpusBlock) -> BasicBlock {
-        BasicBlock::new(block.name.clone(), block.kernel.clone(), block.weight)
+    /// Builds a block from a corpus entry, resolving the interned kernel.
+    pub fn from_corpus_block(corpus: &Corpus, block: &CorpusBlock) -> BasicBlock {
+        BasicBlock::new(block.name.clone(), corpus.kernel(block.kernel).clone(), block.weight)
     }
 }
 
-/// Converts a generated suite into a saveable [`Corpus`].
+/// Converts a generated suite into a saveable [`Corpus`] (kernels are
+/// interned as they are appended).
 pub fn blocks_to_corpus(blocks: &[BasicBlock]) -> Corpus {
-    blocks.iter().map(BasicBlock::to_corpus_block).collect()
+    blocks.iter().map(|b| (b.name.clone(), b.weight, b.kernel.clone())).collect()
 }
 
 /// Converts a loaded [`Corpus`] into evaluation blocks.
 pub fn corpus_to_blocks(corpus: &Corpus) -> Vec<BasicBlock> {
-    corpus.blocks.iter().map(BasicBlock::from_corpus_block).collect()
+    corpus.blocks().iter().map(|block| BasicBlock::from_corpus_block(corpus, block)).collect()
 }
 
 #[cfg(test)]

@@ -11,15 +11,44 @@
 //! instruction list with realistic redundancy.
 
 use crate::inst::{ExecClass, Extension, InstDesc, InstId};
+use crate::intern::FxBuildHasher;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An ordered collection of instruction descriptors.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// The name index maps the Fx hash of a name to its id instead of keying by
+/// owned `String`s: inserting never clones the name, and lookups are one
+/// cheap hash plus one name comparison.  Names whose hashes collide (never
+/// observed in practice) go to a small overflow list scanned linearly.
+/// SipHash resistance buys nothing here — names are short trusted mnemonics
+/// inserted once at build time, and collisions only cost extra comparisons.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InstructionSet {
     descs: Vec<InstDesc>,
     #[serde(skip)]
-    by_name: HashMap<String, InstId>,
+    by_name: HashMap<u64, InstId, FxBuildHasher>,
+    #[serde(skip)]
+    name_overflow: Vec<InstId>,
+}
+
+/// Two sets are equal when they hold the same descriptors in the same order
+/// (the name index is derived state).
+impl PartialEq for InstructionSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.descs == other.descs
+    }
+}
+
+impl Eq for InstructionSet {}
+
+/// Fx hash of an instruction name, the key of the name index.
+fn name_hash(name: &str) -> u64 {
+    use std::hash::Hasher;
+    let mut hasher = crate::intern::FxLikeHasher::default();
+    hasher.write(name.as_bytes());
+    hasher.write_usize(name.len());
+    hasher.finish()
 }
 
 impl InstructionSet {
@@ -47,11 +76,44 @@ impl InstructionSet {
     ///
     /// Panics if the name is already present.
     pub fn push(&mut self, desc: InstDesc) -> InstId {
+        match self.try_push(desc) {
+            Ok(id) => id,
+            Err(desc) => panic!("duplicate instruction name `{}`", desc.name),
+        }
+    }
+
+    /// Adds a descriptor, handing it back instead of panicking when the name
+    /// is already present (the codec path for untrusted artifacts).
+    pub fn try_push(&mut self, desc: InstDesc) -> Result<InstId, InstDesc> {
         let id = InstId(self.descs.len() as u32);
-        let previous = self.by_name.insert(desc.name.clone(), id);
-        assert!(previous.is_none(), "duplicate instruction name `{}`", desc.name);
+        match self.by_name.entry(name_hash(&desc.name)) {
+            // A vacant hash slot proves the name is new (equal names hash
+            // equally), so the duplicate scan only runs on a hash hit.
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(id);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let candidate = *e.get();
+                if self.descs[candidate.index()].name == desc.name
+                    || self
+                        .name_overflow
+                        .iter()
+                        .any(|&i| self.descs[i.index()].name == desc.name)
+                {
+                    return Err(desc);
+                }
+                self.name_overflow.push(id);
+            }
+        }
         self.descs.push(desc);
-        id
+        Ok(id)
+    }
+
+    /// Reserves room for `additional` more instructions in the descriptor
+    /// table and the name index (bulk-load paths).
+    pub fn reserve(&mut self, additional: usize) {
+        self.descs.reserve(additional);
+        self.by_name.reserve(additional);
     }
 
     /// Number of instructions.
@@ -80,7 +142,13 @@ impl InstructionSet {
 
     /// Looks an instruction up by name.
     pub fn find(&self, name: &str) -> Option<InstId> {
-        self.by_name.get(name).copied()
+        let id = *self.by_name.get(&name_hash(name))?;
+        if self.descs[id.index()].name == name {
+            return Some(id);
+        }
+        // Hash hit on a different name: the target, if present, collided its
+        // way into the overflow list.
+        self.name_overflow.iter().copied().find(|&i| self.descs[i.index()].name == name)
     }
 
     /// Iterates over all instruction ids in order.
@@ -105,8 +173,17 @@ impl InstructionSet {
 
     /// Rebuilds the name index (needed after deserialisation).
     pub fn rebuild_index(&mut self) {
-        self.by_name =
-            self.descs.iter().enumerate().map(|(i, d)| (d.name.clone(), InstId(i as u32))).collect();
+        self.by_name = HashMap::with_capacity_and_hasher(self.descs.len(), Default::default());
+        self.name_overflow.clear();
+        for (i, desc) in self.descs.iter().enumerate() {
+            let id = InstId(i as u32);
+            match self.by_name.entry(name_hash(&desc.name)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(id);
+                }
+                std::collections::hash_map::Entry::Occupied(_) => self.name_overflow.push(id),
+            }
+        }
     }
 
     /// Builds a synthetic x86-flavoured inventory according to `config`.
@@ -305,7 +382,11 @@ mod tests {
     #[test]
     fn rebuild_index_restores_lookup() {
         let set = InstructionSet::synthetic(&InventoryConfig::small());
-        let mut clone = InstructionSet { descs: set.descs.clone(), by_name: HashMap::new() };
+        let mut clone = InstructionSet {
+            descs: set.descs.clone(),
+            by_name: HashMap::default(),
+            name_overflow: Vec::new(),
+        };
         assert_eq!(clone.find("ADD"), None);
         clone.rebuild_index();
         assert_eq!(clone.find("ADD"), set.find("ADD"));

@@ -15,7 +15,6 @@
 
 use crate::inst::InstId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A multiset of instructions executed as an infinite dependency-free loop.
@@ -24,9 +23,27 @@ use std::fmt;
 /// generated benchmark body.  The paper rounds ideal (fractional, IPC-derived)
 /// multiplicities to integers with a 5 % error budget;
 /// [`Microkernel::from_proportions`] implements that rounding.
+///
+/// Internally the multiset is a flat vector of `(instruction, multiplicity)`
+/// pairs, sorted by instruction id with strictly positive multiplicities —
+/// kernels are tiny (a handful of distinct instructions), so a sorted vector
+/// beats a tree map on every hot operation: hashing and equality walk one
+/// contiguous slice, lookups are a branchless binary search, and iteration is
+/// a pointer bump.  The derived `Eq`/`Hash`/`Ord` on the sorted vector are
+/// exactly the multiset semantics the old `BTreeMap` representation had.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct Microkernel {
-    counts: BTreeMap<InstId, u32>,
+    /// Sorted by instruction id; every multiplicity is > 0.
+    counts: Vec<(InstId, u32)>,
+}
+
+/// Adds two multiplicities: saturates at `u32::MAX` in release builds (and
+/// trips a debug assertion) instead of silently wrapping around.
+#[inline]
+fn add_counts(a: u32, b: u32) -> u32 {
+    let sum = a.checked_add(b);
+    debug_assert!(sum.is_some(), "multiplicity overflow adding {a} + {b}");
+    sum.unwrap_or(u32::MAX)
 }
 
 impl Microkernel {
@@ -45,11 +62,18 @@ impl Microkernel {
     /// Kernel made of an explicit list of `(instruction, multiplicity)`
     /// pairs; zero multiplicities are ignored, duplicates are accumulated.
     pub fn from_counts(pairs: impl IntoIterator<Item = (InstId, u32)>) -> Self {
-        let mut k = Self::new();
-        for (inst, count) in pairs {
-            k.add(inst, count);
-        }
-        k
+        let mut counts: Vec<(InstId, u32)> =
+            pairs.into_iter().filter(|&(_, c)| c > 0).collect();
+        counts.sort_unstable_by_key(|&(inst, _)| inst);
+        counts.dedup_by(|cur, kept| {
+            if cur.0 == kept.0 {
+                kept.1 = add_counts(kept.1, cur.1);
+                true
+            } else {
+                false
+            }
+        });
+        Self { counts }
     }
 
     /// The `a^na b^nb` pair-benchmark shape.
@@ -116,26 +140,87 @@ impl Microkernel {
     /// Adds `count` repetitions of `inst` to the kernel.
     pub fn add(&mut self, inst: InstId, count: u32) {
         if count > 0 {
-            *self.counts.entry(inst).or_insert(0) += count;
+            match self.counts.binary_search_by_key(&inst, |&(i, _)| i) {
+                Ok(pos) => self.counts[pos].1 = add_counts(self.counts[pos].1, count),
+                Err(pos) => self.counts.insert(pos, (inst, count)),
+            }
         }
     }
 
     /// Merges another kernel into this one (multiset union with addition).
     pub fn merge(&mut self, other: &Microkernel) {
-        for (&inst, &count) in &other.counts {
-            self.add(inst, count);
+        if other.counts.is_empty() {
+            return;
         }
+        if self.counts.is_empty() {
+            self.counts.clone_from(&other.counts);
+            return;
+        }
+        // Merge-join of the two sorted slices.
+        let mut merged = Vec::with_capacity(self.counts.len() + other.counts.len());
+        let (mut a, mut b) = (self.counts.iter().peekable(), other.counts.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => match ia.cmp(&ib) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((ia, ca));
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((ib, cb));
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push((ia, add_counts(ca, cb)));
+                        a.next();
+                        b.next();
+                    }
+                },
+                (Some(_), None) => {
+                    merged.extend(a.copied());
+                    break;
+                }
+                (None, Some(_)) => {
+                    merged.extend(b.copied());
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        self.counts = merged;
     }
 
     /// Returns a new kernel equal to this one repeated `factor` times.
+    ///
+    /// Multiplicities that would overflow `u32` saturate at `u32::MAX` in
+    /// release builds (and trip a debug assertion) instead of silently
+    /// wrapping around.
     #[must_use]
     pub fn scaled(&self, factor: u32) -> Self {
-        Self::from_counts(self.counts.iter().map(|(&i, &c)| (i, c * factor)))
+        if factor == 0 {
+            return Self::new();
+        }
+        let counts = self
+            .counts
+            .iter()
+            .map(|&(inst, count)| {
+                let scaled = count.checked_mul(factor);
+                debug_assert!(
+                    scaled.is_some(),
+                    "multiplicity overflow scaling {count} copies of {inst} by {factor}"
+                );
+                (inst, scaled.unwrap_or(u32::MAX))
+            })
+            .collect();
+        Self { counts }
     }
 
     /// Multiplicity of an instruction in the kernel (0 if absent).
     pub fn multiplicity(&self, inst: InstId) -> u32 {
-        self.counts.get(&inst).copied().unwrap_or(0)
+        match self.counts.binary_search_by_key(&inst, |&(i, _)| i) {
+            Ok(pos) => self.counts[pos].1,
+            Err(_) => 0,
+        }
     }
 
     /// Number of *distinct* instructions.
@@ -145,7 +230,7 @@ impl Microkernel {
 
     /// Total number of instructions executed per loop iteration, `|K|`.
     pub fn total_instructions(&self) -> u32 {
-        self.counts.values().sum()
+        self.counts.iter().map(|&(_, c)| c).sum()
     }
 
     /// True when the kernel contains no instructions.
@@ -155,17 +240,24 @@ impl Microkernel {
 
     /// True when the kernel contains the given instruction.
     pub fn contains(&self, inst: InstId) -> bool {
-        self.counts.contains_key(&inst)
+        self.counts.binary_search_by_key(&inst, |&(i, _)| i).is_ok()
+    }
+
+    /// The `(instruction, multiplicity)` pairs as one contiguous slice,
+    /// sorted by instruction id.  This is the zero-cost view hot loops
+    /// (prediction microkernels, hashing, interning) should iterate.
+    pub fn as_slice(&self) -> &[(InstId, u32)] {
+        &self.counts
     }
 
     /// Iterates over `(instruction, multiplicity)` pairs in instruction order.
     pub fn iter(&self) -> impl Iterator<Item = (InstId, u32)> + '_ {
-        self.counts.iter().map(|(&i, &c)| (i, c))
+        self.counts.iter().copied()
     }
 
     /// Iterates over the distinct instructions of the kernel.
     pub fn instructions(&self) -> impl Iterator<Item = InstId> + '_ {
-        self.counts.keys().copied()
+        self.counts.iter().map(|&(i, _)| i)
     }
 
     /// Renders the kernel with instruction names resolved through `resolve`.
@@ -300,6 +392,40 @@ mod tests {
         let k = Microkernel::pair(i(1), 2, i(2), 1);
         assert_eq!(k.to_string(), "I1^2 I2");
         assert_eq!(Microkernel::new().to_string(), "(empty)");
+    }
+
+    #[test]
+    fn as_slice_is_sorted_by_instruction() {
+        let k = Microkernel::from_counts([(i(9), 1), (i(2), 3), (i(9), 1), (i(5), 2)]);
+        assert_eq!(k.as_slice(), &[(i(2), 3), (i(5), 2), (i(9), 2)]);
+        assert_eq!(k.iter().collect::<Vec<_>>(), k.as_slice());
+    }
+
+    #[test]
+    fn merge_joins_sorted_runs() {
+        let mut a = Microkernel::from_counts([(i(1), 1), (i(3), 2), (i(7), 1)]);
+        a.merge(&Microkernel::from_counts([(i(0), 5), (i(3), 1), (i(9), 4)]));
+        assert_eq!(a.as_slice(), &[(i(0), 5), (i(1), 1), (i(3), 3), (i(7), 1), (i(9), 4)]);
+        let mut empty = Microkernel::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        a.merge(&Microkernel::new());
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "multiplicity overflow"))]
+    fn scaled_saturates_instead_of_wrapping() {
+        let k = Microkernel::from_counts([(i(1), u32::MAX / 2 + 1)]);
+        // Debug builds assert; release builds saturate rather than wrap to a
+        // tiny (wrong) multiplicity.
+        assert_eq!(k.scaled(4).multiplicity(i(1)), u32::MAX);
+    }
+
+    #[test]
+    fn scaled_by_zero_is_empty() {
+        let k = Microkernel::pair(i(1), 2, i(2), 1);
+        assert!(k.scaled(0).is_empty());
     }
 
     #[test]

@@ -16,11 +16,16 @@
 //!   container plus generators for a synthetic, x86-flavoured instruction
 //!   inventory that mirrors the statistical structure of the real ISA
 //!   (thousands of mnemonics collapsing onto a handful of behaviours).
+//! * [`intern`] — [`KernelSet`], an insert-only interner giving every
+//!   distinct microkernel a dense [`KernelId`] with a cached 64-bit hash, so
+//!   serving-layer dedup is index bookkeeping instead of repeated hashing.
 
 pub mod inst;
+pub mod intern;
 pub mod inventory;
 pub mod kernel;
 
 pub use inst::{ExecClass, Extension, InstDesc, InstId};
+pub use intern::{FxBuildHasher, FxLikeHasher, KernelId, KernelSet};
 pub use inventory::{InstructionSet, InventoryConfig};
 pub use kernel::Microkernel;

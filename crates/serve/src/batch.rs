@@ -4,11 +4,12 @@
 //! thousands of times in a dynamic trace.  The batch engine splits the work
 //! the way a serving process does:
 //!
-//! * **Ingest** ([`PreparedBatch`]): identical [`Microkernel`]s are
-//!   deduplicated by hash (a multiply-xor hasher tuned for the small integer
-//!   keys kernels hash into — the default SipHash costs more than a whole
-//!   prediction) and the input order is remembered as a slot table.  This
-//!   happens once per workload.
+//! * **Ingest** ([`PreparedBatch`]): identical [`Microkernel`]s collapse onto
+//!   one [`KernelId`](palmed_isa::KernelId) each.  From raw kernels this
+//!   costs one Fx hash per
+//!   input (cached per distinct kernel by the [`KernelSet`] interner); from a
+//!   [`Corpus`] it costs *nothing* — the parser already interned every block,
+//!   so ingest is pure index bookkeeping.  This happens once per workload.
 //! * **Serve** ([`BatchPredictor::predict_prepared`]): only the distinct
 //!   kernels are evaluated — sharded across threads with
 //!   [`palmed_par::par_map`], one scratch buffer per shard — and results are
@@ -17,64 +18,17 @@
 //!   that re-runs on every model update, every candidate mapping, every
 //!   what-if query against the same workload.
 //!
-//! [`BatchPredictor::predict`] chains the two for one-shot use.
+//! [`BatchPredictor::predict`] chains the two for one-shot use, deduplicating
+//! by reference so distinct kernels are never cloned.
 
 use crate::compiled::CompiledModel;
 use crate::corpus::Corpus;
-use palmed_isa::Microkernel;
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use palmed_isa::{KernelSet, Microkernel};
+use std::borrow::Borrow;
 
-/// A multiply-xor hasher in the FxHash family: one round per written word.
-///
-/// Dedup keys are microkernels — short sequences of `(u32, u32)` pairs — for
-/// which a DoS-resistant SipHash is pure overhead (measured: hashing cost
-/// comparable to an entire IPC prediction).  Collisions only cost an extra
-/// equality check, so hash quality beyond "mixes all words" buys nothing.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct FxLikeHasher(u64);
-
-impl FxLikeHasher {
-    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-    #[inline]
-    fn round(&mut self, word: u64) {
-        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
-    }
-}
-
-impl Hasher for FxLikeHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for chunk in bytes.chunks(8) {
-            let mut word = [0u8; 8];
-            word[..chunk.len()].copy_from_slice(chunk);
-            self.round(u64::from_le_bytes(word));
-        }
-    }
-
-    #[inline]
-    fn write_u32(&mut self, n: u32) {
-        self.round(n as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.round(n);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, n: usize) {
-        self.round(n as u64);
-    }
-}
-
-type FxBuildHasher = BuildHasherDefault<FxLikeHasher>;
+// Re-exported from `palmed-isa` (the interner lives next to the kernel
+// representation now); kept here for source compatibility.
+pub use palmed_isa::{FxBuildHasher, FxLikeHasher};
 
 /// Output of one batch: per-input predictions plus dedup statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,32 +43,31 @@ pub struct BatchResult {
 /// A deduplicated workload, ready to be served any number of times.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PreparedBatch {
-    /// The distinct kernels, in first-occurrence order.
-    distinct: Vec<Microkernel>,
-    /// For every input position, the index of its kernel in `distinct`.
+    /// The distinct kernels with their cached hashes, in first-occurrence
+    /// order.
+    kernels: KernelSet,
+    /// For every input position, the index of its kernel in `kernels`.
     slots: Vec<u32>,
 }
 
 impl PreparedBatch {
-    /// Dedupes a sequence of kernels into a servable batch.
+    /// Dedupes a sequence of kernels into a servable batch (one hash per
+    /// input, equality checks only on hash collisions).
     pub fn from_kernels<'k>(kernels: impl IntoIterator<Item = &'k Microkernel>) -> Self {
-        let mut index_of: HashMap<&Microkernel, u32, FxBuildHasher> = HashMap::default();
-        let mut order: Vec<&'k Microkernel> = Vec::new();
-        let mut slots: Vec<u32> = Vec::new();
-        for kernel in kernels {
-            let next = order.len() as u32;
-            let index = *index_of.entry(kernel).or_insert_with(|| {
-                order.push(kernel);
-                next
-            });
-            slots.push(index);
-        }
-        PreparedBatch { distinct: order.into_iter().cloned().collect(), slots }
+        let mut set = KernelSet::new();
+        let slots = kernels.into_iter().map(|kernel| set.intern(kernel).0).collect();
+        PreparedBatch { kernels: set, slots }
     }
 
-    /// Dedupes the blocks of a corpus.
+    /// Ingests a corpus.  The corpus interned its kernels at parse time, so
+    /// this is index bookkeeping: the slot table is copied straight from the
+    /// blocks' [`KernelId`](palmed_isa::KernelId)s and no kernel is hashed
+    /// or compared.
     pub fn from_corpus(corpus: &Corpus) -> Self {
-        Self::from_kernels(corpus.blocks.iter().map(|b| &b.kernel))
+        PreparedBatch {
+            kernels: corpus.kernels().clone(),
+            slots: corpus.blocks().iter().map(|b| b.kernel.0).collect(),
+        }
     }
 
     /// Number of input kernels the batch stands for.
@@ -129,7 +82,12 @@ impl PreparedBatch {
 
     /// Number of distinct kernels.
     pub fn distinct(&self) -> usize {
-        self.distinct.len()
+        self.kernels.len()
+    }
+
+    /// The interned distinct kernels backing this batch.
+    pub fn kernels(&self) -> &KernelSet {
+        &self.kernels
     }
 }
 
@@ -162,29 +120,42 @@ impl<'m> BatchPredictor<'m> {
         self.model
     }
 
-    /// One-shot convenience: ingest and serve in a single call.
+    /// One-shot convenience: ingest and serve in a single call.  The dedup
+    /// works by reference — distinct kernels are evaluated in place, never
+    /// cloned into an owned batch.
     pub fn predict(&self, kernels: &[Microkernel]) -> BatchResult {
-        self.predict_prepared(&PreparedBatch::from_kernels(kernels.iter()))
+        let (distinct, slots) = KernelSet::dedup_refs(kernels);
+        self.serve(&distinct, &slots)
     }
 
-    /// One-shot convenience over a corpus (by reference, no clones).
+    /// One-shot convenience over a corpus: serves the corpus's own interned
+    /// kernel set directly — no hashing, no cloning, no ingest cost at all.
     pub fn predict_corpus(&self, corpus: &Corpus) -> BatchResult {
-        self.predict_prepared(&PreparedBatch::from_corpus(corpus))
+        let slots: Vec<u32> = corpus.blocks().iter().map(|b| b.kernel.0).collect();
+        self.serve(corpus.kernels().as_slice(), &slots)
     }
 
     /// Steady-state serve: evaluates the distinct kernels of a prepared
     /// batch (sharded, one scratch buffer per shard) and scatters the
     /// results back into input order.
     pub fn predict_prepared(&self, batch: &PreparedBatch) -> BatchResult {
-        let shards: Vec<&[Microkernel]> = batch.distinct.chunks(self.shard_size).collect();
+        self.serve(batch.kernels.as_slice(), &batch.slots)
+    }
+
+    /// Shared serving core over an already-deduplicated kernel list.
+    fn serve<K: Borrow<Microkernel> + Sync>(&self, distinct: &[K], slots: &[u32]) -> BatchResult {
+        let shards: Vec<&[K]> = distinct.chunks(self.shard_size).collect();
         let per_shard: Vec<Vec<Option<f64>>> = palmed_par::par_map(&shards, |shard| {
             let mut scratch = self.model.scratch();
-            shard.iter().map(|kernel| self.model.ipc_with(kernel, &mut scratch)).collect()
+            shard
+                .iter()
+                .map(|kernel| self.model.ipc_with(kernel.borrow(), &mut scratch))
+                .collect()
         });
         let unique: Vec<Option<f64>> = per_shard.into_iter().flatten().collect();
         BatchResult {
-            ipcs: batch.slots.iter().map(|&i| unique[i as usize]).collect(),
-            distinct: batch.distinct.len(),
+            ipcs: slots.iter().map(|&i| unique[i as usize]).collect(),
+            distinct: distinct.len(),
         }
     }
 }
@@ -239,6 +210,34 @@ mod tests {
     }
 
     #[test]
+    fn corpus_ingest_is_index_bookkeeping() {
+        let model = model();
+        let mut m = ConjunctiveMapping::with_resources(2);
+        m.set_usage(InstId(2), vec![1.0, 0.0]);
+        m.set_usage(InstId(3), vec![0.5, 0.5]);
+        let insts = palmed_isa::InstructionSet::paper_example();
+        let addss = insts.find("ADDSS").unwrap();
+        let bsr = insts.find("BSR").unwrap();
+        let corpus: Corpus = [
+            ("a", 1.0, Microkernel::pair(addss, 2, bsr, 1)),
+            ("b", 2.0, Microkernel::single(bsr)),
+            ("a2", 3.0, Microkernel::pair(addss, 2, bsr, 1)),
+        ]
+        .into_iter()
+        .collect();
+        let prepared = PreparedBatch::from_corpus(&corpus);
+        assert_eq!(prepared.len(), 3);
+        assert_eq!(prepared.distinct(), 2);
+        // The prepared batch shares the corpus's interned set verbatim.
+        assert_eq!(prepared.kernels(), corpus.kernels());
+        let predictor = BatchPredictor::new(&model);
+        let via_prepared = predictor.predict_prepared(&prepared);
+        let via_corpus = predictor.predict_corpus(&corpus);
+        assert_eq!(via_prepared, via_corpus);
+        assert_eq!(via_prepared.ipcs[0], via_prepared.ipcs[2]);
+    }
+
+    #[test]
     fn unsupported_kernels_stay_none() {
         let model = model();
         let kernels = vec![
@@ -270,20 +269,5 @@ mod tests {
         let p = BatchPredictor::new(&model).with_shard_size(0);
         let kernels = vec![Microkernel::single(InstId(0)); 5];
         assert_eq!(p.predict(&kernels).distinct, 1);
-    }
-
-    #[test]
-    fn fx_hasher_mixes_word_writes() {
-        use std::hash::BuildHasher;
-        let build = FxBuildHasher::default();
-        let a = Microkernel::pair(InstId(0), 1, InstId(1), 2);
-        let b = Microkernel::pair(InstId(0), 2, InstId(1), 1);
-        // Same multiset built in a different order must hash identically.
-        let c = Microkernel::pair(InstId(1), 1, InstId(0), 2);
-        assert_eq!(build.hash_one(&a), build.hash_one(&a));
-        assert_ne!(build.hash_one(&a), build.hash_one(&b));
-        assert_eq!(build.hash_one(&b), build.hash_one(&c));
-        // The byte-slice path is exercised too (e.g. str keys elsewhere).
-        assert_ne!(build.hash_one("some string"), build.hash_one("some strinh"));
     }
 }

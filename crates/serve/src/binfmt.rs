@@ -1,0 +1,361 @@
+//! The `PALMED-MODEL v2b` binary codec: length-prefixed little-endian layout
+//! storing the [`CompiledModel`] CSR arrays verbatim.
+//!
+//! The v1 text format stays the interchange/debug form; v2b exists because a
+//! full XED-sized inventory makes float parsing the dominant load cost.  In
+//! v2b every `f64` is its raw bit pattern and every array is a contiguous
+//! little-endian run, so loading is a validate-and-copy: the decoded
+//! [`CompiledModel`] is built by copying the stored arrays without
+//! re-deriving anything, and the [`ModelArtifact`]'s dense mapping rows are
+//! reconstructed by scattering the sparse entries over zeros (exactly
+//! inverting what [`CompiledModel::compile`] does, so a v1↔v2 round trip is
+//! bit-identical).
+//!
+//! Layout (all integers little-endian; see the crate docs for the grammar):
+//!
+//! ```text
+//! magic            "PALMED-MODEL v2b\n"            17 bytes
+//! machine          u32 len + UTF-8 bytes
+//! source           u32 len + UTF-8 bytes
+//! instructions     u32 n; n × { u32 len + name, u8 class, u8 extension }
+//! resources        u32 m; m × { u32 len + name }
+//! row slots        u32 s (last mapped instruction index + 1)
+//! mapped flags     s bytes, each 0 or 1
+//! row_ptr          (s + 1) × u32, monotone, ending at nnz
+//! nnz              u32
+//! cols             nnz × u32, ascending within a row, < m
+//! vals             nnz × u64 (f64 bits), finite and > 0
+//! checksum         u64, FNV-1a 64 over 8-byte LE words of all preceding bytes
+//! ```
+//!
+//! Unlike v1's byte-at-a-time trailer, the v2 checksum strides FNV-1a over
+//! zero-padded 8-byte little-endian words — 8× fewer multiplies, because the
+//! dominant cost of a validate-and-copy load would otherwise be the
+//! integrity sweep itself.
+//!
+//! The checksum is integrity, not authentication: declared counts are
+//! untrusted, so every array length is checked against the remaining byte
+//! budget *before* the allocation it would drive.
+
+use crate::artifact::{ArtifactError, ModelArtifact};
+use crate::compiled::CompiledModel;
+use palmed_core::ConjunctiveMapping;
+use palmed_isa::{ExecClass, Extension, InstDesc, InstId, InstructionSet};
+
+/// First bytes of every v2b artifact; what format sniffing keys on.
+pub(crate) const MAGIC: &[u8] = b"PALMED-MODEL v2b\n";
+
+/// FNV-1a 64 strided over zero-padded 8-byte little-endian words.
+pub(crate) fn checksum64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        hash ^= u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut word = [0u8; 8];
+        word[..tail.len()].copy_from_slice(tail);
+        hash ^= u64::from_le_bytes(word);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+use crate::artifact::token;
+
+/// Serialises an artifact into the v2b binary form, checksum included.
+pub(crate) fn encode(artifact: &ModelArtifact) -> Vec<u8> {
+    let machine = token(&artifact.machine);
+    let compiled = CompiledModel::compile(machine.clone(), &artifact.mapping);
+    let (mapped, row_ptr, cols, vals) = compiled.raw_parts();
+
+    let mut out = Vec::with_capacity(64 + 16 * vals.len());
+    out.extend_from_slice(MAGIC);
+    push_str(&mut out, &machine);
+    push_str(&mut out, &token(&artifact.source));
+
+    push_u32(&mut out, artifact.instructions.len() as u32);
+    for (_, desc) in artifact.instructions.iter() {
+        push_str(&mut out, &token(&desc.name));
+        let class = ExecClass::ALL.iter().position(|c| *c == desc.class).expect("known class");
+        let ext = Extension::ALL.iter().position(|e| *e == desc.extension).expect("known ext");
+        out.push(class as u8);
+        out.push(ext as u8);
+    }
+
+    push_u32(&mut out, compiled.num_resources() as u32);
+    for r in artifact.mapping.resources() {
+        push_str(&mut out, &token(artifact.mapping.resource_name(r)));
+    }
+
+    push_u32(&mut out, mapped.len() as u32);
+    out.extend(mapped.iter().map(|&m| m as u8));
+    for &p in row_ptr {
+        push_u32(&mut out, p);
+    }
+    push_u32(&mut out, cols.len() as u32);
+    for &c in cols {
+        push_u32(&mut out, c);
+    }
+    for &v in vals {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    let checksum = checksum64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Byte cursor with offset-tagged errors and allocation-capping reads.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn bad(&self, reason: impl Into<String>) -> ArtifactError {
+        ArtifactError::MalformedBinary { offset: self.pos, reason: reason.into() }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ArtifactError> {
+        if n > self.bytes.len() - self.pos {
+            return Err(self.bad(format!(
+                "{what} needs {n} bytes but only {} remain",
+                self.bytes.len() - self.pos
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn str(&mut self, what: &str) -> Result<&'a str, ArtifactError> {
+        let len = self.u32(what)? as usize;
+        let start = self.pos;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes).map_err(|_| ArtifactError::MalformedBinary {
+            offset: start,
+            reason: format!("{what} is not valid UTF-8"),
+        })
+    }
+
+    /// Reads a name that must already be in the sanitised `token` form the
+    /// encoder writes (non-empty, no whitespace).  Accepting anything looser
+    /// would let a crafted binary load names that cannot re-render into
+    /// either text grammar, breaking the documented v1↔v2 round trip.
+    fn token(&mut self, what: &str) -> Result<&'a str, ArtifactError> {
+        let name = self.str(what)?;
+        if name.is_empty() || name.chars().any(char::is_whitespace) {
+            return Err(ArtifactError::MalformedBinary {
+                offset: self.pos,
+                reason: format!("{what} `{name}` is not a whitespace-free token"),
+            });
+        }
+        Ok(name)
+    }
+
+    /// Reads `n` little-endian `u32`s as one contiguous copy (the length is
+    /// checked against the remaining bytes before anything is allocated).
+    fn u32_array(&mut self, n: usize, what: &str) -> Result<Vec<u32>, ArtifactError> {
+        let total = n.checked_mul(4).ok_or_else(|| self.bad(format!("{what} count overflows")))?;
+        let bytes = self.take(total, what)?;
+        Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))).collect())
+    }
+
+    /// Reads `n` little-endian `u64`s as one contiguous copy.
+    fn u64_array(&mut self, n: usize, what: &str) -> Result<Vec<u64>, ArtifactError> {
+        let total = n.checked_mul(8).ok_or_else(|| self.bad(format!("{what} count overflows")))?;
+        let bytes = self.take(total, what)?;
+        Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))).collect())
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Parses and verifies a v2b artifact, returning both the self-describing
+/// artifact and the compiled model copied verbatim from the stored arrays.
+pub(crate) fn decode(bytes: &[u8]) -> Result<(ModelArtifact, CompiledModel), ArtifactError> {
+    if !bytes.starts_with(MAGIC) {
+        return Err(ArtifactError::MissingHeader);
+    }
+    // --- Integrity: the trailing u64 checksums every preceding byte. ---
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(ArtifactError::MissingChecksum);
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    let computed = checksum64(body);
+    if stored != computed {
+        return Err(ArtifactError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut cur = Cursor { bytes: body, pos: MAGIC.len() };
+    let machine = cur.token("machine name")?.to_string();
+    let source = cur.token("source name")?.to_string();
+
+    // Instruction inventory.
+    let n_insts = cur.u32("instruction count")? as usize;
+    let mut instructions = InstructionSet::new();
+    // `n_insts` is untrusted: cap the pre-allocation, the cursor bounds real
+    // growth by the file length.
+    instructions.reserve(n_insts.min(1 << 16));
+    for i in 0..n_insts {
+        let name = cur.token("instruction name")?;
+        let codes = cur.take(2, "class/extension codes")?;
+        let (class_code, ext_code) = (codes[0] as usize, codes[1] as usize);
+        let class = *ExecClass::ALL
+            .get(class_code)
+            .ok_or_else(|| cur.bad(format!("unknown class code {class_code}")))?;
+        let extension = *Extension::ALL
+            .get(ext_code)
+            .ok_or_else(|| cur.bad(format!("unknown extension code {ext_code}")))?;
+        instructions
+            .try_push(InstDesc { name: name.to_string(), class, extension })
+            .map_err(|desc| cur.bad(format!("duplicate instruction `{}` (entry {i})", desc.name)))?;
+    }
+
+    // Resource names.
+    let n_resources = cur.u32("resource count")? as usize;
+    let mut resource_names = Vec::with_capacity(n_resources.min(4096));
+    for _ in 0..n_resources {
+        resource_names.push(cur.token("resource name")?.to_string());
+    }
+
+    // CSR arrays: lengths are validated against the remaining bytes by the
+    // cursor before any allocation happens.
+    let slots = cur.u32("row slot count")? as usize;
+    if slots > n_insts {
+        return Err(cur.bad(format!("{slots} row slots exceed {n_insts} instructions")));
+    }
+    let mut mapped = Vec::with_capacity(slots.min(1 << 20));
+    for flag in cur.take(slots, "mapped flags")? {
+        match flag {
+            0 => mapped.push(false),
+            1 => mapped.push(true),
+            other => return Err(cur.bad(format!("mapped flag must be 0 or 1, found {other}"))),
+        }
+    }
+    if slots > 0 && !mapped[slots - 1] {
+        return Err(cur.bad("last row slot is unmapped (slot table is not minimal)"));
+    }
+    let row_ptr = cur.u32_array(slots + 1, "row_ptr")?;
+    let nnz = cur.u32("entry count")? as usize;
+    if row_ptr[0] != 0 || row_ptr[slots] as usize != nnz {
+        return Err(cur.bad(format!(
+            "row_ptr must run from 0 to {nnz}, found {}..{}",
+            row_ptr[0], row_ptr[slots]
+        )));
+    }
+    // Full monotonicity up front: with the endpoints pinned above, this also
+    // bounds every entry by `nnz`, so the scatter loop below cannot index
+    // past the arrays even on a crafted (correctly re-hashed) body.
+    if let Some(i) = (0..slots).find(|&i| row_ptr[i + 1] < row_ptr[i]) {
+        return Err(cur.bad(format!("row_ptr decreases at slot {i}")));
+    }
+    let cols = cur.u32_array(nnz, "columns")?;
+    let vals: Vec<f64> =
+        cur.u64_array(nnz, "usage values")?.into_iter().map(f64::from_bits).collect();
+    if let Some(v) = vals.iter().find(|v| !v.is_finite() || **v <= 0.0) {
+        return Err(cur.bad(format!("usage value {v} is not finite and positive")));
+    }
+    if !cur.done() {
+        return Err(cur.bad("trailing bytes after the CSR arrays"));
+    }
+
+    // One pass per slot: validate the row structure and reconstruct the
+    // dense mapping row (inverse of `compile`).  Slots are in ascending
+    // instruction order, so the row table below collects in bulk.
+    let mut rows: Vec<(InstId, Vec<f64>)> = Vec::with_capacity(slots.min(1 << 20));
+    for i in 0..slots {
+        let (start, end) = (row_ptr[i] as usize, row_ptr[i + 1] as usize);
+        if !mapped[i] {
+            if end != start {
+                return Err(cur.bad(format!("unmapped slot {i} has a non-empty row")));
+            }
+            continue;
+        }
+        let mut usage = vec![0.0; n_resources];
+        let mut previous: Option<u32> = None;
+        for e in start..end {
+            let col = cols[e];
+            if col as usize >= n_resources {
+                return Err(cur.bad(format!("slot {i} references resource {col} >= {n_resources}")));
+            }
+            if previous.is_some_and(|p| col <= p) {
+                return Err(cur.bad(format!("slot {i} columns are not strictly ascending")));
+            }
+            previous = Some(col);
+            usage[col as usize] = vals[e];
+        }
+        rows.push((InstId(i as u32), usage));
+    }
+    let mapping = ConjunctiveMapping::from_rows(resource_names.clone(), rows);
+
+    let compiled = CompiledModel::from_raw_parts(
+        machine.clone(),
+        resource_names,
+        mapped,
+        row_ptr,
+        cols,
+        vals,
+    );
+    let artifact = ModelArtifact { machine, source, instructions, mapping };
+    Ok((artifact, compiled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-encodes a crafted v2b body with a `row_ptr` that overshoots
+    /// `nnz` in the middle while keeping the pinned endpoints valid: the
+    /// decoder must reject it, not index past the CSR arrays.
+    #[test]
+    fn overshooting_row_ptr_is_rejected_not_panicking() {
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        push_str(&mut body, "m");
+        push_str(&mut body, "s");
+        push_u32(&mut body, 2); // instructions
+        for name in ["a", "b"] {
+            push_str(&mut body, name);
+            body.push(0); // class code
+            body.push(0); // extension code
+        }
+        push_u32(&mut body, 1); // resources
+        push_str(&mut body, "r");
+        push_u32(&mut body, 2); // row slots
+        body.extend_from_slice(&[1, 1]); // mapped flags
+        for p in [0u32, 5, 1] {
+            push_u32(&mut body, p); // row_ptr: overshoots nnz at slot 0
+        }
+        push_u32(&mut body, 1); // nnz
+        push_u32(&mut body, 0); // cols
+        body.extend_from_slice(&1.0f64.to_bits().to_le_bytes()); // vals
+        let checksum = checksum64(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        match decode(&body) {
+            Err(ArtifactError::MalformedBinary { reason, .. }) => {
+                assert!(reason.contains("row_ptr"), "unexpected reason: {reason}");
+            }
+            other => panic!("expected MalformedBinary, got {other:?}"),
+        }
+    }
+}

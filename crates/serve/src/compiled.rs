@@ -75,6 +75,32 @@ impl CompiledModel {
         }
     }
 
+    /// Rebuilds a compiled model from already-validated raw CSR arrays (the
+    /// binary artifact codec's verbatim load path).  Callers must uphold the
+    /// [`CompiledModel::compile`] invariants: `row_ptr` has `mapped.len() + 1`
+    /// monotone entries ending at `cols.len()`, `cols` are ascending within a
+    /// row and index into `resource_names`, and unmapped slots have empty
+    /// rows.
+    pub(crate) fn from_raw_parts(
+        name: String,
+        resource_names: Vec<String>,
+        mapped: Vec<bool>,
+        row_ptr: Vec<u32>,
+        cols: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), mapped.len() + 1);
+        debug_assert_eq!(cols.len(), vals.len());
+        debug_assert_eq!(row_ptr.last().copied(), Some(cols.len() as u32));
+        CompiledModel { name, resource_names, mapped, row_ptr, cols, vals }
+    }
+
+    /// The raw CSR arrays `(mapped, row_ptr, cols, vals)`, for verbatim
+    /// binary serialisation.
+    pub(crate) fn raw_parts(&self) -> (&[bool], &[u32], &[u32], &[f64]) {
+        (&self.mapped, &self.row_ptr, &self.cols, &self.vals)
+    }
+
     /// Number of abstract resources.
     pub fn num_resources(&self) -> usize {
         self.resource_names.len()
@@ -117,7 +143,7 @@ impl CompiledModel {
     pub fn load_into(&self, kernel: &Microkernel, scratch: &mut Vec<f64>) {
         scratch.clear();
         scratch.resize(self.num_resources(), 0.0);
-        for (inst, count) in kernel.iter() {
+        for &(inst, count) in kernel.as_slice() {
             let index = inst.index();
             if index >= self.mapped.len() {
                 continue;

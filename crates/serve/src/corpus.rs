@@ -1,45 +1,42 @@
-//! Text corpora of weighted basic blocks.
+//! Text corpora of weighted basic blocks, interned at parse time.
 //!
 //! See the crate-level docs for the `PALMED-CORPUS v1` grammar: one block per
 //! line as `<name> <weight> <inst>×<count> ...`.  A corpus file plus a model
 //! artifact is everything a serving process needs — no in-process suite
 //! generator, no shared binary state.
+//!
+//! The parser already walks every line, so it interns kernels as it goes:
+//! a [`Corpus`] stores each block as a name, a weight and a [`KernelId`] into
+//! its own [`KernelSet`].  Downstream ingest
+//! ([`PreparedBatch::from_corpus`](crate::PreparedBatch::from_corpus)) is
+//! then pure index bookkeeping — no kernel is hashed or compared again after
+//! the parse.
 
-use palmed_isa::{InstructionSet, Microkernel};
+use palmed_isa::{InstructionSet, KernelId, KernelSet, Microkernel};
 use std::fmt;
 use std::path::Path;
 
 /// Header line of the corpus format.
 const HEADER: &str = "PALMED-CORPUS v1";
 
-/// One weighted basic block of a workload.
+/// One weighted basic block of a workload.  The instruction mix lives in the
+/// owning [`Corpus`]'s kernel set; resolve it with [`Corpus::kernel`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CorpusBlock {
     /// Identifier (unique names are recommended but not enforced).
     pub name: String,
     /// Dynamic execution weight (≥ 0, finite).
     pub weight: f64,
-    /// The dependency-free instruction mix of the block.
-    pub kernel: Microkernel,
+    /// Interned id of the block's dependency-free instruction mix.
+    pub kernel: KernelId,
 }
 
-impl CorpusBlock {
-    /// Creates a block.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the weight is negative or not finite.
-    pub fn new(name: impl Into<String>, weight: f64, kernel: Microkernel) -> Self {
-        assert!(weight.is_finite() && weight >= 0.0, "invalid weight {weight}");
-        CorpusBlock { name: name.into(), weight, kernel }
-    }
-}
-
-/// A loadable workload: an ordered list of weighted basic blocks.
+/// A loadable workload: an ordered list of weighted basic blocks over an
+/// interned set of distinct kernels.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Corpus {
-    /// The blocks, in file order.
-    pub blocks: Vec<CorpusBlock>,
+    blocks: Vec<CorpusBlock>,
+    kernels: KernelSet,
 }
 
 /// Why a corpus failed to load.
@@ -96,6 +93,42 @@ impl Corpus {
         self.blocks.is_empty()
     }
 
+    /// The blocks, in file order.
+    pub fn blocks(&self) -> &[CorpusBlock] {
+        &self.blocks
+    }
+
+    /// The interned distinct kernels of this corpus (first-occurrence order).
+    pub fn kernels(&self) -> &KernelSet {
+        &self.kernels
+    }
+
+    /// Resolves an interned kernel id of this corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this corpus's kernel set.
+    pub fn kernel(&self, id: KernelId) -> &Microkernel {
+        self.kernels.get(id)
+    }
+
+    /// Appends a block, interning its kernel; returns the interned id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is negative or not finite.
+    pub fn push(&mut self, name: impl Into<String>, weight: f64, kernel: Microkernel) -> KernelId {
+        assert!(weight.is_finite() && weight >= 0.0, "invalid weight {weight}");
+        let kernel = self.kernels.intern_owned(kernel);
+        self.blocks.push(CorpusBlock { name: name.into(), weight, kernel });
+        kernel
+    }
+
+    /// Iterates over `(block, kernel)` pairs in file order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CorpusBlock, &Microkernel)> {
+        self.blocks.iter().map(|b| (b, self.kernels.get(b.kernel)))
+    }
+
     /// Sum of the block weights.
     pub fn total_weight(&self) -> f64 {
         self.blocks.iter().map(|b| b.weight).sum()
@@ -111,7 +144,7 @@ impl Corpus {
         let mut out = String::new();
         out.push_str(HEADER);
         out.push('\n');
-        for block in &self.blocks {
+        for (block, kernel) in self.iter() {
             let mut name: String = block
                 .name
                 .chars()
@@ -122,7 +155,7 @@ impl Corpus {
                 name.insert(0, '_');
             }
             out.push_str(&format!("{name} {}", block.weight));
-            for (inst, count) in block.kernel.iter() {
+            for (inst, count) in kernel.iter() {
                 out.push_str(&format!(" {}×{}", insts.name(inst), count));
             }
             out.push('\n');
@@ -130,7 +163,8 @@ impl Corpus {
         out
     }
 
-    /// Parses a corpus, resolving instruction names through `insts`.
+    /// Parses a corpus, resolving instruction names through `insts` and
+    /// interning every block's kernel as it is read.
     ///
     /// # Errors
     ///
@@ -144,7 +178,7 @@ impl Corpus {
         }
         let malformed = |line: usize, reason: String| CorpusError::Malformed { line, reason };
 
-        let mut blocks = Vec::new();
+        let mut corpus = Corpus::new();
         for (line, l) in lines {
             if l.is_empty() || l.starts_with('#') {
                 continue;
@@ -182,9 +216,9 @@ impl Corpus {
                 }
                 kernel.add(inst, count);
             }
-            blocks.push(CorpusBlock::new(name, weight, kernel));
+            corpus.push(name, weight, kernel);
         }
-        Ok(Corpus { blocks })
+        Ok(corpus)
     }
 
     /// Saves the rendered corpus to a file.
@@ -208,9 +242,13 @@ impl Corpus {
     }
 }
 
-impl FromIterator<CorpusBlock> for Corpus {
-    fn from_iter<T: IntoIterator<Item = CorpusBlock>>(iter: T) -> Self {
-        Corpus { blocks: iter.into_iter().collect() }
+impl<N: Into<String>> FromIterator<(N, f64, Microkernel)> for Corpus {
+    fn from_iter<T: IntoIterator<Item = (N, f64, Microkernel)>>(iter: T) -> Self {
+        let mut corpus = Corpus::new();
+        for (name, weight, kernel) in iter {
+            corpus.push(name, weight, kernel);
+        }
+        corpus
     }
 }
 
@@ -227,13 +265,13 @@ mod tests {
         let addss = insts.find("ADDSS").unwrap();
         let bsr = insts.find("BSR").unwrap();
         let jmp = insts.find("JMP").unwrap();
-        Corpus {
-            blocks: vec![
-                CorpusBlock::new("spec/0", 1000.0, Microkernel::pair(addss, 2, bsr, 1)),
-                CorpusBlock::new("spec/1", 2.5, Microkernel::single(jmp)),
-                CorpusBlock::new("poly 3", 0.0, Microkernel::from_counts([(addss, 4), (jmp, 1)])),
-            ],
-        }
+        [
+            ("spec/0", 1000.0, Microkernel::pair(addss, 2, bsr, 1)),
+            ("spec/1", 2.5, Microkernel::single(jmp)),
+            ("poly 3", 0.0, Microkernel::from_counts([(addss, 4), (jmp, 1)])),
+        ]
+        .into_iter()
+        .collect()
     }
 
     #[test]
@@ -243,12 +281,36 @@ mod tests {
         let text = corpus.render(&insts);
         let reloaded = Corpus::parse(&text, &insts).unwrap();
         assert_eq!(reloaded.len(), 3);
-        assert_eq!(reloaded.blocks[0], corpus.blocks[0]);
-        assert_eq!(reloaded.blocks[1], corpus.blocks[1]);
+        assert_eq!(reloaded.blocks()[0], corpus.blocks()[0]);
+        assert_eq!(reloaded.blocks()[1], corpus.blocks()[1]);
         // Whitespace in names is sanitised on write.
-        assert_eq!(reloaded.blocks[2].name, "poly_3");
-        assert_eq!(reloaded.blocks[2].kernel, corpus.blocks[2].kernel);
+        assert_eq!(reloaded.blocks()[2].name, "poly_3");
+        assert_eq!(reloaded.kernels(), corpus.kernels());
         assert!((reloaded.total_weight() - corpus.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parsing_interns_repeated_blocks() {
+        let insts = insts();
+        let text = "PALMED-CORPUS v1\na 1 ADDSS×2 BSR×1\nb 2 BSR×1 ADDSS×2\nc 3 JMP×1\n";
+        let corpus = Corpus::parse(text, &insts).unwrap();
+        assert_eq!(corpus.len(), 3);
+        // a and b are the same multiset spelled differently: one interned
+        // kernel, two blocks pointing at it.
+        assert_eq!(corpus.kernels().len(), 2);
+        assert_eq!(corpus.blocks()[0].kernel, corpus.blocks()[1].kernel);
+        assert_ne!(corpus.blocks()[0].kernel, corpus.blocks()[2].kernel);
+    }
+
+    #[test]
+    fn iter_resolves_kernels_in_block_order() {
+        let insts = insts();
+        let corpus = example(&insts);
+        let addss = insts.find("ADDSS").unwrap();
+        let kernels: Vec<&Microkernel> = corpus.iter().map(|(_, k)| k).collect();
+        assert_eq!(kernels.len(), 3);
+        assert_eq!(kernels[0].multiplicity(addss), 2);
+        assert_eq!(kernels[2].multiplicity(addss), 4);
     }
 
     #[test]
@@ -257,7 +319,7 @@ mod tests {
         let text = "PALMED-CORPUS v1\n# a comment\n\nb 1 ADDSS×2\n";
         let corpus = Corpus::parse(text, &insts).unwrap();
         assert_eq!(corpus.len(), 1);
-        assert_eq!(corpus.blocks[0].kernel.total_instructions(), 2);
+        assert_eq!(corpus.kernel(corpus.blocks()[0].kernel).total_instructions(), 2);
     }
 
     #[test]
@@ -286,7 +348,7 @@ mod tests {
         let insts = insts();
         let corpus = Corpus::parse("PALMED-CORPUS v1\nb 1 ADDSS×2 ADDSS×3\n", &insts).unwrap();
         let addss = insts.find("ADDSS").unwrap();
-        assert_eq!(corpus.blocks[0].kernel.multiplicity(addss), 5);
+        assert_eq!(corpus.kernel(corpus.blocks()[0].kernel).multiplicity(addss), 5);
     }
 
     #[test]
@@ -304,10 +366,10 @@ mod tests {
         let insts = insts();
         let addss = insts.find("ADDSS").unwrap();
         let corpus: Corpus =
-            [CorpusBlock::new("#hot", 1.0, Microkernel::single(addss))].into_iter().collect();
+            [("#hot", 1.0, Microkernel::single(addss))].into_iter().collect();
         let reloaded = Corpus::parse(&corpus.render(&insts), &insts).unwrap();
         assert_eq!(reloaded.len(), 1, "a '#'-named block must not become a comment");
-        assert_eq!(reloaded.blocks[0].name, "_#hot");
+        assert_eq!(reloaded.blocks()[0].name, "_#hot");
     }
 
     #[test]
@@ -323,7 +385,13 @@ mod tests {
     fn unknown_ids_panic_on_render() {
         let insts = insts();
         let corpus: Corpus =
-            [CorpusBlock::new("x", 1.0, Microkernel::single(InstId(999)))].into_iter().collect();
+            [("x", 1.0, Microkernel::single(InstId(999)))].into_iter().collect();
         assert!(std::panic::catch_unwind(|| corpus.render(&insts)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn negative_weight_panics() {
+        Corpus::new().push("x", -1.0, Microkernel::single(InstId(0)));
     }
 }

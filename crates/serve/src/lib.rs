@@ -6,20 +6,25 @@
 //! [`ConjunctiveMapping`](palmed_core::ConjunctiveMapping) is tiny.  This crate
 //! separates the two lifetimes the way a production system does:
 //!
-//! * [`artifact`] — a versioned, self-describing **text codec** for inferred
-//!   models ([`ModelArtifact`]): instruction set, resource rows, provenance
-//!   and an integrity checksum.  Hand-rolled writer and parser — no serde.
+//! * [`artifact`] — versioned, self-describing codecs for inferred models
+//!   ([`ModelArtifact`]): instruction set, resource rows, provenance and an
+//!   integrity checksum, in a text form (v1, the interchange/debug format)
+//!   and a binary form (v2b, the fast load path).  Hand-rolled writers and
+//!   parsers — no serde; loading sniffs the format from the first bytes.
 //! * [`compiled`] — [`CompiledModel`]: the mapping flattened into a CSR-style
 //!   arena (one flat `(resource, usage)` row slice per instruction, dense
 //!   resource indices) predicting IPC allocation-free through a
 //!   caller-provided scratch buffer.  Predictions are **bit-identical** to
 //!   [`ConjunctiveMapping::ipc`](palmed_core::ConjunctiveMapping::ipc).
-//! * [`batch`] — [`BatchPredictor`]: dedupes identical microkernels by hash
-//!   into a reusable [`PreparedBatch`] (ingest, once per workload), then
-//!   shards the distinct ones across threads with `palmed-par` and scatters
-//!   results back into input order (serve, once per model or query).
-//! * [`corpus`] — a text format for basic-block workloads ([`Corpus`]), so
-//!   prediction traffic can come from files instead of in-process generators.
+//! * [`batch`] — [`BatchPredictor`]: dedupes identical microkernels into a
+//!   reusable [`PreparedBatch`] backed by a
+//!   [`KernelSet`](palmed_isa::KernelSet) interner with cached hashes
+//!   (ingest, once per workload), then shards the distinct ones across
+//!   threads with `palmed-par` and scatters results back into input order
+//!   (serve, once per model or query).
+//! * [`corpus`] — a text format for basic-block workloads ([`Corpus`]) that
+//!   interns kernels at parse time, so prediction traffic can come from files
+//!   instead of in-process generators and ingest is index bookkeeping.
 //! * [`registry`] — [`ModelRegistry`]: several named architectures served
 //!   side by side, each held as artifact + compiled form.
 //!
@@ -43,6 +48,31 @@
 //! M <inst-index> <res>:<value> ...      k lines, sparse usage rows, ascending
 //! end
 //! checksum <16 hex digits>              FNV-1a 64 over all preceding bytes
+//! ```
+//!
+//! # Model artifact format (`PALMED-MODEL v2b`)
+//!
+//! Length-prefixed little-endian binary; the same model as v1, laid out so a
+//! load is a validate-and-copy of the [`CompiledModel`] CSR arrays (every
+//! `f64` is its raw bit pattern — no float parsing, no re-derivation).  A
+//! v1↔v2 round trip reproduces the artifact bit for bit.  Strings are a
+//! `u32` byte length followed by UTF-8; class/extension codes index
+//! [`ExecClass::ALL`](palmed_isa::ExecClass::ALL) /
+//! [`Extension::ALL`](palmed_isa::Extension::ALL):
+//!
+//! ```text
+//! magic         "PALMED-MODEL v2b\n"                       17 bytes
+//! machine       string                                     architecture / preset
+//! source        string                                     provenance
+//! instructions  u32 n; n × { string, u8 class, u8 ext }
+//! resources     u32 m; m × { string }
+//! row slots     u32 s                                      last mapped index + 1
+//! mapped        s × u8 (0|1)                               per-slot "has a row" flag
+//! row_ptr       (s+1) × u32                                CSR row boundaries, 0 … nnz
+//! nnz           u32
+//! cols          nnz × u32                                  ascending within a row, < m
+//! vals          nnz × u64                                  f64 bits, finite, > 0
+//! checksum      u64                                        FNV-1a 64 over all preceding bytes
 //! ```
 //!
 //! # Corpus format (`PALMED-CORPUS v1`)
@@ -88,6 +118,7 @@
 
 pub mod artifact;
 pub mod batch;
+mod binfmt;
 pub mod compiled;
 pub mod corpus;
 pub mod registry;

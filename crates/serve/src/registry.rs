@@ -29,6 +29,13 @@ impl ServedModel {
         ServedModel { artifact, compiled }
     }
 
+    /// Pairs an artifact with an already-built compiled form (the binary
+    /// artifact codec hands the CSR arrays over verbatim, skipping the
+    /// compile step).
+    pub fn from_parts(artifact: ModelArtifact, compiled: CompiledModel) -> Self {
+        ServedModel { artifact, compiled }
+    }
+
     /// A batch predictor over the compiled model.
     pub fn batch(&self) -> BatchPredictor<'_> {
         BatchPredictor::new(&self.compiled)
@@ -56,20 +63,35 @@ impl ModelRegistry {
 
     /// Registers an artifact under an explicit name.
     pub fn register_as(&mut self, name: impl Into<String>, artifact: ModelArtifact) -> &ServedModel {
-        let name = name.into();
-        self.models.insert(name.clone(), ServedModel::from_artifact(artifact));
+        self.insert(name.into(), ServedModel::from_artifact(artifact))
+    }
+
+    /// The one insertion point of the registry: replaces any previous model
+    /// of that name and returns the new entry.
+    fn insert(&mut self, name: String, served: ServedModel) -> &ServedModel {
+        self.models.insert(name.clone(), served);
         &self.models[&name]
     }
 
-    /// Loads, verifies, compiles and registers an artifact file under the
-    /// machine name stored in the file.
+    /// Loads, verifies and registers an artifact file under the machine name
+    /// stored in the file.  The format is sniffed from the first bytes: v1
+    /// text artifacts are compiled after parsing, v2b binary artifacts hand
+    /// their compiled CSR arrays over verbatim (validate-and-copy, no
+    /// compile step).
     ///
     /// # Errors
     ///
-    /// Propagates [`ModelArtifact::load`] failures; the registry is left
-    /// unchanged on error.
+    /// Propagates I/O and [`ModelArtifact::parse_bytes`] failures; the
+    /// registry is left unchanged on error.
     pub fn load_file(&mut self, path: impl AsRef<Path>) -> Result<&ServedModel, ArtifactError> {
-        Ok(self.register(ModelArtifact::load(path)?))
+        let bytes = std::fs::read(path)?;
+        let (artifact, compiled) = ModelArtifact::parse_any(&bytes)?;
+        let name = artifact.machine.clone();
+        let served = match compiled {
+            Some(compiled) => ServedModel::from_parts(artifact, compiled),
+            None => ServedModel::from_artifact(artifact),
+        };
+        Ok(self.insert(name, served))
     }
 
     /// Looks a model up by name.
@@ -128,6 +150,29 @@ mod tests {
         let served = registry.get("skl").unwrap();
         let ipc = served.batch().predict(std::slice::from_ref(&k)).ipcs[0].unwrap();
         assert!((ipc - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_file_sniffs_both_artifact_formats() {
+        let dir = std::env::temp_dir();
+        let v1 = dir.join("palmed-serve-registry-v1.palmed");
+        let v2 = dir.join("palmed-serve-registry-v2.palmed");
+        artifact("text-machine", 0.5).save(&v1).unwrap();
+        artifact("bin-machine", 0.5).save_v2(&v2).unwrap();
+        let mut registry = ModelRegistry::new();
+        registry.load_file(&v1).unwrap();
+        let served = registry.load_file(&v2).unwrap();
+        // The verbatim binary load equals what compiling the artifact yields.
+        assert_eq!(served.compiled, served.artifact.compile());
+        std::fs::remove_file(&v1).ok();
+        std::fs::remove_file(&v2).ok();
+        assert_eq!(registry.len(), 2);
+        let k = Microkernel::single(InstId(2));
+        let text = registry.get("text-machine").unwrap();
+        let bin = registry.get("bin-machine").unwrap();
+        let a = text.batch().predict(std::slice::from_ref(&k)).ipcs[0];
+        let b = bin.batch().predict(std::slice::from_ref(&k)).ipcs[0];
+        assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use palmed_core::{Palmed, PalmedConfig};
 use palmed_isa::Microkernel;
 use palmed_machine::{presets, AnalyticMeasurer, MemoizingMeasurer};
-use palmed_serve::{Corpus, CorpusBlock, ModelArtifact, ModelRegistry, PreparedBatch};
+use palmed_serve::{Corpus, ModelArtifact, ModelRegistry, PreparedBatch};
 
 fn main() {
     // 1. Infer a mapping for the paper's 3-port pedagogical machine — the
@@ -47,11 +47,11 @@ fn main() {
     let insts = &served.artifact.instructions;
     let find = |n: &str| insts.find(n).expect("instruction exists in the artifact");
     let corpus: Corpus = [
-        CorpusBlock::new("hot/0", 1e6, Microkernel::pair(find("ADDSS"), 2, find("BSR"), 1)),
-        CorpusBlock::new("hot/1", 2e5, Microkernel::pair(find("JNLE"), 2, find("JMP"), 1)),
-        CorpusBlock::new("cold/0", 3.0, Microkernel::single(find("DIVPS"))),
-        // Identical mix to hot/0: deduplicated at ingest.
-        CorpusBlock::new("hot/0-clone", 9e5, Microkernel::pair(find("ADDSS"), 2, find("BSR"), 1)),
+        ("hot/0", 1e6, Microkernel::pair(find("ADDSS"), 2, find("BSR"), 1)),
+        ("hot/1", 2e5, Microkernel::pair(find("JNLE"), 2, find("JMP"), 1)),
+        ("cold/0", 3.0, Microkernel::single(find("DIVPS"))),
+        // Identical mix to hot/0: interned onto the same kernel id.
+        ("hot/0-clone", 9e5, Microkernel::pair(find("ADDSS"), 2, find("BSR"), 1)),
     ]
     .into_iter()
     .collect();
@@ -65,7 +65,7 @@ fn main() {
     println!("ingested {} blocks, {} distinct", prepared.len(), prepared.distinct());
     let result = served.batch().predict_prepared(&prepared);
     println!("block         weight   predicted IPC");
-    for (block, ipc) in corpus.blocks.iter().zip(&result.ipcs) {
+    for (block, ipc) in corpus.blocks().iter().zip(&result.ipcs) {
         match ipc {
             Some(ipc) => println!("{:<13} {:>7.0} {:>12.2}", block.name, block.weight, ipc),
             None => println!("{:<13} {:>7.0} {:>12}", block.name, block.weight, "n/a"),
