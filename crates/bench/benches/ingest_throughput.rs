@@ -11,10 +11,18 @@
 //! * `ingest_flat` — today's `PreparedBatch::from_kernels` over flat
 //!   sorted-vec kernels: one contiguous hash per input, interned with cached
 //!   hashes;
-//! * `ingest_corpus_interned` — `PreparedBatch::from_corpus`: the corpus
-//!   interned its kernels at parse time, so ingest is index bookkeeping;
-//! * `model_parse_v1` / `model_load_v2b` — the text artifact parse vs the
-//!   binary validate-and-copy load of the same inferred SKL-like model.
+//! * `ingest_cloned_set_pr3` — the PR 3 corpus ingest reconstructed: index
+//!   bookkeeping, but the corpus's `KernelSet` deep-cloned into the batch;
+//! * `ingest_shared_set` — today's `PreparedBatch::from_corpus`: the corpus
+//!   hands its interner over by `Arc`, so ingest is a slot-table copy plus a
+//!   reference-count bump;
+//! * `model_parse_v1` / `model_load_v2b` / `model_load_serving` — the text
+//!   artifact parse vs the binary validate-and-copy load vs the serve-only
+//!   zero-copy load (borrowed view, deferred mapping) of the same inferred
+//!   SKL-like model; the serving case goes through
+//!   `ModelRegistry::load_serving_bytes` (including the handed-over buffer)
+//!   because retaining the bytes behind the borrowed view is exactly the
+//!   contract being measured.
 //!
 //! Record with `CRITERION_JSON=BENCH_ingest.json cargo bench --bench
 //! ingest_throughput`.
@@ -22,9 +30,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use palmed_core::{Palmed, PalmedConfig};
 use palmed_eval::suite::{generate_suite, SuiteConfig, SuiteKind};
-use palmed_isa::{FxBuildHasher, InstId, InventoryConfig, Microkernel};
+use palmed_isa::{FxBuildHasher, InstId, InventoryConfig, KernelSet, Microkernel};
 use palmed_machine::{presets, AnalyticMeasurer, MemoizingMeasurer};
-use palmed_serve::{Corpus, ModelArtifact, PreparedBatch};
+use palmed_serve::{Corpus, ModelArtifact, ModelRegistry, PreparedBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
@@ -106,7 +114,20 @@ fn bench_ingest_throughput(c: &mut Criterion) {
         |b, kernels| b.iter(|| PreparedBatch::from_kernels(kernels.iter()).len()),
     );
     group.bench_with_input(
-        BenchmarkId::new("ingest_corpus_interned", STREAM_LEN),
+        BenchmarkId::new("ingest_cloned_set_pr3", STREAM_LEN),
+        &corpus,
+        |b, corpus| {
+            // The PR 3 `from_corpus`, reconstructed: index bookkeeping, but
+            // the interner deep-cloned into every batch.
+            b.iter(|| {
+                let kernels: KernelSet = (*corpus.shared_kernels().as_ref()).clone();
+                let slots: Vec<u32> = corpus.blocks().iter().map(|b| b.kernel.0).collect();
+                kernels.len() + slots.len()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("ingest_shared_set", STREAM_LEN),
         &corpus,
         |b, corpus| b.iter(|| PreparedBatch::from_corpus(corpus).len()),
     );
@@ -132,6 +153,15 @@ fn bench_ingest_throughput(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("model_load_v2b", bin.len()), &bin, |b, bin| {
         b.iter(|| ModelArtifact::parse_bytes(bin).unwrap().instructions.len())
+    });
+    group.bench_with_input(BenchmarkId::new("model_load_serving", bin.len()), &bin, |b, bin| {
+        b.iter(|| {
+            let mut registry = ModelRegistry::new();
+            // `clone` hands the buffer over for retention — part of the cost.
+            let serving = registry.load_serving_bytes(bin.clone()).unwrap();
+            assert!(!serving.artifact.mapping_ready());
+            serving.artifact.instructions.len()
+        })
     });
     group.finish();
 
@@ -171,6 +201,15 @@ fn bench_ingest_throughput(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("model_load_v2b", bin.len()), &bin, |b, bin| {
         b.iter(|| ModelArtifact::parse_bytes(bin).unwrap().instructions.len())
+    });
+    group.bench_with_input(BenchmarkId::new("model_load_serving", bin.len()), &bin, |b, bin| {
+        b.iter(|| {
+            let mut registry = ModelRegistry::new();
+            // `clone` hands the buffer over for retention — part of the cost.
+            let serving = registry.load_serving_bytes(bin.clone()).unwrap();
+            assert!(!serving.artifact.mapping_ready());
+            serving.artifact.instructions.len()
+        })
     });
     group.finish();
 }

@@ -4,11 +4,16 @@
 //!
 //! 1. infer a conjunctive mapping from cycle measurements only;
 //! 2. save it as a `PALMED-MODEL v1` artifact and reload it through a
-//!    [`ModelRegistry`], verifying the round trip is bit-lossless;
+//!    [`ModelRegistry`], verifying the round trip is bit-lossless — then the
+//!    same through the binary v2b form, both as an owned validate-and-copy
+//!    load and as a serve-only zero-copy load (borrowed view over the
+//!    retained bytes, dense mapping deferred);
 //! 3. generate a basic-block corpus, save it as `PALMED-CORPUS v1` text and
 //!    load it back;
 //! 4. serve the corpus through the deduplicating [`BatchPredictor`] and
-//!    cross-check every prediction against the in-memory mapping;
+//!    cross-check every prediction against the in-memory mapping, then
+//!    re-serve it through the borrowed view and require bit-identity with
+//!    the owned path;
 //! 5. report accuracy against the native machine next to the uops-style
 //!    baseline.
 //!
@@ -104,6 +109,21 @@ fn main() {
         100.0 * v2_bytes as f64 / bytes.max(1) as f64
     );
 
+    // The serve-only zero-copy path: retain the artifact bytes, serve
+    // through the borrowed view, never rebuild the dense mapping.
+    let mut serve_registry = ModelRegistry::new();
+    let serving =
+        serve_registry.load_file_serving(&v2_path).expect("serve-only v2b load validates");
+    if serving.artifact.mapping_ready() {
+        eprintln!("FATAL: serve-only load materialised the dense mapping eagerly");
+        std::process::exit(1);
+    }
+    println!(
+        "      serve-only load registered `{}` ({} path, mapping deferred)",
+        serving.artifact.machine,
+        if serving.view().is_borrowed() { "zero-copy borrowed" } else { "owned fallback" }
+    );
+
     // ---- 3. Corpus to and from disk. ----
     let corpus_path = out.join("corpus.txt");
     let suite = generate_suite(
@@ -157,6 +177,35 @@ fn main() {
          (per-call legacy sweep of the same corpus: {:.2?}, {:.1}x the served path)",
         cold,
         cold.as_secs_f64() / served_in.as_secs_f64()
+    );
+
+    // Same corpus through the serve-only borrowed view: every prediction
+    // must be bit-identical to the owned compiled path, and the dense
+    // mapping must still not have been rebuilt.
+    let start = Instant::now();
+    let borrowed_result = serving.batch().predict_prepared(&prepared);
+    let borrowed_in = start.elapsed();
+    let borrowed_mismatches = result
+        .ipcs
+        .iter()
+        .zip(&borrowed_result.ipcs)
+        .filter(|(owned, borrowed)| owned.map(f64::to_bits) != borrowed.map(f64::to_bits))
+        .count();
+    if borrowed_mismatches > 0 {
+        eprintln!(
+            "FATAL: {borrowed_mismatches} borrowed-view predictions differ from the owned path"
+        );
+        std::process::exit(1);
+    }
+    if serving.artifact.mapping_ready() {
+        eprintln!("FATAL: serving the borrowed view forced the dense mapping rebuild");
+        std::process::exit(1);
+    }
+    println!(
+        "      serve-only borrowed view bit-identical to the owned path \
+         ({} blocks in {:.2?}; mapping still deferred)",
+        borrowed_result.ipcs.len(),
+        borrowed_in
     );
 
     // ---- 5. Accuracy against the native machine. ----

@@ -99,6 +99,17 @@ fn find_collision<K: std::borrow::Borrow<Microkernel>>(
 }
 
 /// An insert-only interner of microkernels with cached 64-bit hashes.
+///
+/// # Sharing contract
+///
+/// The set is **insert-only**: kernels are never removed or reordered, so a
+/// [`KernelId`], once handed out, resolves to the same kernel for the
+/// lifetime of the set — and of every clone taken after the id was issued.
+/// That is what makes an `Arc<KernelSet>` safe to share across consumers
+/// (the serving layer's corpora and prepared batches do exactly this):
+/// readers hold a snapshot whose ids are stable, and a writer that needs to
+/// keep interning while the set is shared can clone-on-write knowing the
+/// copy agrees with the original on every id both have seen.
 #[derive(Debug, Clone, Default)]
 pub struct KernelSet {
     /// The distinct kernels, indexed by [`KernelId`].

@@ -22,14 +22,103 @@
 //!   every preceding byte.  Truncation, bit rot and hand edits that forget to
 //!   re-hash are rejected at load time instead of silently mis-predicting.
 
+use crate::binfmt::{ArtifactBytes, RawIndex};
 use crate::compiled::CompiledModel;
 use palmed_core::ConjunctiveMapping;
 use palmed_isa::{ExecClass, Extension, InstDesc, InstId, InstructionSet};
 use std::fmt;
 use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+
+/// The lazily materialised mapping of a [`ModelArtifact`].
+///
+/// Most artifacts are born with their mapping (inference, v1 parse, eager
+/// v2b parse) and the cell is pre-filled.  Serve-only v2b loads instead
+/// retain the validated artifact bytes and defer the dense row rebuild —
+/// the dominant cost of a v2b load, and work the serving path never reads —
+/// until the first explicit [`ModelArtifact::mapping`] access, which pays it
+/// exactly once.
+struct MappingCell {
+    cell: OnceLock<ConjunctiveMapping>,
+    /// Rebuild source for deferred cells; `None` when the cell was born
+    /// materialised — and taken (releasing the byte buffer's refcount) the
+    /// moment the rebuild runs, so a materialised artifact does not pin the
+    /// artifact bytes for the rest of its life.
+    deferred: Mutex<Option<DeferredMapping>>,
+}
+
+/// The validated bytes a deferred mapping rebuilds from.  Shares the
+/// artifact buffer with the registry's serving entry — retaining it costs
+/// one `Arc`, not a copy.
+struct DeferredMapping {
+    bytes: ArtifactBytes,
+    index: RawIndex,
+}
+
+impl MappingCell {
+    fn ready(mapping: ConjunctiveMapping) -> Self {
+        MappingCell { cell: OnceLock::from(mapping), deferred: Mutex::new(None) }
+    }
+
+    fn deferred(bytes: ArtifactBytes, index: RawIndex) -> Self {
+        MappingCell {
+            cell: OnceLock::new(),
+            deferred: Mutex::new(Some(DeferredMapping { bytes, index })),
+        }
+    }
+
+    fn get(&self) -> &ConjunctiveMapping {
+        self.cell.get_or_init(|| {
+            // `get_or_init` runs the closure exactly once, so the rebuild
+            // state is there to take — and taking it drops this cell's hold
+            // on the artifact bytes as soon as the rows exist.
+            let deferred = self
+                .deferred
+                .lock()
+                .expect("rebuild never panics on validated bytes")
+                .take()
+                .expect("unfilled cells carry rebuild state");
+            deferred.index.rebuild_mapping(deferred.bytes.as_slice())
+        })
+    }
+
+    fn is_ready(&self) -> bool {
+        self.cell.get().is_some()
+    }
+}
+
+impl Clone for MappingCell {
+    fn clone(&self) -> Self {
+        match self.cell.get() {
+            // Once materialised, clone the mapping; the rebuild source is no
+            // longer needed.
+            Some(mapping) => MappingCell::ready(mapping.clone()),
+            None => {
+                let guard =
+                    self.deferred.lock().expect("rebuild never panics on validated bytes");
+                let deferred = guard.as_ref().expect("unfilled cells carry rebuild state");
+                MappingCell::deferred(deferred.bytes.clone(), deferred.index.clone())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for MappingCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.cell.get() {
+            Some(mapping) => mapping.fmt(f),
+            None => f.write_str("<deferred mapping>"),
+        }
+    }
+}
 
 /// A persistable inferred model: provenance, instruction set and mapping.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The mapping may be lazily materialised (serve-only binary loads defer the
+/// dense row rebuild); access it through [`ModelArtifact::mapping`].
+/// Equality, rendering and compilation force materialisation — only the
+/// serving path, which reads none of them, stays rebuild-free.
+#[derive(Debug, Clone)]
 pub struct ModelArtifact {
     /// Architecture / machine preset this model serves (e.g. `"skl-sp-like"`).
     pub machine: String,
@@ -38,8 +127,18 @@ pub struct ModelArtifact {
     pub source: String,
     /// The instruction inventory the mapping's [`InstId`]s index into.
     pub instructions: InstructionSet,
-    /// The inferred conjunctive resource mapping.
-    pub mapping: ConjunctiveMapping,
+    /// The inferred conjunctive resource mapping, possibly deferred.
+    mapping: MappingCell,
+}
+
+impl PartialEq for ModelArtifact {
+    /// Structural equality; forces materialisation of deferred mappings.
+    fn eq(&self, other: &Self) -> bool {
+        self.machine == other.machine
+            && self.source == other.source
+            && self.instructions == other.instructions
+            && self.mapping() == other.mapping()
+    }
 }
 
 /// Why an artifact failed to load.
@@ -149,13 +248,47 @@ impl ModelArtifact {
                 instructions.len()
             );
         }
-        ModelArtifact { machine: machine.into(), source: source.into(), instructions, mapping }
+        ModelArtifact {
+            machine: machine.into(),
+            source: source.into(),
+            instructions,
+            mapping: MappingCell::ready(mapping),
+        }
+    }
+
+    /// Assembles a serve-only artifact whose mapping rebuild is deferred to
+    /// the first [`ModelArtifact::mapping`] access.  The bytes and index must
+    /// come from a successful [`crate::binfmt::validate`] run — the
+    /// validator's `slots <= instructions` check is what keeps the artifact
+    /// self-describing without re-walking the rows here.
+    pub(crate) fn deferred(
+        machine: String,
+        source: String,
+        instructions: InstructionSet,
+        bytes: ArtifactBytes,
+        index: RawIndex,
+    ) -> Self {
+        ModelArtifact { machine, source, instructions, mapping: MappingCell::deferred(bytes, index) }
+    }
+
+    /// The inferred conjunctive resource mapping.
+    ///
+    /// Serve-only loads defer the dense row rebuild; the first call pays it
+    /// once and every later call returns the cached rows.
+    pub fn mapping(&self) -> &ConjunctiveMapping {
+        self.mapping.get()
+    }
+
+    /// True when the mapping is materialised — `false` for a serve-only load
+    /// that has not yet paid the dense rebuild.
+    pub fn mapping_ready(&self) -> bool {
+        self.mapping.is_ready()
     }
 
     /// Flattens the artifact's mapping into a [`CompiledModel`] named after
     /// the machine.
     pub fn compile(&self) -> CompiledModel {
-        CompiledModel::compile(self.machine.clone(), &self.mapping)
+        CompiledModel::compile(self.machine.clone(), self.mapping())
     }
 
     /// Renders the artifact in the `PALMED-MODEL v1` text format, checksum
@@ -175,14 +308,15 @@ impl ModelArtifact {
                 desc.extension
             ));
         }
-        out.push_str(&format!("resources {}\n", self.mapping.num_resources()));
-        for r in self.mapping.resources() {
-            out.push_str(&format!("R {} {}\n", r.index(), token(self.mapping.resource_name(r))));
+        let mapping = self.mapping();
+        out.push_str(&format!("resources {}\n", mapping.num_resources()));
+        for r in mapping.resources() {
+            out.push_str(&format!("R {} {}\n", r.index(), token(mapping.resource_name(r))));
         }
-        out.push_str(&format!("rows {}\n", self.mapping.num_instructions()));
-        for inst in self.mapping.instructions() {
+        out.push_str(&format!("rows {}\n", mapping.num_instructions()));
+        for inst in mapping.instructions() {
             out.push_str(&format!("M {}", inst.index()));
-            let usage = self.mapping.usage_vector(inst).expect("mapped instruction has a row");
+            let usage = mapping.usage_vector(inst).expect("mapped instruction has a row");
             for (r, &value) in usage.iter().enumerate() {
                 if value != 0.0 {
                     out.push_str(&format!(" {r}:{value}"));
@@ -352,7 +486,7 @@ impl ModelArtifact {
             return Err(malformed(line, format!("trailing content `{l}` after `end`")));
         }
 
-        Ok(ModelArtifact { machine, source, instructions, mapping })
+        Ok(ModelArtifact { machine, source, instructions, mapping: MappingCell::ready(mapping) })
     }
 
     /// Renders the artifact in the binary `PALMED-MODEL v2b` format (see the
@@ -432,17 +566,24 @@ impl ModelArtifact {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests_support {
     use super::*;
-    use palmed_isa::Microkernel;
 
-    fn example() -> ModelArtifact {
+    /// A small artifact shared by this module's and the binary codec's tests.
+    pub(crate) fn example() -> ModelArtifact {
         let instructions = InstructionSet::paper_example();
         let mut mapping = ConjunctiveMapping::new(vec!["r1".into(), "r01".into(), "r016".into()]);
         mapping.set_usage(InstId(2), vec![0.0, 0.5, 1.0 / 3.0]);
         mapping.set_usage(InstId(3), vec![1.0, 0.5, 1.0 / 3.0]);
         ModelArtifact::new("skl-ports016", "paper-fig1", instructions, mapping)
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::example;
+    use super::*;
+    use palmed_isa::Microkernel;
 
     #[test]
     fn render_parse_round_trip_is_exact() {
@@ -462,7 +603,7 @@ mod tests {
         let mut scratch = compiled.scratch();
         let k = Microkernel::pair(InstId(2), 2, InstId(3), 1);
         assert_eq!(
-            artifact.mapping.ipc(&k).map(f64::to_bits),
+            artifact.mapping().ipc(&k).map(f64::to_bits),
             compiled.ipc_with(&k, &mut scratch).map(f64::to_bits)
         );
     }

@@ -9,7 +9,8 @@
 //!   costs one Fx hash per
 //!   input (cached per distinct kernel by the [`KernelSet`] interner); from a
 //!   [`Corpus`] it costs *nothing* — the parser already interned every block,
-//!   so ingest is pure index bookkeeping.  This happens once per workload.
+//!   so ingest is a slot-table copy plus an `Arc` bump of the corpus's own
+//!   kernel set.  This happens once per workload.
 //! * **Serve** ([`BatchPredictor::predict_prepared`]): only the distinct
 //!   kernels are evaluated — sharded across threads with
 //!   [`palmed_par::par_map`], one scratch buffer per shard — and results are
@@ -18,13 +19,18 @@
 //!   that re-runs on every model update, every candidate mapping, every
 //!   what-if query against the same workload.
 //!
-//! [`BatchPredictor::predict`] chains the two for one-shot use, deduplicating
-//! by reference so distinct kernels are never cloned.
+//! [`BatchPredictor`] is generic over [`KernelLoad`], so the same engine
+//! serves an owned [`CompiledModel`], a borrowed
+//! [`CompiledModelRef`](crate::CompiledModelRef) over retained artifact
+//! bytes, or the [`ModelView`](crate::ModelView) a serve-only load hands
+//! out.  [`BatchPredictor::predict`] chains ingest and serve for one-shot
+//! use, deduplicating by reference so distinct kernels are never cloned.
 
-use crate::compiled::CompiledModel;
+use crate::compiled::{CompiledModel, KernelLoad};
 use crate::corpus::Corpus;
 use palmed_isa::{KernelSet, Microkernel};
 use std::borrow::Borrow;
+use std::sync::Arc;
 
 // Re-exported from `palmed-isa` (the interner lives next to the kernel
 // representation now); kept here for source compatibility.
@@ -41,11 +47,20 @@ pub struct BatchResult {
 }
 
 /// A deduplicated workload, ready to be served any number of times.
+///
+/// The distinct kernels live behind an `Arc<KernelSet>`: batches prepared
+/// from the same [`Corpus`] share the corpus's interner instead of cloning
+/// it, so repeated ingest of one workload costs a slot-table copy and a
+/// reference-count bump.  Sharing is sound because [`KernelSet`] is
+/// insert-only — a [`KernelId`](palmed_isa::KernelId), once handed out,
+/// resolves to the same kernel forever — and a prepared batch never inserts;
+/// a corpus that grows after batches were prepared copies-on-write, leaving
+/// every outstanding batch on its original snapshot.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PreparedBatch {
     /// The distinct kernels with their cached hashes, in first-occurrence
-    /// order.
-    kernels: KernelSet,
+    /// order, shared with whatever produced them.
+    kernels: Arc<KernelSet>,
     /// For every input position, the index of its kernel in `kernels`.
     slots: Vec<u32>,
 }
@@ -56,16 +71,17 @@ impl PreparedBatch {
     pub fn from_kernels<'k>(kernels: impl IntoIterator<Item = &'k Microkernel>) -> Self {
         let mut set = KernelSet::new();
         let slots = kernels.into_iter().map(|kernel| set.intern(kernel).0).collect();
-        PreparedBatch { kernels: set, slots }
+        PreparedBatch { kernels: Arc::new(set), slots }
     }
 
-    /// Ingests a corpus.  The corpus interned its kernels at parse time, so
-    /// this is index bookkeeping: the slot table is copied straight from the
-    /// blocks' [`KernelId`](palmed_isa::KernelId)s and no kernel is hashed
-    /// or compared.
+    /// Ingests a corpus.  The corpus interned its kernels at parse time and
+    /// hands its set over by `Arc`, so this is index bookkeeping only: the
+    /// slot table is copied straight from the blocks'
+    /// [`KernelId`](palmed_isa::KernelId)s and no kernel is hashed, compared
+    /// or cloned — the interner itself is shared, not copied.
     pub fn from_corpus(corpus: &Corpus) -> Self {
         PreparedBatch {
-            kernels: corpus.kernels().clone(),
+            kernels: Arc::clone(corpus.shared_kernels()),
             slots: corpus.blocks().iter().map(|b| b.kernel.0).collect(),
         }
     }
@@ -89,21 +105,30 @@ impl PreparedBatch {
     pub fn kernels(&self) -> &KernelSet {
         &self.kernels
     }
+
+    /// The shared handle to the backing kernel set (e.g. to check or extend
+    /// sharing with the originating corpus).
+    pub fn shared_kernels(&self) -> &Arc<KernelSet> {
+        &self.kernels
+    }
 }
 
-/// A sharded batch front-end over a [`CompiledModel`].
+/// A sharded batch front-end over any [`KernelLoad`] model — owned,
+/// borrowed, or a [`ModelView`](crate::ModelView).
 #[derive(Debug, Clone, Copy)]
-pub struct BatchPredictor<'m> {
-    model: &'m CompiledModel,
+pub struct BatchPredictor<M = CompiledModel> {
+    model: M,
     shard_size: usize,
 }
 
-impl<'m> BatchPredictor<'m> {
+impl<M: KernelLoad + Sync> BatchPredictor<M> {
     /// Default number of distinct kernels per work shard.
     pub const DEFAULT_SHARD_SIZE: usize = 256;
 
-    /// Wraps a compiled model with the default shard size.
-    pub fn new(model: &'m CompiledModel) -> Self {
+    /// Wraps a model with the default shard size.  `M` is typically a
+    /// reference (`&CompiledModel`) or a cheap view
+    /// ([`CompiledModelRef`](crate::CompiledModelRef)).
+    pub fn new(model: M) -> Self {
         BatchPredictor { model, shard_size: Self::DEFAULT_SHARD_SIZE }
     }
 
@@ -116,8 +141,8 @@ impl<'m> BatchPredictor<'m> {
     }
 
     /// The model this predictor serves.
-    pub fn model(&self) -> &CompiledModel {
-        self.model
+    pub fn model(&self) -> &M {
+        &self.model
     }
 
     /// One-shot convenience: ingest and serve in a single call.  The dedup
@@ -210,7 +235,7 @@ mod tests {
     }
 
     #[test]
-    fn corpus_ingest_is_index_bookkeeping() {
+    fn corpus_ingest_shares_the_interned_set() {
         let model = model();
         let mut m = ConjunctiveMapping::with_resources(2);
         m.set_usage(InstId(2), vec![1.0, 0.0]);
@@ -228,13 +253,33 @@ mod tests {
         let prepared = PreparedBatch::from_corpus(&corpus);
         assert_eq!(prepared.len(), 3);
         assert_eq!(prepared.distinct(), 2);
-        // The prepared batch shares the corpus's interned set verbatim.
+        // The prepared batch shares the corpus's interner — same allocation,
+        // not a clone.
+        assert!(Arc::ptr_eq(prepared.shared_kernels(), corpus.shared_kernels()));
         assert_eq!(prepared.kernels(), corpus.kernels());
         let predictor = BatchPredictor::new(&model);
         let via_prepared = predictor.predict_prepared(&prepared);
         let via_corpus = predictor.predict_corpus(&corpus);
         assert_eq!(via_prepared, via_corpus);
         assert_eq!(via_prepared.ipcs[0], via_prepared.ipcs[2]);
+    }
+
+    #[test]
+    fn growing_the_corpus_after_ingest_leaves_batches_on_their_snapshot() {
+        let mut corpus: Corpus =
+            [("a", 1.0, Microkernel::single(InstId(0)))].into_iter().collect();
+        let prepared = PreparedBatch::from_corpus(&corpus);
+        assert!(Arc::ptr_eq(prepared.shared_kernels(), corpus.shared_kernels()));
+        // Growing the corpus copies-on-write: the batch keeps its snapshot,
+        // and already-handed-out ids keep resolving identically in both.
+        corpus.push("b", 2.0, Microkernel::single(InstId(1)));
+        assert!(!Arc::ptr_eq(prepared.shared_kernels(), corpus.shared_kernels()));
+        assert_eq!(prepared.distinct(), 1);
+        assert_eq!(corpus.kernels().len(), 2);
+        assert_eq!(
+            corpus.kernel(corpus.blocks()[0].kernel),
+            prepared.kernels().get(palmed_isa::KernelId(0))
+        );
     }
 
     #[test]

@@ -4,12 +4,19 @@
 //! The v1 text format stays the interchange/debug form; v2b exists because a
 //! full XED-sized inventory makes float parsing the dominant load cost.  In
 //! v2b every `f64` is its raw bit pattern and every array is a contiguous
-//! little-endian run, so loading is a validate-and-copy: the decoded
-//! [`CompiledModel`] is built by copying the stored arrays without
-//! re-deriving anything, and the [`ModelArtifact`]'s dense mapping rows are
-//! reconstructed by scattering the sparse entries over zeros (exactly
-//! inverting what [`CompiledModel::compile`] does, so a v1↔v2 round trip is
-//! bit-identical).
+//! little-endian run, so loading splits into two halves:
+//!
+//! * [`validate`] walks the buffer once, checks the checksum and every
+//!   structural invariant, and returns a [`RawIndex`] — the byte ranges of
+//!   the CSR arrays plus the instruction inventory.  Nothing is copied.
+//! * Materialisation is then a choice per caller: [`RawIndex::to_compiled`]
+//!   copies the arrays into an owned [`CompiledModel`] (the classic
+//!   validate-and-copy load), [`RawIndex::view`] borrows them in place as a
+//!   [`CompiledModelRef`] (the zero-copy serving load), and
+//!   [`RawIndex::rebuild_mapping`] re-derives the dense
+//!   [`ConjunctiveMapping`] rows (exactly inverting what
+//!   [`CompiledModel::compile`] does, so a v1↔v2 round trip is
+//!   bit-identical) — which serve-only loads defer until first access.
 //!
 //! Layout (all integers little-endian; see the crate docs for the grammar):
 //!
@@ -38,9 +45,11 @@
 //! budget *before* the allocation it would drive.
 
 use crate::artifact::{ArtifactError, ModelArtifact};
-use crate::compiled::CompiledModel;
+use crate::compiled::{CompiledModel, CompiledModelRef};
 use palmed_core::ConjunctiveMapping;
 use palmed_isa::{ExecClass, Extension, InstDesc, InstId, InstructionSet};
+use std::ops::Range;
+use std::sync::Arc;
 
 /// First bytes of every v2b artifact; what format sniffing keys on.
 pub(crate) const MAGIC: &[u8] = b"PALMED-MODEL v2b\n";
@@ -77,7 +86,8 @@ use crate::artifact::token;
 /// Serialises an artifact into the v2b binary form, checksum included.
 pub(crate) fn encode(artifact: &ModelArtifact) -> Vec<u8> {
     let machine = token(&artifact.machine);
-    let compiled = CompiledModel::compile(machine.clone(), &artifact.mapping);
+    let mapping = artifact.mapping();
+    let compiled = CompiledModel::compile(machine.clone(), mapping);
     let (mapped, row_ptr, cols, vals) = compiled.raw_parts();
 
     let mut out = Vec::with_capacity(64 + 16 * vals.len());
@@ -95,8 +105,8 @@ pub(crate) fn encode(artifact: &ModelArtifact) -> Vec<u8> {
     }
 
     push_u32(&mut out, compiled.num_resources() as u32);
-    for r in artifact.mapping.resources() {
-        push_str(&mut out, &token(artifact.mapping.resource_name(r)));
+    for r in mapping.resources() {
+        push_str(&mut out, &token(mapping.resource_name(r)));
     }
 
     push_u32(&mut out, mapped.len() as u32);
@@ -140,6 +150,14 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
+    /// Like [`Cursor::take`], but returns the byte range instead of the
+    /// slice — what the zero-copy index stores.
+    fn take_range(&mut self, n: usize, what: &str) -> Result<Range<usize>, ArtifactError> {
+        let start = self.pos;
+        self.take(n, what)?;
+        Ok(start..start + n)
+    }
+
     fn u32(&mut self, what: &str) -> Result<u32, ArtifactError> {
         Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
     }
@@ -169,19 +187,11 @@ impl<'a> Cursor<'a> {
         Ok(name)
     }
 
-    /// Reads `n` little-endian `u32`s as one contiguous copy (the length is
-    /// checked against the remaining bytes before anything is allocated).
-    fn u32_array(&mut self, n: usize, what: &str) -> Result<Vec<u32>, ArtifactError> {
-        let total = n.checked_mul(4).ok_or_else(|| self.bad(format!("{what} count overflows")))?;
-        let bytes = self.take(total, what)?;
-        Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))).collect())
-    }
-
-    /// Reads `n` little-endian `u64`s as one contiguous copy.
-    fn u64_array(&mut self, n: usize, what: &str) -> Result<Vec<u64>, ArtifactError> {
-        let total = n.checked_mul(8).ok_or_else(|| self.bad(format!("{what} count overflows")))?;
-        let bytes = self.take(total, what)?;
-        Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))).collect())
+    /// [`Cursor::token`] plus the byte range the name occupies.
+    fn token_range(&mut self, what: &str) -> Result<Range<usize>, ArtifactError> {
+        let start = self.pos + 4;
+        let name = self.token(what)?;
+        Ok(start..start + name.len())
     }
 
     fn done(&self) -> bool {
@@ -189,9 +199,45 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Parses and verifies a v2b artifact, returning both the self-describing
-/// artifact and the compiled model copied verbatim from the stored arrays.
-pub(crate) fn decode(bytes: &[u8]) -> Result<(ModelArtifact, CompiledModel), ArtifactError> {
+/// Reads the `i`-th little-endian `u32` of a validated array range.
+#[inline]
+fn u32_at(bytes: &[u8], range: &Range<usize>, i: usize) -> u32 {
+    let at = range.start + 4 * i;
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+/// A validated map of the byte ranges inside one v2b artifact: everything a
+/// consumer needs to materialise (or borrow) the model without re-checking
+/// any invariant.  Offsets are relative to the artifact's first byte, so the
+/// index stays valid when the buffer is re-based.
+#[derive(Debug, Clone)]
+pub(crate) struct RawIndex {
+    machine: Range<usize>,
+    source: Range<usize>,
+    resource_names: Vec<Range<usize>>,
+    /// Row slot count (last mapped instruction index + 1).
+    slots: usize,
+    mapped: Range<usize>,
+    row_ptr: Range<usize>,
+    cols: Range<usize>,
+    vals: Range<usize>,
+}
+
+/// Everything [`validate`] proves about a v2b buffer: the instruction
+/// inventory (materialised during validation — duplicate detection needs the
+/// name index anyway) and the byte ranges of the rest.
+pub(crate) struct Validated {
+    pub instructions: InstructionSet,
+    pub index: RawIndex,
+}
+
+/// Walks a v2b artifact once, verifying the checksum and every structural
+/// invariant, without copying any CSR array or rebuilding any dense row.
+///
+/// This is the single validator behind every v2b load path — owned, borrowed
+/// and serve-only — so corruption, truncation and crafted structural
+/// violations are rejected identically everywhere.
+pub(crate) fn validate(bytes: &[u8]) -> Result<Validated, ArtifactError> {
     if !bytes.starts_with(MAGIC) {
         return Err(ArtifactError::MissingHeader);
     }
@@ -207,8 +253,8 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<(ModelArtifact, CompiledModel), Art
     }
 
     let mut cur = Cursor { bytes: body, pos: MAGIC.len() };
-    let machine = cur.token("machine name")?.to_string();
-    let source = cur.token("source name")?.to_string();
+    let machine = cur.token_range("machine name")?;
+    let source = cur.token_range("source name")?;
 
     // Instruction inventory.
     let n_insts = cur.u32("instruction count")? as usize;
@@ -235,66 +281,83 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<(ModelArtifact, CompiledModel), Art
     let n_resources = cur.u32("resource count")? as usize;
     let mut resource_names = Vec::with_capacity(n_resources.min(4096));
     for _ in 0..n_resources {
-        resource_names.push(cur.token("resource name")?.to_string());
+        resource_names.push(cur.token_range("resource name")?);
     }
 
     // CSR arrays: lengths are validated against the remaining bytes by the
-    // cursor before any allocation happens.
+    // cursor before anything is read past.
     let slots = cur.u32("row slot count")? as usize;
     if slots > n_insts {
         return Err(cur.bad(format!("{slots} row slots exceed {n_insts} instructions")));
     }
-    let mut mapped = Vec::with_capacity(slots.min(1 << 20));
-    for flag in cur.take(slots, "mapped flags")? {
-        match flag {
-            0 => mapped.push(false),
-            1 => mapped.push(true),
-            other => return Err(cur.bad(format!("mapped flag must be 0 or 1, found {other}"))),
+    let mapped = cur.take_range(slots, "mapped flags")?;
+    for (i, flag) in bytes[mapped.clone()].iter().enumerate() {
+        if *flag > 1 {
+            return Err(cur.bad(format!("mapped flag must be 0 or 1, found {flag} at slot {i}")));
         }
     }
-    if slots > 0 && !mapped[slots - 1] {
+    if slots > 0 && bytes[mapped.end - 1] == 0 {
         return Err(cur.bad("last row slot is unmapped (slot table is not minimal)"));
     }
-    let row_ptr = cur.u32_array(slots + 1, "row_ptr")?;
+    let row_ptr_len = (slots + 1)
+        .checked_mul(4)
+        .ok_or_else(|| cur.bad("row_ptr count overflows".to_string()))?;
+    let row_ptr = cur.take_range(row_ptr_len, "row_ptr")?;
     let nnz = cur.u32("entry count")? as usize;
-    if row_ptr[0] != 0 || row_ptr[slots] as usize != nnz {
-        return Err(cur.bad(format!(
-            "row_ptr must run from 0 to {nnz}, found {}..{}",
-            row_ptr[0], row_ptr[slots]
-        )));
+    let first = u32_at(bytes, &row_ptr, 0);
+    let last = u32_at(bytes, &row_ptr, slots);
+    if first != 0 || last as usize != nnz {
+        return Err(cur.bad(format!("row_ptr must run from 0 to {nnz}, found {first}..{last}")));
     }
     // Full monotonicity up front: with the endpoints pinned above, this also
-    // bounds every entry by `nnz`, so the scatter loop below cannot index
-    // past the arrays even on a crafted (correctly re-hashed) body.
-    if let Some(i) = (0..slots).find(|&i| row_ptr[i + 1] < row_ptr[i]) {
-        return Err(cur.bad(format!("row_ptr decreases at slot {i}")));
+    // bounds every entry by `nnz`, so no row walk below (or later, in a
+    // borrowed view) can index past the arrays even on a crafted (correctly
+    // re-hashed) body.
+    let mut previous_ptr = 0u32;
+    for (i, word) in bytes[row_ptr.clone()].chunks_exact(4).enumerate().skip(1) {
+        let p = u32::from_le_bytes(word.try_into().expect("4 bytes"));
+        if p < previous_ptr {
+            return Err(cur.bad(format!("row_ptr decreases at slot {}", i - 1)));
+        }
+        previous_ptr = p;
     }
-    let cols = cur.u32_array(nnz, "columns")?;
-    let vals: Vec<f64> =
-        cur.u64_array(nnz, "usage values")?.into_iter().map(f64::from_bits).collect();
-    if let Some(v) = vals.iter().find(|v| !v.is_finite() || **v <= 0.0) {
-        return Err(cur.bad(format!("usage value {v} is not finite and positive")));
-    }
+    let cols_len =
+        nnz.checked_mul(4).ok_or_else(|| cur.bad("columns count overflows".to_string()))?;
+    let cols = cur.take_range(cols_len, "columns")?;
+    let vals_len =
+        nnz.checked_mul(8).ok_or_else(|| cur.bad("usage values count overflows".to_string()))?;
+    let vals = cur.take_range(vals_len, "usage values")?;
     if !cur.done() {
         return Err(cur.bad("trailing bytes after the CSR arrays"));
     }
 
-    // One pass per slot: validate the row structure and reconstruct the
-    // dense mapping row (inverse of `compile`).  Slots are in ascending
-    // instruction order, so the row table below collects in bulk.
-    let mut rows: Vec<(InstId, Vec<f64>)> = Vec::with_capacity(slots.min(1 << 20));
-    for i in 0..slots {
-        let (start, end) = (row_ptr[i] as usize, row_ptr[i + 1] as usize);
-        if !mapped[i] {
-            if end != start {
+    // One sequential pass over the rows.  `row_ptr` partitions `0..nnz`
+    // (endpoints pinned, monotone), so the column and value cursors advance
+    // in lockstep with the slot walk and cover every entry exactly once:
+    // unmapped slots must have empty rows, columns must be strictly
+    // ascending and in range, and every stored f64 must be finite and
+    // positive.
+    let mut col_words = bytes[cols.clone()].chunks_exact(4);
+    let mut val_words = bytes[vals.clone()].chunks_exact(8);
+    let mut previous_ptr = 0u32;
+    for (i, &flag) in bytes[mapped.clone()].iter().enumerate() {
+        let next_ptr = u32_at(bytes, &row_ptr, i + 1);
+        let count = (next_ptr - previous_ptr) as usize;
+        previous_ptr = next_ptr;
+        if flag == 0 {
+            if count != 0 {
                 return Err(cur.bad(format!("unmapped slot {i} has a non-empty row")));
             }
             continue;
         }
-        let mut usage = vec![0.0; n_resources];
         let mut previous: Option<u32> = None;
-        for e in start..end {
-            let col = cols[e];
+        for _ in 0..count {
+            let col = u32::from_le_bytes(
+                col_words.next().expect("row_ptr bounded by nnz").try_into().expect("4 bytes"),
+            );
+            let val = f64::from_bits(u64::from_le_bytes(
+                val_words.next().expect("vals as long as cols").try_into().expect("8 bytes"),
+            ));
             if col as usize >= n_resources {
                 return Err(cur.bad(format!("slot {i} references resource {col} >= {n_resources}")));
             }
@@ -302,21 +365,176 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<(ModelArtifact, CompiledModel), Art
                 return Err(cur.bad(format!("slot {i} columns are not strictly ascending")));
             }
             previous = Some(col);
-            usage[col as usize] = vals[e];
+            if !val.is_finite() || val <= 0.0 {
+                return Err(cur.bad(format!("usage value {val} is not finite and positive")));
+            }
         }
-        rows.push((InstId(i as u32), usage));
     }
-    let mapping = ConjunctiveMapping::from_rows(resource_names.clone(), rows);
 
-    let compiled = CompiledModel::from_raw_parts(
-        machine.clone(),
-        resource_names,
-        mapped,
-        row_ptr,
-        cols,
-        vals,
+    let index = RawIndex { machine, source, resource_names, slots, mapped, row_ptr, cols, vals };
+    Ok(Validated { instructions, index })
+}
+
+impl RawIndex {
+    fn str<'a>(&self, bytes: &'a [u8], range: &Range<usize>) -> &'a str {
+        std::str::from_utf8(&bytes[range.clone()]).expect("validated UTF-8")
+    }
+
+    /// The machine name, borrowed from the buffer.
+    pub(crate) fn machine<'a>(&self, bytes: &'a [u8]) -> &'a str {
+        self.str(bytes, &self.machine)
+    }
+
+    /// The source name, borrowed from the buffer.
+    pub(crate) fn source<'a>(&self, bytes: &'a [u8]) -> &'a str {
+        self.str(bytes, &self.source)
+    }
+
+    /// Copies the CSR arrays out of the buffer into an owned
+    /// [`CompiledModel`] — the classic validate-and-copy load, and the
+    /// fallback behind [`CompiledModelRef::to_owned`].
+    pub(crate) fn to_compiled(&self, bytes: &[u8]) -> CompiledModel {
+        let mapped: Vec<bool> = bytes[self.mapped.clone()].iter().map(|&b| b != 0).collect();
+        let row_ptr: Vec<u32> = bytes[self.row_ptr.clone()]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        let cols: Vec<u32> = bytes[self.cols.clone()]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        let vals: Vec<f64> = bytes[self.vals.clone()]
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect();
+        CompiledModel::from_raw_parts(
+            self.machine(bytes).to_string(),
+            self.resource_names.iter().map(|r| self.str(bytes, r).to_string()).collect(),
+            mapped,
+            row_ptr,
+            cols,
+            vals,
+        )
+    }
+
+    /// Borrows the CSR arrays in place as a [`CompiledModelRef`], or `None`
+    /// when the buffer cannot back an aligned `u32` view (the integer arrays
+    /// land on unaligned offsets, or the target is big-endian — v2b arrays
+    /// are little-endian runs).  `vals` needs no alignment: the view reads
+    /// `f64` bit patterns bytewise.
+    pub(crate) fn view<'a>(&self, bytes: &'a [u8]) -> Option<CompiledModelRef<'a>> {
+        if cfg!(target_endian = "big") {
+            return None;
+        }
+        // SAFETY: every bit pattern is a valid u32; `align_to` returns the
+        // longest aligned middle, so empty prefixes prove the whole range
+        // reinterprets in place.  Endianness is checked above.
+        let (rp_head, row_ptr, rp_tail) =
+            unsafe { bytes[self.row_ptr.clone()].align_to::<u32>() };
+        let (c_head, cols, c_tail) = unsafe { bytes[self.cols.clone()].align_to::<u32>() };
+        if !rp_head.is_empty() || !rp_tail.is_empty() || !c_head.is_empty() || !c_tail.is_empty() {
+            return None;
+        }
+        Some(CompiledModelRef::from_parts(
+            self.machine(bytes),
+            self.resource_names.iter().map(|r| self.str(bytes, r)).collect(),
+            &bytes[self.mapped.clone()],
+            row_ptr,
+            cols,
+            &bytes[self.vals.clone()],
+        ))
+    }
+
+    /// Byte offset the `row_ptr` array starts at — what buffer alignment is
+    /// decided against.
+    pub(crate) fn row_ptr_offset(&self) -> usize {
+        self.row_ptr.start
+    }
+
+    /// Rebuilds the dense [`ConjunctiveMapping`] rows by scattering the
+    /// sparse entries over zeros (the inverse of [`CompiledModel::compile`]).
+    /// This is the expensive half of a v2b load that the serving path never
+    /// needs — serve-only loads defer it until first explicit access.
+    pub(crate) fn rebuild_mapping(&self, bytes: &[u8]) -> ConjunctiveMapping {
+        let n_resources = self.resource_names.len();
+        let mut rows: Vec<(InstId, Vec<f64>)> = Vec::with_capacity(self.slots.min(1 << 20));
+        for i in 0..self.slots {
+            if bytes[self.mapped.start + i] == 0 {
+                continue;
+            }
+            let (start, end) =
+                (u32_at(bytes, &self.row_ptr, i) as usize, u32_at(bytes, &self.row_ptr, i + 1) as usize);
+            let mut usage = vec![0.0; n_resources];
+            for e in start..end {
+                let col = u32_at(bytes, &self.cols, e) as usize;
+                let at = self.vals.start + 8 * e;
+                usage[col] =
+                    f64::from_bits(u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes")));
+            }
+            rows.push((InstId(i as u32), usage));
+        }
+        ConjunctiveMapping::from_rows(
+            self.resource_names.iter().map(|r| self.str(bytes, r).to_string()).collect(),
+            rows,
+        )
+    }
+}
+
+/// Owned artifact bytes whose CSR integer arrays are guaranteed to sit on
+/// aligned offsets, shareable between a serve-only registry entry and the
+/// deferred mapping state of its artifact.
+///
+/// `std::fs::read` hands back a buffer whose base alignment is allocator
+/// luck and whose array offsets depend on name lengths, so roughly 3 in 4
+/// artifacts would land misaligned and fall off the zero-copy path.
+/// [`ArtifactBytes::aligned`] fixes that once at load time: when the arrays
+/// are misaligned it re-bases the payload with a leading shift (one memcpy —
+/// still no per-array copies, no rebuild), after which [`RawIndex::view`] is
+/// guaranteed to succeed on little-endian targets.
+#[derive(Debug, Clone)]
+pub(crate) struct ArtifactBytes {
+    buf: Arc<Vec<u8>>,
+    /// Offset of the artifact's first byte inside `buf` (non-zero only when
+    /// the payload was re-based for alignment).
+    start: usize,
+}
+
+impl ArtifactBytes {
+    /// Wraps raw artifact bytes, re-basing them if the validated index says
+    /// the `u32` arrays would otherwise be unaligned.
+    pub(crate) fn aligned(bytes: Vec<u8>, index: &RawIndex) -> ArtifactBytes {
+        let misalignment = (bytes.as_ptr() as usize + index.row_ptr_offset()) % 4;
+        if misalignment == 0 {
+            return ArtifactBytes { buf: Arc::new(bytes), start: 0 };
+        }
+        let mut buf = vec![0u8; bytes.len() + 4];
+        let start = (4 - (buf.as_ptr() as usize + index.row_ptr_offset()) % 4) % 4;
+        buf[start..start + bytes.len()].copy_from_slice(&bytes);
+        buf.truncate(start + bytes.len());
+        ArtifactBytes { buf: Arc::new(buf), start }
+    }
+
+    /// The artifact bytes.  The heap block behind the `Arc` never moves, so
+    /// the alignment established at construction holds for the lifetime of
+    /// every clone.
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+}
+
+/// Parses and verifies a v2b artifact, returning both the self-describing
+/// artifact (dense mapping rebuilt eagerly) and the compiled model copied
+/// verbatim from the stored arrays.
+pub(crate) fn decode(bytes: &[u8]) -> Result<(ModelArtifact, CompiledModel), ArtifactError> {
+    let Validated { instructions, index } = validate(bytes)?;
+    let mapping = index.rebuild_mapping(bytes);
+    let compiled = index.to_compiled(bytes);
+    let artifact = ModelArtifact::new(
+        index.machine(bytes).to_string(),
+        index.source(bytes).to_string(),
+        instructions,
+        mapping,
     );
-    let artifact = ModelArtifact { machine, source, instructions, mapping };
     Ok((artifact, compiled))
 }
 
@@ -356,6 +574,29 @@ mod tests {
                 assert!(reason.contains("row_ptr"), "unexpected reason: {reason}");
             }
             other => panic!("expected MalformedBinary, got {other:?}"),
+        }
+    }
+
+    /// Re-basing preserves the payload bytes and establishes alignment.
+    #[test]
+    fn aligned_bytes_preserve_content_at_any_incoming_shift() {
+        let artifact = crate::artifact::tests_support::example();
+        let bin = artifact.render_v2();
+        let Validated { index, .. } = validate(&bin).unwrap();
+        for shift in 0..4usize {
+            // Place the artifact at a deliberate offset inside a u32-aligned
+            // backing store, so the incoming alignment is exact.
+            let mut backing = vec![0u8; bin.len() + 8];
+            let base = backing.as_ptr() as usize;
+            let pad = (4 - base % 4) % 4 + shift;
+            backing[pad..pad + bin.len()].copy_from_slice(&bin);
+            let slice = backing[pad..pad + bin.len()].to_vec();
+            let aligned = ArtifactBytes::aligned(slice, &index);
+            assert_eq!(aligned.as_slice(), &bin[..]);
+            assert!(
+                index.view(aligned.as_slice()).is_some() || cfg!(target_endian = "big"),
+                "aligned bytes must back a borrowed view (shift {shift})"
+            );
         }
     }
 }

@@ -1,4 +1,6 @@
-//! The compiled predictor: a [`ConjunctiveMapping`] flattened for serving.
+//! The compiled predictor: a [`ConjunctiveMapping`] flattened for serving —
+//! owned ([`CompiledModel`]) or borrowed straight from artifact bytes
+//! ([`CompiledModelRef`]).
 //!
 //! [`ConjunctiveMapping`] stores usage rows in a `BTreeMap` keyed by
 //! [`InstId`] — ideal while the inference pipeline is still inserting and
@@ -10,14 +12,25 @@
 //! dense.  Prediction walks two flat arrays and writes into a caller-provided
 //! scratch buffer — no allocation, no pointer chasing.
 //!
+//! [`CompiledModelRef`] is the same arena *without the copies*: a
+//! validate-once view whose `row_ptr`/`cols` slices alias the raw `v2b`
+//! artifact bytes and whose usage values are read as `f64` bit patterns in
+//! place.  Both implement [`KernelLoad`], the allocation-free serving
+//! interface the batch engine is generic over; [`ModelView`] holds whichever
+//! of the two a load produced (borrowed when the buffer alignment allows it,
+//! owned otherwise).
+//!
 //! The arithmetic performs the same additions in the same order as the
 //! `BTreeMap` path (kernels iterate in instruction order in both, and
 //! skipping an exact `+ 0.0` cannot change a finite non-negative
-//! accumulator), so compiled predictions are **bit-identical** to
-//! [`ConjunctiveMapping::ipc`] — asserted by the round-trip property tests.
+//! accumulator), so compiled predictions — owned and borrowed alike — are
+//! **bit-identical** to [`ConjunctiveMapping::ipc`] — asserted by the
+//! round-trip property tests.
 
+use crate::artifact::ArtifactError;
 use palmed_core::{ConjunctiveMapping, ResourceId, ThroughputPredictor};
 use palmed_isa::{InstId, Microkernel};
+use std::borrow::Cow;
 use std::cell::RefCell;
 
 thread_local! {
@@ -209,6 +222,315 @@ impl ThroughputPredictor for CompiledModel {
     /// [`BatchPredictor`]: crate::BatchPredictor
     fn predict_ipc(&self, kernel: &Microkernel) -> Option<f64> {
         LOAD_SCRATCH.with_borrow_mut(|scratch| self.ipc_with(kernel, scratch))
+    }
+}
+
+/// The allocation-free CSR serving interface, shared by the owned
+/// [`CompiledModel`], the borrowed [`CompiledModelRef`] and the
+/// [`ModelView`] that wraps whichever a load produced.  The batch engine
+/// ([`BatchPredictor`](crate::BatchPredictor)) is generic over it, so the
+/// whole post-inference data plane serves owned and borrowed models through
+/// one code path.
+///
+/// The provided combinators reproduce the exact arithmetic of
+/// [`ConjunctiveMapping::ipc`] and friends, so any implementor whose
+/// [`load_into`](KernelLoad::load_into) accumulates the same additions in
+/// the same order predicts bit-identically.
+pub trait KernelLoad {
+    /// Number of abstract resources (the scratch width).
+    fn num_resources(&self) -> usize;
+
+    /// Writes the per-resource load of one kernel iteration into `scratch`
+    /// (cleared and resized as needed).  Allocation-free once the buffer has
+    /// the right capacity.
+    fn load_into(&self, kernel: &Microkernel, scratch: &mut Vec<f64>);
+
+    /// A scratch buffer sized for this model, for the `_with` entry points.
+    fn scratch(&self) -> Vec<f64> {
+        vec![0.0; self.num_resources()]
+    }
+
+    /// Execution time `t(K)` of one loop iteration (Def. IV.2).
+    fn execution_time_with(&self, kernel: &Microkernel, scratch: &mut Vec<f64>) -> f64 {
+        self.load_into(kernel, scratch);
+        scratch.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Throughput (IPC) of a microkernel (Def. IV.3), bit-identical to
+    /// [`ConjunctiveMapping::ipc`].
+    fn ipc_with(&self, kernel: &Microkernel, scratch: &mut Vec<f64>) -> Option<f64> {
+        let t = self.execution_time_with(kernel, scratch);
+        if t <= 0.0 {
+            None
+        } else {
+            Some(kernel.total_instructions() as f64 / t)
+        }
+    }
+
+    /// The resource that bottlenecks `kernel`, together with its load.
+    fn bottleneck_with(
+        &self,
+        kernel: &Microkernel,
+        scratch: &mut Vec<f64>,
+    ) -> Option<(ResourceId, f64)> {
+        self.load_into(kernel, scratch);
+        let (idx, &max) = scratch
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))?;
+        if max > 0.0 {
+            Some((ResourceId(idx as u32), max))
+        } else {
+            None
+        }
+    }
+}
+
+impl KernelLoad for CompiledModel {
+    fn num_resources(&self) -> usize {
+        CompiledModel::num_resources(self)
+    }
+
+    fn load_into(&self, kernel: &Microkernel, scratch: &mut Vec<f64>) {
+        CompiledModel::load_into(self, kernel, scratch)
+    }
+}
+
+impl<M: KernelLoad + ?Sized> KernelLoad for &M {
+    fn num_resources(&self) -> usize {
+        (**self).num_resources()
+    }
+
+    fn load_into(&self, kernel: &Microkernel, scratch: &mut Vec<f64>) {
+        (**self).load_into(kernel, scratch)
+    }
+}
+
+/// A compiled model borrowed straight from validated `PALMED-MODEL v2b`
+/// artifact bytes — the zero-copy serving load.
+///
+/// The CSR structure is identical to [`CompiledModel`]'s, but nothing is
+/// copied: `row_ptr` and `cols` are aligned little-endian `u32` slices
+/// aliasing the buffer, usage values are read as `f64` bit patterns in
+/// place, and names borrow the buffer's UTF-8.  Construction goes through
+/// [`ModelView::parse_v2`] (standalone buffers) or
+/// [`ModelRegistry::load_file_serving`](crate::ModelRegistry::load_file_serving)
+/// (a registry entry that retains the bytes); both validate exactly once —
+/// checksum, structure, value ranges — so every accessor here is
+/// panic-free on the ranges the validator pinned.
+///
+/// Predictions are bit-identical to the owned path: the hot loop performs
+/// the same additions in the same order, only the loads come from the
+/// artifact bytes instead of copied arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledModelRef<'a> {
+    name: &'a str,
+    resource_names: Vec<&'a str>,
+    /// Per-slot "has a row" flags, one byte each (0 or 1), aliasing the
+    /// artifact's flag bytes directly.
+    mapped: &'a [u8],
+    /// CSR row boundaries, one entry per instruction index plus a sentinel.
+    row_ptr: &'a [u32],
+    /// Resource index of every non-zero usage entry.
+    cols: &'a [u32],
+    /// Usage values as raw little-endian `f64` bit patterns, 8 bytes per
+    /// entry — read bytewise, so no alignment requirement.
+    vals: &'a [u8],
+}
+
+impl<'a> CompiledModelRef<'a> {
+    /// Assembles a view from already-validated parts (the binary codec's
+    /// alignment-checked load path).
+    pub(crate) fn from_parts(
+        name: &'a str,
+        resource_names: Vec<&'a str>,
+        mapped: &'a [u8],
+        row_ptr: &'a [u32],
+        cols: &'a [u32],
+        vals: &'a [u8],
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), mapped.len() + 1);
+        debug_assert_eq!(vals.len(), cols.len() * 8);
+        debug_assert_eq!(row_ptr.last().copied(), Some(cols.len() as u32));
+        CompiledModelRef { name, resource_names, mapped, row_ptr, cols, vals }
+    }
+
+    /// Display name of the model (the machine token).
+    pub fn name(&self) -> &'a str {
+        self.name
+    }
+
+    /// Number of mapped instructions.
+    pub fn num_instructions(&self) -> usize {
+        self.mapped.iter().filter(|&&m| m != 0).count()
+    }
+
+    /// Number of non-zero `(instruction, resource)` usage entries.
+    pub fn num_entries(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Name of a resource.
+    pub fn resource_name(&self, r: ResourceId) -> &'a str {
+        self.resource_names[r.index()]
+    }
+
+    /// The usage value of entry `e`, decoded from its stored bit pattern.
+    #[inline]
+    fn val(&self, e: usize) -> f64 {
+        f64::from_bits(u64::from_le_bytes(
+            self.vals[8 * e..8 * e + 8].try_into().expect("8 bytes per value"),
+        ))
+    }
+
+    /// Sparse usage row of an instruction: `(resource index, usage)` pairs in
+    /// ascending resource order.  Empty for unmapped instructions.
+    pub fn row(&self, inst: InstId) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let range = if inst.index() + 1 < self.row_ptr.len() {
+            self.row_ptr[inst.index()] as usize..self.row_ptr[inst.index() + 1] as usize
+        } else {
+            0..0
+        };
+        range.clone().map(move |e| (self.cols[e], self.val(e)))
+    }
+
+    /// Copies the borrowed arrays into an owned [`CompiledModel`] — the
+    /// escape hatch when the view must outlive its buffer (and what the
+    /// parse entry points fall back to on misaligned input).
+    pub fn to_owned(&self) -> CompiledModel {
+        CompiledModel::from_raw_parts(
+            self.name.to_string(),
+            self.resource_names.iter().map(|n| n.to_string()).collect(),
+            self.mapped.iter().map(|&m| m != 0).collect(),
+            self.row_ptr.to_vec(),
+            self.cols.to_vec(),
+            (0..self.cols.len()).map(|e| self.val(e)).collect(),
+        )
+    }
+}
+
+impl KernelLoad for CompiledModelRef<'_> {
+    fn num_resources(&self) -> usize {
+        self.resource_names.len()
+    }
+
+    /// The same hot loop as [`CompiledModel::load_into`], bit for bit — only
+    /// the usage values are decoded from their stored bit patterns in place.
+    fn load_into(&self, kernel: &Microkernel, scratch: &mut Vec<f64>) {
+        scratch.clear();
+        scratch.resize(self.resource_names.len(), 0.0);
+        for &(inst, count) in kernel.as_slice() {
+            let index = inst.index();
+            if index >= self.mapped.len() {
+                continue;
+            }
+            let (start, end) = (self.row_ptr[index] as usize, self.row_ptr[index + 1] as usize);
+            let count = count as f64;
+            for e in start..end {
+                scratch[self.cols[e] as usize] += count * self.val(e);
+            }
+        }
+    }
+}
+
+impl ThroughputPredictor for CompiledModelRef<'_> {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn supports(&self, inst: InstId) -> bool {
+        self.mapped.get(inst.index()).copied().unwrap_or(0) != 0
+    }
+
+    /// Trait-object entry point, backed by the same thread-local scratch
+    /// buffer as the owned model, so it stays allocation-free per call.
+    fn predict_ipc(&self, kernel: &Microkernel) -> Option<f64> {
+        LOAD_SCRATCH.with_borrow_mut(|scratch| self.ipc_with(kernel, scratch))
+    }
+}
+
+/// The result of a v2b serving load: a zero-copy [`CompiledModelRef`] when
+/// the buffer can back one, an owned [`CompiledModel`] otherwise (unaligned
+/// integer arrays, or a big-endian target).  Either way it serves through
+/// the same [`KernelLoad`] interface with bit-identical predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelView<'a> {
+    /// Zero-copy view borrowing the artifact bytes.
+    Borrowed(CompiledModelRef<'a>),
+    /// Owned fallback (a misaligned buffer forced the copy).
+    Owned(Cow<'a, CompiledModel>),
+}
+
+impl<'a> ModelView<'a> {
+    /// Validates a `PALMED-MODEL v2b` buffer and returns the best available
+    /// view of its compiled model: borrowed when the buffer's integer arrays
+    /// are aligned (and the target is little-endian), an owned copy
+    /// otherwise.  One validation pass either way — corruption, truncation
+    /// and structural violations are rejected exactly like
+    /// [`ModelArtifact::parse_v2`](crate::ModelArtifact::parse_v2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArtifactError`] on any layout violation, truncation or
+    /// checksum mismatch; never panics on untrusted input.
+    pub fn parse_v2(bytes: &'a [u8]) -> Result<ModelView<'a>, ArtifactError> {
+        let validated = crate::binfmt::validate(bytes)?;
+        Ok(match validated.index.view(bytes) {
+            Some(view) => ModelView::Borrowed(view),
+            None => ModelView::Owned(Cow::Owned(validated.index.to_compiled(bytes))),
+        })
+    }
+
+    /// True when the view borrows the artifact bytes (the zero-copy path).
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self, ModelView::Borrowed(_))
+    }
+
+    /// Extracts an owned model, copying the arrays only if still borrowed.
+    pub fn into_owned(self) -> CompiledModel {
+        match self {
+            ModelView::Borrowed(view) => view.to_owned(),
+            ModelView::Owned(model) => model.into_owned(),
+        }
+    }
+}
+
+impl KernelLoad for ModelView<'_> {
+    fn num_resources(&self) -> usize {
+        match self {
+            ModelView::Borrowed(view) => KernelLoad::num_resources(view),
+            ModelView::Owned(model) => model.num_resources(),
+        }
+    }
+
+    fn load_into(&self, kernel: &Microkernel, scratch: &mut Vec<f64>) {
+        match self {
+            ModelView::Borrowed(view) => view.load_into(kernel, scratch),
+            ModelView::Owned(model) => model.load_into(kernel, scratch),
+        }
+    }
+}
+
+impl ThroughputPredictor for ModelView<'_> {
+    fn name(&self) -> &str {
+        match self {
+            ModelView::Borrowed(view) => view.name,
+            ModelView::Owned(model) => ThroughputPredictor::name(model.as_ref()),
+        }
+    }
+
+    fn supports(&self, inst: InstId) -> bool {
+        match self {
+            ModelView::Borrowed(view) => ThroughputPredictor::supports(view, inst),
+            ModelView::Owned(model) => ThroughputPredictor::supports(model.as_ref(), inst),
+        }
+    }
+
+    fn predict_ipc(&self, kernel: &Microkernel) -> Option<f64> {
+        match self {
+            ModelView::Borrowed(view) => view.predict_ipc(kernel),
+            ModelView::Owned(model) => model.predict_ipc(kernel),
+        }
     }
 }
 

@@ -7,14 +7,18 @@
 //!
 //! The parser already walks every line, so it interns kernels as it goes:
 //! a [`Corpus`] stores each block as a name, a weight and a [`KernelId`] into
-//! its own [`KernelSet`].  Downstream ingest
+//! its own [`KernelSet`], held behind an `Arc` so downstream ingest
 //! ([`PreparedBatch::from_corpus`](crate::PreparedBatch::from_corpus)) is
-//! then pure index bookkeeping — no kernel is hashed or compared again after
-//! the parse.
+//! pure index bookkeeping — no kernel is hashed, compared or cloned again
+//! after the parse; batches share the corpus's interner by reference count.
+//! The set is insert-only, so shared ids stay valid forever; a corpus that
+//! keeps growing after it was shared copies-on-write (see
+//! [`Corpus::push`]).
 
 use palmed_isa::{InstructionSet, KernelId, KernelSet, Microkernel};
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Header line of the corpus format.
 const HEADER: &str = "PALMED-CORPUS v1";
@@ -36,7 +40,7 @@ pub struct CorpusBlock {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Corpus {
     blocks: Vec<CorpusBlock>,
-    kernels: KernelSet,
+    kernels: Arc<KernelSet>,
 }
 
 /// Why a corpus failed to load.
@@ -103,6 +107,14 @@ impl Corpus {
         &self.kernels
     }
 
+    /// The shared handle to the interned kernel set —
+    /// [`PreparedBatch::from_corpus`](crate::PreparedBatch::from_corpus)
+    /// clones this `Arc` instead of the set, so repeated ingest of the same
+    /// corpus never re-copies the interner.
+    pub fn shared_kernels(&self) -> &Arc<KernelSet> {
+        &self.kernels
+    }
+
     /// Resolves an interned kernel id of this corpus.
     ///
     /// # Panics
@@ -114,12 +126,17 @@ impl Corpus {
 
     /// Appends a block, interning its kernel; returns the interned id.
     ///
+    /// If the kernel set is currently shared (a batch was prepared from this
+    /// corpus), the set copies-on-write first: outstanding batches keep
+    /// serving their snapshot, and because the set is insert-only, every id
+    /// handed out before the copy resolves to the same kernel in both.
+    ///
     /// # Panics
     ///
     /// Panics if the weight is negative or not finite.
     pub fn push(&mut self, name: impl Into<String>, weight: f64, kernel: Microkernel) -> KernelId {
         assert!(weight.is_finite() && weight >= 0.0, "invalid weight {weight}");
-        let kernel = self.kernels.intern_owned(kernel);
+        let kernel = Arc::make_mut(&mut self.kernels).intern_owned(kernel);
         self.blocks.push(CorpusBlock { name: name.into(), weight, kernel });
         kernel
     }

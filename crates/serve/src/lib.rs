@@ -14,19 +14,43 @@
 //! * [`compiled`] — [`CompiledModel`]: the mapping flattened into a CSR-style
 //!   arena (one flat `(resource, usage)` row slice per instruction, dense
 //!   resource indices) predicting IPC allocation-free through a
-//!   caller-provided scratch buffer.  Predictions are **bit-identical** to
+//!   caller-provided scratch buffer; [`CompiledModelRef`], the same arena
+//!   borrowed zero-copy from v2b artifact bytes; and [`KernelLoad`], the
+//!   serving interface both implement.  Predictions are **bit-identical** to
 //!   [`ConjunctiveMapping::ipc`](palmed_core::ConjunctiveMapping::ipc).
 //! * [`batch`] — [`BatchPredictor`]: dedupes identical microkernels into a
-//!   reusable [`PreparedBatch`] backed by a
-//!   [`KernelSet`](palmed_isa::KernelSet) interner with cached hashes
-//!   (ingest, once per workload), then shards the distinct ones across
-//!   threads with `palmed-par` and scatters results back into input order
-//!   (serve, once per model or query).
+//!   reusable [`PreparedBatch`] backed by a shared
+//!   `Arc<`[`KernelSet`](palmed_isa::KernelSet)`>` interner with cached
+//!   hashes (ingest, once per workload), then shards the distinct ones
+//!   across threads with `palmed-par` and scatters results back into input
+//!   order (serve, once per model or query).
 //! * [`corpus`] — a text format for basic-block workloads ([`Corpus`]) that
 //!   interns kernels at parse time, so prediction traffic can come from files
 //!   instead of in-process generators and ingest is index bookkeeping.
 //! * [`registry`] — [`ModelRegistry`]: several named architectures served
-//!   side by side, each held as artifact + compiled form.
+//!   side by side — full entries (artifact + owned compiled form) and
+//!   serve-only entries ([`ServingModel`]) that retain the artifact bytes
+//!   and serve through the borrowed view.
+//!
+//! # Load modes
+//!
+//! One model, three ways to load it, ordered by how much work start-up does:
+//!
+//! | mode | entry points | cost at load |
+//! |------|--------------|--------------|
+//! | **v1 text** (interchange/debug) | [`ModelArtifact::parse`], [`ModelRegistry::load_file`] | parse every decimal, rebuild rows, compile |
+//! | **v2b owned** (validate-and-copy) | [`ModelArtifact::parse_v2`], [`ModelRegistry::load_file`] | validate, copy CSR arrays, rebuild dense rows |
+//! | **v2b serve-only** (zero-copy) | [`ModelRegistry::load_file_serving`], [`ModelView::parse_v2`] | validate only |
+//!
+//! The serve-only load is O(validate): the artifact bytes are retained and
+//! predictions run through a borrowed [`CompiledModelRef`] aliasing them (an
+//! owned copy is the automatic fallback when the buffer cannot back an
+//! aligned view).  The artifact's dense
+//! [`ConjunctiveMapping`](palmed_core::ConjunctiveMapping) — which the
+//! serving path never reads — is **lazy**: [`ModelArtifact::mapping`]
+//! rebuilds it from the retained bytes on first access and caches it;
+//! [`ModelArtifact::mapping_ready`] tells whether that has happened.
+//! All three modes predict bit-identically.
 //!
 //! # Model artifact format (`PALMED-MODEL v1`)
 //!
@@ -125,6 +149,6 @@ pub mod registry;
 
 pub use artifact::{ArtifactError, ModelArtifact};
 pub use batch::{BatchPredictor, BatchResult, PreparedBatch};
-pub use compiled::CompiledModel;
+pub use compiled::{CompiledModel, CompiledModelRef, KernelLoad, ModelView};
 pub use corpus::{Corpus, CorpusBlock, CorpusError};
-pub use registry::{ModelRegistry, ServedModel};
+pub use registry::{ModelRegistry, ServedModel, ServingModel};

@@ -2,14 +2,28 @@
 //!
 //! A serving process typically holds one model per target machine
 //! (`skl-sp-like`, `zen1-like`, ...) and dispatches each prediction request
-//! to the right one.  [`ModelRegistry`] owns that table: every entry is a
-//! [`ServedModel`] pairing the self-describing [`ModelArtifact`] (needed to
-//! resolve instruction names from corpora) with its ready-to-serve
-//! [`CompiledModel`].
+//! to the right one.  [`ModelRegistry`] owns that table in two flavours:
+//!
+//! * **Full entries** ([`ServedModel`], via [`ModelRegistry::load_file`] /
+//!   [`ModelRegistry::register`]): the self-describing [`ModelArtifact`]
+//!   (needed to resolve instruction names from corpora) plus its owned
+//!   [`CompiledModel`].
+//! * **Serve-only entries** ([`ServingModel`], via
+//!   [`ModelRegistry::load_file_serving`]): the validated v2b artifact bytes
+//!   are retained and served through a borrowed [`CompiledModelRef`] — no
+//!   CSR array is copied and the artifact's dense mapping stays deferred
+//!   until something explicitly asks for it.  This is the load path a
+//!   registry serving many architectures to heavy traffic wants: start-up
+//!   is O(validate), not O(inventory).
+//!
+//! A name lives in exactly one table; loading it through the other path
+//! replaces it.
 
 use crate::artifact::{ArtifactError, ModelArtifact};
 use crate::batch::BatchPredictor;
-use crate::compiled::CompiledModel;
+use crate::binfmt::{self, ArtifactBytes};
+use crate::compiled::{CompiledModel, CompiledModelRef, ModelView};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -37,15 +51,90 @@ impl ServedModel {
     }
 
     /// A batch predictor over the compiled model.
-    pub fn batch(&self) -> BatchPredictor<'_> {
+    pub fn batch(&self) -> BatchPredictor<&CompiledModel> {
         BatchPredictor::new(&self.compiled)
     }
 }
 
+/// A serve-only registry entry: the validated `v2b` artifact bytes, served
+/// zero-copy through a borrowed [`CompiledModelRef`].
+///
+/// The artifact's instruction set is materialised (corpus loading needs the
+/// name index) but its dense mapping stays deferred — the first
+/// [`ModelArtifact::mapping`] access rebuilds it from the retained bytes.
+/// The load re-bases the buffer once if needed so the integer arrays are
+/// aligned, which makes the borrowed view available for the lifetime of the
+/// entry on little-endian targets; elsewhere an owned model is materialised
+/// as a fallback and [`ServingModel::view`] serves that instead.
+#[derive(Debug, Clone)]
+pub struct ServingModel {
+    /// The self-describing artifact; its mapping stays deferred until first
+    /// explicit access.
+    pub artifact: ModelArtifact,
+    bytes: ArtifactBytes,
+    index: binfmt::RawIndex,
+    /// Owned model for targets where a borrowed view cannot exist (big
+    /// endian); `None` on the zero-copy path.
+    fallback: Option<CompiledModel>,
+}
+
+impl ServingModel {
+    fn from_bytes(raw: Vec<u8>) -> Result<Self, ArtifactError> {
+        let binfmt::Validated { instructions, index } = binfmt::validate(&raw)?;
+        let bytes = ArtifactBytes::aligned(raw, &index);
+        let slice = bytes.as_slice();
+        let artifact = ModelArtifact::deferred(
+            index.machine(slice).to_string(),
+            index.source(slice).to_string(),
+            instructions,
+            bytes.clone(),
+            index.clone(),
+        );
+        let fallback = match index.view(slice) {
+            Some(_) => None,
+            None => Some(index.to_compiled(slice)),
+        };
+        Ok(ServingModel { artifact, bytes, index, fallback })
+    }
+
+    /// The model view this entry serves through: borrowed from the retained
+    /// bytes wherever the target allows it, the owned fallback otherwise.
+    /// Predictions are bit-identical either way.
+    pub fn view(&self) -> ModelView<'_> {
+        match &self.fallback {
+            Some(model) => ModelView::Owned(Cow::Borrowed(model)),
+            // The buffer was aligned at load time and its heap block never
+            // moves, so the borrowed view remains constructible.
+            None => ModelView::Borrowed(
+                self.index.view(self.bytes.as_slice()).expect("buffer aligned at load"),
+            ),
+        }
+    }
+
+    /// The borrowed zero-copy view, when the target backs one.
+    pub fn borrowed(&self) -> Option<CompiledModelRef<'_>> {
+        match &self.fallback {
+            Some(_) => None,
+            None => self.index.view(self.bytes.as_slice()),
+        }
+    }
+
+    /// A batch predictor serving through [`ServingModel::view`].
+    pub fn batch(&self) -> BatchPredictor<ModelView<'_>> {
+        BatchPredictor::new(self.view())
+    }
+
+    /// The raw artifact bytes this entry retains.
+    pub fn bytes(&self) -> &[u8] {
+        self.bytes.as_slice()
+    }
+}
+
 /// Named model table, keyed by architecture name.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct ModelRegistry {
     models: BTreeMap<String, ServedModel>,
+    serving: BTreeMap<String, ServingModel>,
 }
 
 impl ModelRegistry {
@@ -66,11 +155,19 @@ impl ModelRegistry {
         self.insert(name.into(), ServedModel::from_artifact(artifact))
     }
 
-    /// The one insertion point of the registry: replaces any previous model
-    /// of that name and returns the new entry.
+    /// The one insertion point for full entries: replaces any previous model
+    /// of that name (in either table) and returns the new entry.
     fn insert(&mut self, name: String, served: ServedModel) -> &ServedModel {
+        self.serving.remove(&name);
         self.models.insert(name.clone(), served);
         &self.models[&name]
+    }
+
+    /// The one insertion point for serve-only entries.
+    fn insert_serving(&mut self, name: String, serving: ServingModel) -> &ServingModel {
+        self.models.remove(&name);
+        self.serving.insert(name.clone(), serving);
+        &self.serving[&name]
     }
 
     /// Loads, verifies and registers an artifact file under the machine name
@@ -94,30 +191,76 @@ impl ModelRegistry {
         Ok(self.insert(name, served))
     }
 
-    /// Looks a model up by name.
+    /// Loads a `v2b` artifact file as a serve-only entry: the bytes are
+    /// validated once and retained, predictions go through the borrowed
+    /// [`CompiledModelRef`] view, and the artifact's dense mapping rebuild
+    /// is deferred until first explicit access.  Start-up cost is
+    /// O(validate) — no CSR array copies, no dense row scatter.
+    ///
+    /// v1 text artifacts have no zero-copy form; loading one here fails with
+    /// [`ArtifactError::MissingHeader`] (use [`ModelRegistry::load_file`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and v2b validation failures; the registry is left
+    /// unchanged on error.
+    pub fn load_file_serving(
+        &mut self,
+        path: impl AsRef<Path>,
+    ) -> Result<&ServingModel, ArtifactError> {
+        self.load_serving_bytes(std::fs::read(path)?)
+    }
+
+    /// [`ModelRegistry::load_file_serving`] over an in-memory buffer (e.g. a
+    /// network front-end handing over a fetched artifact).  Takes ownership:
+    /// the buffer *is* the model storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates v2b validation failures; the registry is left unchanged on
+    /// error.
+    pub fn load_serving_bytes(
+        &mut self,
+        bytes: Vec<u8>,
+    ) -> Result<&ServingModel, ArtifactError> {
+        let serving = ServingModel::from_bytes(bytes)?;
+        let name = serving.artifact.machine.clone();
+        Ok(self.insert_serving(name, serving))
+    }
+
+    /// Looks a full (owned) model up by name.
     pub fn get(&self, name: &str) -> Option<&ServedModel> {
         self.models.get(name)
     }
 
-    /// Registered architecture names, in sorted order.
-    pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.models.keys().map(String::as_str)
+    /// Looks a serve-only model up by name.
+    pub fn get_serving(&self, name: &str) -> Option<&ServingModel> {
+        self.serving.get(name)
     }
 
-    /// Number of registered models.
+    /// Registered architecture names across both tables, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        let mut names: Vec<&str> =
+            self.models.keys().chain(self.serving.keys()).map(String::as_str).collect();
+        names.sort_unstable();
+        names.into_iter()
+    }
+
+    /// Number of registered models (full and serve-only).
     pub fn len(&self) -> usize {
-        self.models.len()
+        self.models.len() + self.serving.len()
     }
 
     /// True when no model is registered.
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.models.is_empty() && self.serving.is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compiled::KernelLoad;
     use palmed_core::ConjunctiveMapping;
     use palmed_isa::{InstId, InstructionSet, Microkernel};
 
@@ -186,5 +329,72 @@ mod tests {
         assert!(registry.get("disk-machine").is_some());
         assert!(registry.load_file(&path).is_err());
         assert_eq!(registry.len(), 1, "failed load must not disturb the registry");
+    }
+
+    #[test]
+    fn serve_only_load_defers_the_mapping_and_serves_borrowed() {
+        let path = std::env::temp_dir().join("palmed-serve-registry-serving.palmed2");
+        let original = artifact("lazy-machine", 0.5);
+        original.save_v2(&path).unwrap();
+        let mut registry = ModelRegistry::new();
+        let serving = registry.load_file_serving(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(!serving.artifact.mapping_ready(), "serve-only load must not rebuild rows");
+        assert_eq!(serving.artifact.machine, "lazy-machine");
+        assert_eq!(serving.artifact.source, "test");
+        if cfg!(target_endian = "little") {
+            assert!(serving.view().is_borrowed());
+            assert!(serving.borrowed().is_some());
+        }
+
+        // Predictions through the borrowed view are bit-identical to the
+        // owned compiled model, without ever materialising the mapping.
+        let k = Microkernel::pair(InstId(2), 3, InstId(0), 1);
+        let owned = original.compile();
+        let view = serving.view();
+        let mut scratch = view.scratch();
+        let mut owned_scratch = owned.scratch();
+        assert_eq!(
+            view.ipc_with(&k, &mut scratch).map(f64::to_bits),
+            owned.ipc_with(&k, &mut owned_scratch).map(f64::to_bits)
+        );
+        assert!(!serving.artifact.mapping_ready());
+
+        // First explicit access pays the rebuild once; the result matches
+        // the eager artifact exactly.
+        assert_eq!(serving.artifact.mapping(), original.mapping());
+        assert!(serving.artifact.mapping_ready());
+        assert_eq!(serving.artifact, original);
+    }
+
+    #[test]
+    fn serve_only_load_rejects_v1_text_and_corruption() {
+        let mut registry = ModelRegistry::new();
+        let text = artifact("t", 0.5).render().into_bytes();
+        assert!(matches!(
+            registry.load_serving_bytes(text),
+            Err(ArtifactError::MissingHeader)
+        ));
+        let mut bin = artifact("t", 0.5).render_v2();
+        let mid = bin.len() / 2;
+        bin[mid] ^= 0x10;
+        assert!(registry.load_serving_bytes(bin).is_err());
+        assert!(registry.is_empty(), "failed loads must not disturb the registry");
+    }
+
+    #[test]
+    fn one_name_lives_in_one_table() {
+        let path = std::env::temp_dir().join("palmed-serve-registry-swap.palmed2");
+        artifact("swap", 0.5).save_v2(&path).unwrap();
+        let mut registry = ModelRegistry::new();
+        registry.load_file_serving(&path).unwrap();
+        assert!(registry.get("swap").is_none());
+        assert!(registry.get_serving("swap").is_some());
+        registry.load_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(registry.get("swap").is_some());
+        assert!(registry.get_serving("swap").is_none());
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.names().collect::<Vec<_>>(), vec!["swap"]);
     }
 }

@@ -60,7 +60,9 @@ fn main() {
     let corpus = Corpus::load(&corpus_path, insts).expect("corpus reloads");
 
     // 5. Serve: ingest (dedupe) once, then predict through the compiled
-    //    model — allocation-free, results in corpus order.
+    //    model — allocation-free, results in corpus order.  The prepared
+    //    batch shares the corpus's interned kernel set by `Arc`, so
+    //    re-preparing the same corpus costs a slot-table copy, not a clone.
     let prepared = PreparedBatch::from_corpus(&corpus);
     println!("ingested {} blocks, {} distinct", prepared.len(), prepared.distinct());
     let result = served.batch().predict_prepared(&prepared);
@@ -71,4 +73,23 @@ fn main() {
             None => println!("{:<13} {:>7.0} {:>12}", block.name, block.weight, "n/a"),
         }
     }
+
+    // 6. The zero-copy serving mode: save the binary v2b artifact and load
+    //    it serve-only — the registry retains the bytes, predictions run
+    //    through a borrowed view aliasing them, and the dense mapping is
+    //    never rebuilt unless something explicitly asks for it.
+    let v2_path = dir.join("model.palmed2");
+    artifact.save_v2(&v2_path).expect("v2b artifact saves");
+    let mut zero_copy = ModelRegistry::new();
+    let serving = zero_copy.load_file_serving(&v2_path).expect("serve-only load validates");
+    let borrowed = serving.batch().predict_prepared(&prepared);
+    assert!(!serving.artifact.mapping_ready(), "serving never rebuilds the dense rows");
+    for (a, b) in result.ipcs.iter().zip(&borrowed.ipcs) {
+        assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits), "borrowed == owned, bit for bit");
+    }
+    println!(
+        "serve-only reload: {} path, {} blocks re-served bit-identically, mapping deferred",
+        if serving.view().is_borrowed() { "zero-copy" } else { "owned-fallback" },
+        borrowed.ipcs.len()
+    );
 }

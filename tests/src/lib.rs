@@ -21,3 +21,49 @@ pub fn random_kernel(ids: &[InstId], rng: &mut StdRng, max_distinct: usize, max_
 pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
+
+/// Shared generators for the serving-layer property tests: random
+/// inferred-shaped model artifacts over a fixed synthetic inventory.  One
+/// definition serves the v1 round-trip, v2 codec and zero-copy suites, so
+/// the "inferred shape" invariant (sparsity threshold, resource width) can
+/// only drift in one place.
+pub mod artifact_prop {
+    use palmed_isa::{InstId, InstructionSet, InventoryConfig};
+    use palmed_serve::ModelArtifact;
+
+    /// Maximum number of resources a generated mapping uses (usage rows are
+    /// generated at this width and truncated to the actual resource count).
+    pub const MAX_RESOURCES: usize = 6;
+
+    /// The fixed inventory random artifacts draw their instructions from.
+    pub fn inventory() -> InstructionSet {
+        InstructionSet::synthetic(&InventoryConfig::small())
+    }
+
+    /// Builds an inferred-shaped artifact from generated raw rows: a handful
+    /// of resources, sparse non-negative usage (draws below 1.6 are zeroed so
+    /// rows are sparse like real inferred mappings), arbitrary instruction
+    /// subset.
+    pub fn build_artifact(
+        num_resources: usize,
+        rows: &[(u32, Vec<f64>)],
+        insts: &InstructionSet,
+    ) -> ModelArtifact {
+        let mut mapping = palmed_core::ConjunctiveMapping::with_resources(num_resources);
+        for (inst, raw) in rows {
+            let inst = InstId(inst % insts.len() as u32);
+            let usage: Vec<f64> = (0..num_resources)
+                .map(|r| {
+                    let v = raw.get(r).copied().unwrap_or(0.0);
+                    if v < 1.6 {
+                        0.0
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            mapping.set_usage(inst, usage);
+        }
+        ModelArtifact::new("prop-machine", "prop-source", insts.clone(), mapping)
+    }
+}

@@ -9,7 +9,8 @@
 //! same random models through both parsers and requires bit-identical
 //! results, plus rejection of byte flips and truncations.
 
-use palmed_isa::{FxBuildHasher, InstId, InstructionSet, InventoryConfig, KernelSet, Microkernel};
+use palmed_integration_tests::artifact_prop::{build_artifact, inventory, MAX_RESOURCES};
+use palmed_isa::{FxBuildHasher, InstId, KernelSet, Microkernel};
 use palmed_serve::ModelArtifact;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -113,37 +114,6 @@ proptest! {
     }
 }
 
-/// The fixed inventory random artifacts draw their instructions from.
-fn inventory() -> InstructionSet {
-    InstructionSet::synthetic(&InventoryConfig::small())
-}
-
-const MAX_RESOURCES: usize = 6;
-
-/// Builds an inferred-shaped artifact from generated raw rows (sparse
-/// non-negative usage over a handful of resources).
-fn build_artifact(
-    num_resources: usize,
-    rows: &[(u32, Vec<f64>)],
-    insts: &InstructionSet,
-) -> ModelArtifact {
-    let mut mapping = palmed_core::ConjunctiveMapping::with_resources(num_resources);
-    for (inst, raw) in rows {
-        let inst = InstId(inst % insts.len() as u32);
-        let usage: Vec<f64> = (0..num_resources)
-            .map(|r| {
-                let v = raw.get(r).copied().unwrap_or(0.0);
-                if v < 1.6 {
-                    0.0
-                } else {
-                    v
-                }
-            })
-            .collect();
-        mapping.set_usage(inst, usage);
-    }
-    ModelArtifact::new("v2-prop-machine", "v2-prop-source", insts.clone(), mapping)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

@@ -3,46 +3,11 @@
 //! identically to the in-memory mapping, and damaged artifacts are rejected.
 
 use palmed_core::{Palmed, PalmedConfig};
-use palmed_isa::{InstId, InstructionSet, InventoryConfig, Microkernel};
+use palmed_integration_tests::artifact_prop::{build_artifact, inventory, MAX_RESOURCES};
+use palmed_isa::{InstId, Microkernel};
 use palmed_machine::{presets, AnalyticMeasurer, MemoizingMeasurer};
 use palmed_serve::{ArtifactError, BatchPredictor, CompiledModel, ModelArtifact};
 use proptest::prelude::*;
-
-/// The fixed inventory random mappings draw their instructions from.
-fn inventory() -> InstructionSet {
-    InstructionSet::synthetic(&InventoryConfig::small())
-}
-
-/// Maximum number of resources a generated mapping uses (usage rows are
-/// generated at this width and truncated to the actual resource count).
-const MAX_RESOURCES: usize = 6;
-
-/// Builds an inferred-shaped mapping from generated raw rows: a handful of
-/// resources, sparse non-negative usage, arbitrary instruction subset.
-fn build_artifact(
-    num_resources: usize,
-    rows: &[(u32, Vec<f64>)],
-    insts: &InstructionSet,
-) -> ModelArtifact {
-    let mut mapping = palmed_core::ConjunctiveMapping::with_resources(num_resources);
-    for (inst, raw) in rows {
-        let inst = InstId(inst % insts.len() as u32);
-        let usage: Vec<f64> = (0..num_resources)
-            .map(|r| {
-                let v = raw.get(r).copied().unwrap_or(0.0);
-                // Zero out small draws so rows are sparse like real inferred
-                // mappings (most instructions touch few resources).
-                if v < 1.6 {
-                    0.0
-                } else {
-                    v
-                }
-            })
-            .collect();
-        mapping.set_usage(inst, usage);
-    }
-    ModelArtifact::new("prop-machine", "prop-source", insts.clone(), mapping)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -81,11 +46,11 @@ proptest! {
             })
             .collect();
         for kernel in &kernels {
-            let in_memory = artifact.mapping.ipc(kernel);
+            let in_memory = artifact.mapping().ipc(kernel);
             let served = compiled.ipc_with(kernel, &mut scratch);
             prop_assert_eq!(in_memory.map(f64::to_bits), served.map(f64::to_bits));
             prop_assert_eq!(
-                artifact.mapping.execution_time(kernel).to_bits(),
+                artifact.mapping().execution_time(kernel).to_bits(),
                 compiled.execution_time_with(kernel, &mut scratch).to_bits()
             );
         }
@@ -94,7 +59,7 @@ proptest! {
         for (kernel, ipc) in kernels.iter().zip(&batch.ipcs) {
             prop_assert_eq!(
                 ipc.map(f64::to_bits),
-                artifact.mapping.ipc(kernel).map(f64::to_bits)
+                artifact.mapping().ipc(kernel).map(f64::to_bits)
             );
         }
     }
@@ -171,7 +136,7 @@ fn a_real_inferred_model_survives_the_full_save_load_serve_cycle() {
     let reloaded = ModelArtifact::parse(&artifact.render()).expect("inferred model round-trips");
     assert_eq!(reloaded, artifact);
 
-    let compiled = CompiledModel::compile("palmed", &reloaded.mapping);
+    let compiled = CompiledModel::compile("palmed", reloaded.mapping());
     let mut scratch = compiled.scratch();
     let find = |n: &str| preset.instructions.find(n).unwrap();
     for kernel in [

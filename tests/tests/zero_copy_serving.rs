@@ -1,0 +1,212 @@
+//! Properties of the zero-copy serving path: the borrowed
+//! [`CompiledModelRef`] view over raw `v2b` artifact bytes must be
+//! observably identical to the owned [`CompiledModel`] — bit-identical
+//! predictions on random inferred-shaped mappings, an owned fallback that
+//! kicks in on misaligned buffers without changing a single bit, and the
+//! same rejection behaviour for every truncation and byte flip, since both
+//! paths share one validator.
+
+use palmed_core::ThroughputPredictor;
+use palmed_integration_tests::artifact_prop::{build_artifact, inventory, MAX_RESOURCES};
+use palmed_isa::{InstId, InstructionSet, Microkernel};
+use palmed_serve::{KernelLoad, ModelRegistry, ModelView, PreparedBatch};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn kernels_from(raw: &[Vec<(u32, u32)>], insts: &InstructionSet) -> Vec<Microkernel> {
+    raw.iter()
+        .map(|pairs| {
+            Microkernel::from_counts(
+                pairs.iter().map(|&(i, c)| (InstId(i % insts.len() as u32), c)),
+            )
+        })
+        .collect()
+}
+
+/// Places `bin` inside an 8-aligned backing store at an exact byte shift and
+/// returns the backing plus the payload range, so the *address* of the
+/// parsed slice — what the borrowed view's alignment check sees — is
+/// deterministic.
+fn at_shift(bin: &[u8], shift: usize) -> (Vec<u8>, std::ops::Range<usize>) {
+    let mut backing = vec![0u8; bin.len() + 16];
+    let pad = (8 - backing.as_ptr() as usize % 8) % 8 + shift;
+    backing[pad..pad + bin.len()].copy_from_slice(bin);
+    (backing, pad..pad + bin.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn borrowed_and_owned_views_predict_bit_identically(
+        num_resources in 1usize..=MAX_RESOURCES,
+        rows in prop::collection::vec(
+            (0u32..10_000, prop::collection::vec(0.0f64..4.0, MAX_RESOURCES)),
+            1..12,
+        ),
+        raw_kernels in prop::collection::vec(
+            prop::collection::vec((0u32..10_000, 1u32..5), 1..8),
+            1..10,
+        ),
+    ) {
+        let insts = inventory();
+        let artifact = build_artifact(num_resources, &rows, &insts);
+        let bin = artifact.render_v2();
+        let owned = artifact.compile();
+
+        // Parse the same bytes at every alignment shift: exactly one of the
+        // four can back the borrowed view (on little-endian targets), the
+        // rest must transparently fall back to an owned copy — and all of
+        // them must predict bit-identically to the compiled artifact.
+        let kernels = kernels_from(&raw_kernels, &insts);
+        let mut borrowed_seen = 0usize;
+        for shift in 0..4usize {
+            let (backing, range) = at_shift(&bin, shift);
+            let view = ModelView::parse_v2(&backing[range]).expect("valid artifact parses");
+            borrowed_seen += view.is_borrowed() as usize;
+            let mut scratch = view.scratch();
+            let mut owned_scratch = owned.scratch();
+            for kernel in &kernels {
+                prop_assert_eq!(
+                    view.ipc_with(kernel, &mut scratch).map(f64::to_bits),
+                    owned.ipc_with(kernel, &mut owned_scratch).map(f64::to_bits)
+                );
+                prop_assert_eq!(
+                    view.execution_time_with(kernel, &mut scratch).to_bits(),
+                    owned.execution_time_with(kernel, &mut owned_scratch).to_bits()
+                );
+                prop_assert_eq!(
+                    view.bottleneck_with(kernel, &mut scratch),
+                    owned.bottleneck_with(kernel, &mut owned_scratch)
+                );
+                // The trait-object entry point agrees too.
+                prop_assert_eq!(
+                    view.predict_ipc(kernel).map(f64::to_bits),
+                    owned.predict_ipc(kernel).map(f64::to_bits)
+                );
+            }
+            // A borrowed view copies out into an equal owned model.
+            if let ModelView::Borrowed(ref r) = view {
+                prop_assert_eq!(&r.to_owned(), &owned);
+                for kernel in &kernels {
+                    for (inst, _) in kernel.iter() {
+                        prop_assert_eq!(
+                            ThroughputPredictor::supports(r, inst),
+                            ThroughputPredictor::supports(&owned, inst)
+                        );
+                    }
+                }
+            } else {
+                prop_assert_eq!(&view.clone().into_owned(), &owned);
+            }
+        }
+        if cfg!(target_endian = "little") {
+            // The u32 arrays sit at one offset mod 4, so exactly one shift
+            // aligns them; the misaligned-buffer fallback covers the rest.
+            prop_assert_eq!(borrowed_seen, 1);
+        }
+    }
+
+    #[test]
+    fn borrowed_validator_rejects_byte_flips_and_truncation(
+        num_resources in 1usize..=MAX_RESOURCES,
+        rows in prop::collection::vec(
+            (0u32..10_000, prop::collection::vec(0.0f64..4.0, MAX_RESOURCES)),
+            1..8,
+        ),
+        position in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let insts = inventory();
+        let bin = build_artifact(num_resources, &rows, &insts).render_v2();
+        // Any single byte flip anywhere in the artifact is rejected through
+        // the serving validator (body flips fail the checksum; magic flips
+        // fail sniffing; trailer flips mismatch the recomputed hash).
+        let target = ((position * bin.len() as f64) as usize).min(bin.len() - 1);
+        let mut corrupted = bin.clone();
+        corrupted[target] ^= flip;
+        prop_assert!(ModelView::parse_v2(&corrupted).is_err());
+        // So is truncation at an arbitrary proportional cut — and through
+        // the serve-only registry load, which must stay untouched on error.
+        let cut = ((position * bin.len() as f64) as usize).min(bin.len() - 1);
+        prop_assert!(ModelView::parse_v2(&bin[..cut]).is_err());
+        let mut registry = ModelRegistry::new();
+        prop_assert!(registry.load_serving_bytes(bin[..cut].to_vec()).is_err());
+        prop_assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn serve_only_registry_load_is_lazy_and_bit_identical(
+        num_resources in 1usize..=MAX_RESOURCES,
+        rows in prop::collection::vec(
+            (0u32..10_000, prop::collection::vec(0.0f64..4.0, MAX_RESOURCES)),
+            1..10,
+        ),
+        raw_kernels in prop::collection::vec(
+            prop::collection::vec((0u32..10_000, 1u32..5), 1..6),
+            1..8,
+        ),
+    ) {
+        let insts = inventory();
+        let artifact = build_artifact(num_resources, &rows, &insts);
+        let bin = artifact.render_v2();
+
+        let mut registry = ModelRegistry::new();
+        let serving = registry.load_serving_bytes(bin).expect("serve-only load validates");
+        prop_assert!(!serving.artifact.mapping_ready());
+        prop_assert_eq!(&serving.artifact.machine, &artifact.machine);
+        prop_assert_eq!(&serving.artifact.instructions, &artifact.instructions);
+
+        // Batch predictions through the retained-bytes view equal the owned
+        // compiled path, and serving alone never forces the dense rebuild.
+        let kernels = kernels_from(&raw_kernels, &insts);
+        let owned = artifact.compile();
+        let via_view = serving.batch().predict(&kernels);
+        let via_owned = palmed_serve::BatchPredictor::new(&owned).predict(&kernels);
+        prop_assert_eq!(via_view.distinct, via_owned.distinct);
+        for (a, b) in via_view.ipcs.iter().zip(&via_owned.ipcs) {
+            prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+        }
+        prop_assert!(!serving.artifact.mapping_ready());
+
+        // First mapping access rebuilds once, bit-identically to the eager
+        // artifact; the whole artifact then compares equal.
+        prop_assert_eq!(serving.artifact.mapping(), artifact.mapping());
+        prop_assert!(serving.artifact.mapping_ready());
+        prop_assert_eq!(&serving.artifact, &artifact);
+    }
+}
+
+#[test]
+fn borrowed_validator_rejects_every_truncation_length() {
+    let insts = inventory();
+    let artifact = build_artifact(3, &[(0, vec![2.0; 6]), (7, vec![3.0; 6])], &insts);
+    let bin = artifact.render_v2();
+    for cut in 0..bin.len() {
+        assert!(
+            ModelView::parse_v2(&bin[..cut]).is_err(),
+            "truncation at byte {cut} must not parse through the borrowed validator"
+        );
+    }
+    assert!(ModelView::parse_v2(&bin).is_ok());
+}
+
+#[test]
+fn prepared_batches_share_one_kernel_set_across_repeated_ingest() {
+    let corpus: palmed_serve::Corpus = (0..100)
+        .map(|i| {
+            (
+                format!("b{i}"),
+                1.0,
+                Microkernel::pair(InstId(i % 7), 1 + i % 3, InstId(i % 11), 1),
+            )
+        })
+        .collect();
+    let first = PreparedBatch::from_corpus(&corpus);
+    let second = PreparedBatch::from_corpus(&corpus);
+    // Repeated ingest of the same corpus is free: all three handles are the
+    // same allocation, reference-counted.
+    assert!(Arc::ptr_eq(first.shared_kernels(), corpus.shared_kernels()));
+    assert!(Arc::ptr_eq(first.shared_kernels(), second.shared_kernels()));
+    assert_eq!(first.distinct(), corpus.kernels().len());
+}
