@@ -284,7 +284,9 @@ pub struct PmEvoPredictor {
 }
 
 impl PmEvoPredictor {
-    /// Mean squared relative error over the training benchmarks.
+    /// Mean squared relative error over the training benchmarks
+    /// (`NaN` for predictors rebuilt from persisted rows — the benchmarks
+    /// are gone by then).
     pub fn training_error(&self) -> f64 {
         self.training_error
     }
@@ -292,6 +294,75 @@ impl PmEvoPredictor {
     /// Number of instructions the model supports.
     pub fn num_trained(&self) -> usize {
         self.index_of.len()
+    }
+
+    /// Number of abstract ports the learned masks range over.
+    pub fn num_ports(&self) -> usize {
+        self.num_ports
+    }
+
+    /// Flattens the learned mapping into disjunctive rows — per trained
+    /// instruction, the `(port mask, weight)` µOP hypotheses (PMEvo genomes
+    /// carry exactly one per instruction, its weight the µOP multiplicity) —
+    /// the interchange form a `PALMED-DISJ v1` artifact persists.  Rows come
+    /// out sorted by instruction.
+    pub fn to_rows(&self) -> Vec<(InstId, Vec<(u32, f64)>)> {
+        self.index_of
+            .iter()
+            .map(|(&inst, &idx)| {
+                let gene = self.genome.genes[idx];
+                (inst, vec![(gene.port_mask, gene.uops as f64)])
+            })
+            .collect()
+    }
+
+    /// Rebuilds a predictor from persisted disjunctive rows — the inverse of
+    /// [`PmEvoPredictor::to_rows`].  The reconstruction predicts
+    /// bit-identically to the trained original: the genome evaluation only
+    /// depends on each instruction's `(mask, weight)` pair, which round
+    /// trips exactly.
+    ///
+    /// # Errors
+    ///
+    /// Rejects rows that cannot come from a PMEvo genome: more (or fewer)
+    /// than one µOP hypothesis per instruction, a non-integer or
+    /// out-of-range multiplicity, an empty mask, or a mask using ports
+    /// beyond `num_ports`.
+    pub fn from_rows(
+        num_ports: usize,
+        rows: &[(InstId, Vec<(u32, f64)>)],
+    ) -> Result<PmEvoPredictor, String> {
+        if num_ports == 0 || num_ports > 31 {
+            return Err(format!("num_ports {num_ports} outside 1..=31"));
+        }
+        let mut index_of = BTreeMap::new();
+        let mut genes = Vec::with_capacity(rows.len());
+        for (inst, uops) in rows {
+            let [(mask, weight)] = uops.as_slice() else {
+                return Err(format!(
+                    "{inst} has {} µOP hypotheses; PMEvo genomes carry exactly one",
+                    uops.len()
+                ));
+            };
+            if *mask == 0 || *mask >= (1u32 << num_ports) {
+                return Err(format!("{inst} mask {mask:#b} is empty or exceeds {num_ports} ports"));
+            }
+            let uops = *weight as u8;
+            if uops as f64 != *weight || uops == 0 {
+                return Err(format!("{inst} weight {weight} is not a µOP multiplicity in 1..=255"));
+            }
+            if index_of.insert(*inst, genes.len()).is_some() {
+                return Err(format!("duplicate row for {inst}"));
+            }
+            genes.push(Gene { port_mask: *mask, uops });
+        }
+        Ok(PmEvoPredictor {
+            name: "pmevo".into(),
+            num_ports,
+            index_of,
+            genome: Genome { genes },
+            training_error: f64::NAN,
+        })
     }
 }
 
@@ -350,6 +421,52 @@ mod tests {
         assert!(!predictor.supports(jmp));
         assert_eq!(predictor.num_trained(), 2);
         assert!(predictor.predict_ipc(&Microkernel::single(jmp)).is_none());
+    }
+
+    #[test]
+    fn row_round_trip_predicts_bit_identically() {
+        let preset = presets::paper_ports016();
+        let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(preset.mapping_arc()));
+        let trained: Vec<InstId> = preset.instructions.ids().collect();
+        let predictor = PmEvo::new(PmEvoConfig::fast()).train(&measurer, &trained);
+        let rows = predictor.to_rows();
+        assert_eq!(rows.len(), predictor.num_trained());
+        let rebuilt = PmEvoPredictor::from_rows(predictor.num_ports(), &rows).unwrap();
+        assert!(rebuilt.training_error().is_nan());
+        for &a in &trained {
+            assert_eq!(predictor.supports(a), rebuilt.supports(a));
+            for &b in &trained {
+                let k = Microkernel::pair(a, 2, b, 1);
+                assert_eq!(
+                    predictor.predict_ipc(&k).map(f64::to_bits),
+                    rebuilt.predict_ipc(&k).map(f64::to_bits),
+                    "kernel {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_rejects_non_genome_shapes() {
+        let one = |m: u32, w: f64| vec![(InstId(0), vec![(m, w)])];
+        assert!(PmEvoPredictor::from_rows(6, &one(0b1, 1.0)).is_ok());
+        assert!(PmEvoPredictor::from_rows(0, &one(0b1, 1.0)).is_err());
+        assert!(PmEvoPredictor::from_rows(6, &one(0, 1.0)).is_err(), "empty mask");
+        assert!(PmEvoPredictor::from_rows(2, &one(0b100, 1.0)).is_err(), "mask beyond ports");
+        assert!(PmEvoPredictor::from_rows(6, &one(0b1, 1.5)).is_err(), "fractional weight");
+        assert!(PmEvoPredictor::from_rows(6, &one(0b1, 0.0)).is_err(), "zero weight");
+        assert!(
+            PmEvoPredictor::from_rows(6, &[(InstId(0), vec![(0b1, 1.0), (0b10, 1.0)])]).is_err(),
+            "two hypotheses per instruction"
+        );
+        assert!(
+            PmEvoPredictor::from_rows(
+                6,
+                &[(InstId(0), vec![(0b1, 1.0)]), (InstId(0), vec![(0b1, 2.0)])]
+            )
+            .is_err(),
+            "duplicate instruction"
+        );
     }
 
     #[test]

@@ -156,9 +156,10 @@ fn bench_ingest_throughput(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("model_load_serving", bin.len()), &bin, |b, bin| {
         b.iter(|| {
-            let mut registry = ModelRegistry::new();
+            let registry = ModelRegistry::new();
             // `clone` hands the buffer over for retention — part of the cost.
-            let serving = registry.load_serving_bytes(bin.clone()).unwrap();
+            let entry = registry.load_serving_bytes(bin.clone()).unwrap();
+            let serving = entry.serving().unwrap();
             assert!(!serving.artifact.mapping_ready());
             serving.artifact.instructions.len()
         })
@@ -204,9 +205,10 @@ fn bench_ingest_throughput(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("model_load_serving", bin.len()), &bin, |b, bin| {
         b.iter(|| {
-            let mut registry = ModelRegistry::new();
+            let registry = ModelRegistry::new();
             // `clone` hands the buffer over for retention — part of the cost.
-            let serving = registry.load_serving_bytes(bin.clone()).unwrap();
+            let entry = registry.load_serving_bytes(bin.clone()).unwrap();
+            let serving = entry.serving().unwrap();
             assert!(!serving.artifact.mapping_ready());
             serving.artifact.instructions.len()
         })

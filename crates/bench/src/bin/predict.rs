@@ -15,7 +15,13 @@
 //!    re-serve it through the borrowed view and require bit-identity with
 //!    the owned path;
 //! 5. report accuracy against the native machine next to the uops-style
-//!    baseline.
+//!    baseline;
+//! 6. exercise the second model family and the hot-reload plane: persist a
+//!    freshly-evolved PMEvo mapping as `PALMED-DISJ v1`, reload it through
+//!    the sniffing registry (bit-identical predictions), hot-swap retrained
+//!    bytes under a live reader (old generation keeps serving), and replace
+//!    the artifact file atomically so `refresh()`'s mtime/length poll picks
+//!    it up.
 //!
 //! Usage: `cargo run --release -p palmed-bench --bin predict -- \
 //!     [--full] [--blocks N] [--out DIR]`
@@ -24,8 +30,10 @@
 //! small corpus in well under a second — it doubles as the CI smoke test.
 //! `--full` infers on the SKL-SP-like machine and serves 10 000 blocks.
 
-use palmed_core::{Palmed, PalmedConfig};
+use palmed_baselines::{PmEvo, PmEvoConfig};
+use palmed_core::{Palmed, PalmedConfig, ThroughputPredictor};
 use palmed_eval::blocks::{blocks_to_corpus, corpus_to_blocks};
+use palmed_eval::campaign::pmevo_artifact_for;
 use palmed_eval::metrics::evaluate_tool;
 use palmed_eval::suite::{generate_suite, SuiteConfig, SuiteKind};
 use palmed_isa::InventoryConfig;
@@ -57,7 +65,7 @@ fn main() {
     let config = if full { PalmedConfig::evaluation() } else { PalmedConfig::small() };
 
     // ---- 1. One-time inference. ----
-    println!("[1/5] inferring a mapping for `{}`...", preset.name());
+    println!("[1/6] inferring a mapping for `{}`...", preset.name());
     let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(preset.mapping_arc()));
     let start = Instant::now();
     let inferred = Palmed::new(config).infer(&measurer);
@@ -78,9 +86,10 @@ fn main() {
     );
     artifact.save(&model_path).expect("artifact saves");
     let bytes = std::fs::metadata(&model_path).map(|m| m.len()).unwrap_or(0);
-    println!("[2/5] saved model artifact to {} ({bytes} bytes)", model_path.display());
-    let mut registry = ModelRegistry::new();
-    let served = registry.load_file(&model_path).expect("artifact reloads with a valid checksum");
+    println!("[2/6] saved model artifact to {} ({bytes} bytes)", model_path.display());
+    let registry = ModelRegistry::new();
+    let entry = registry.load_file(&model_path).expect("artifact reloads with a valid checksum");
+    let served = entry.served().expect("v1 loads install full entries");
     if served.artifact != artifact {
         eprintln!("FATAL: reloaded artifact differs from the saved one");
         std::process::exit(1);
@@ -97,8 +106,9 @@ fn main() {
         eprintln!("FATAL: v2 round trip differs from the saved artifact");
         std::process::exit(1);
     }
-    let mut v2_registry = ModelRegistry::new();
-    let v2_served = v2_registry.load_file(&v2_path).expect("registry sniffs the v2 format");
+    let v2_registry = ModelRegistry::new();
+    let v2_entry = v2_registry.load_file(&v2_path).expect("registry sniffs the v2 format");
+    let v2_served = v2_entry.served().expect("v2b loads install full entries");
     if v2_served.compiled != served.compiled {
         eprintln!("FATAL: v2 verbatim compiled model differs from the compiled v1 reload");
         std::process::exit(1);
@@ -109,19 +119,22 @@ fn main() {
         100.0 * v2_bytes as f64 / bytes.max(1) as f64
     );
 
-    // The serve-only zero-copy path: retain the artifact bytes, serve
-    // through the borrowed view, never rebuild the dense mapping.
-    let mut serve_registry = ModelRegistry::new();
-    let serving =
-        serve_registry.load_file_serving(&v2_path).expect("serve-only v2b load validates");
+    // The serve-only zero-copy path: retain the artifact bytes (mmap'd
+    // straight off the page cache where the platform allows), serve through
+    // the borrowed view, never rebuild the dense mapping.
+    let serve_registry = ModelRegistry::new();
+    let serving_entry =
+        serve_registry.load_file_mapped(&v2_path).expect("serve-only v2b load validates");
+    let serving = serving_entry.serving().expect("serve-only entry");
     if serving.artifact.mapping_ready() {
         eprintln!("FATAL: serve-only load materialised the dense mapping eagerly");
         std::process::exit(1);
     }
     println!(
-        "      serve-only load registered `{}` ({} path, mapping deferred)",
+        "      serve-only load registered `{}` ({} path, {}, mapping deferred)",
         serving.artifact.machine,
-        if serving.view().is_borrowed() { "zero-copy borrowed" } else { "owned fallback" }
+        if serving.view().is_borrowed() { "zero-copy borrowed" } else { "owned fallback" },
+        if serving.is_mapped() { "mmap-backed" } else { "heap buffer" }
     );
 
     // ---- 3. Corpus to and from disk. ----
@@ -132,11 +145,12 @@ fn main() {
         &SuiteConfig { num_blocks: blocks, ..SuiteConfig::default() },
     );
     blocks_to_corpus(&suite).save(&corpus_path, &preset.instructions).expect("corpus saves");
-    let served = registry.get(preset.name()).expect("model is registered");
+    let entry = registry.get(preset.name()).expect("model is registered");
+    let served = entry.served().expect("full entry");
     let corpus = Corpus::load(&corpus_path, &served.artifact.instructions)
         .expect("corpus reloads against the artifact's own instruction set");
     println!(
-        "[3/5] corpus of {} blocks written and reloaded from {}",
+        "[3/6] corpus of {} blocks written and reloaded from {}",
         corpus.len(),
         corpus_path.display()
     );
@@ -151,7 +165,7 @@ fn main() {
     let served_in = start.elapsed();
     let covered = result.ipcs.iter().flatten().count();
     println!(
-        "[4/5] ingested {} blocks ({} distinct) in {:.2?}; served in {:.2?} — \
+        "[4/6] ingested {} blocks ({} distinct) in {:.2?}; served in {:.2?} — \
          {:.0} blocks/s steady state, {covered} covered",
         corpus.len(),
         prepared.distinct(),
@@ -215,7 +229,7 @@ fn main() {
     let palmed = evaluate_tool(&served.compiled, &eval_blocks, &native_ipcs);
     let uops = palmed_baselines::UopsStylePredictor::new(preset.mapping_arc());
     let uops_metrics = evaluate_tool(&uops, &eval_blocks, &native_ipcs);
-    println!("[5/5] accuracy vs the native machine:");
+    println!("[5/6] accuracy vs the native machine:");
     println!("      tool            coverage   RMS err   Kendall tau");
     for (name, m) in [("palmed (served)", palmed), ("uops-style", uops_metrics)] {
         println!(
@@ -225,4 +239,93 @@ fn main() {
             m.kendall_tau
         );
     }
+
+    // ---- 6. The second model family + hot reload. ----
+    // (a) Disjunctive artifacts: evolve a small PMEvo mapping, persist it
+    // as `PALMED-DISJ v1`, reload it through the same sniffing registry,
+    // and require bit-identity with the freshly-trained predictor.
+    let pmevo_insts: Vec<_> = preset.instructions.ids().take(4).collect();
+    let pmevo = PmEvo::new(PmEvoConfig::fast()).train(&measurer, &pmevo_insts);
+    let disj_artifact = pmevo_artifact_for(preset.name(), &pmevo, &preset.instructions);
+    let disj_path = out.join("pmevo.palmeddisj");
+    disj_artifact.save(&disj_path).expect("disjunctive artifact saves");
+    let disj_entry = registry.load_file(&disj_path).expect("registry sniffs PALMED-DISJ v1");
+    let disj = disj_entry.disjunctive().expect("disjunctive entry");
+    let disj_mismatches = corpus
+        .iter()
+        .filter(|(_, kernel)| {
+            pmevo.predict_ipc(kernel).map(f64::to_bits)
+                != disj.compiled.predict_ipc(kernel).map(f64::to_bits)
+        })
+        .count();
+    if disj_mismatches > 0 {
+        eprintln!(
+            "FATAL: {disj_mismatches} reloaded disjunctive predictions differ from the \
+             freshly-trained PMEvo"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "[6/6] disjunctive artifact `{}` ({} kind) reloaded; {} corpus predictions \
+         bit-identical to the freshly-trained mapping",
+        disj_entry.name(),
+        disj_entry.kind(),
+        corpus.len()
+    );
+
+    // (b) Hot swap under a live reader: install retrained bytes under the
+    // same name; the held entry keeps serving the old generation.
+    let old_entry = serve_registry.get(preset.name()).expect("serving entry registered");
+    let mut retrained = artifact.clone();
+    retrained.source = format!("{}-retrained", retrained.source);
+    let swapped = serve_registry
+        .swap_bytes(preset.name(), retrained.render_v2())
+        .expect("hot swap installs a new generation");
+    assert!(swapped.generation() > old_entry.generation(), "swap must bump the generation");
+    assert!(swapped.serving().is_some(), "a v2b swap over a serve-only entry stays serve-only");
+    let old_still_serves = old_entry
+        .serving()
+        .expect("old generation entry")
+        .batch()
+        .predict_prepared(&prepared);
+    let stale_mismatches = result
+        .ipcs
+        .iter()
+        .zip(&old_still_serves.ipcs)
+        .filter(|(a, b)| a.map(f64::to_bits) != b.map(f64::to_bits))
+        .count();
+    if stale_mismatches > 0 {
+        eprintln!("FATAL: {stale_mismatches} predictions changed on the held old generation");
+        std::process::exit(1);
+    }
+    println!(
+        "      hot swap: generation {} -> {}; held entry re-served {} blocks bit-identically",
+        old_entry.generation(),
+        swapped.generation(),
+        old_still_serves.ipcs.len()
+    );
+
+    // (c) File-watch refresh: atomically replace the artifact file (write +
+    // rename, so live mappings keep their inode) and let the polling
+    // registry pick it up.
+    let tmp = out.join("model.palmed2.tmp");
+    retrained.save_v2(&tmp).expect("replacement artifact saves");
+    std::fs::rename(&tmp, &v2_path).expect("atomic replace");
+    let outcome = v2_registry.refresh();
+    if outcome.reloaded != vec![preset.name().to_string()] || !outcome.errors.is_empty() {
+        eprintln!("FATAL: refresh did not reload the replaced artifact: {outcome:?}");
+        std::process::exit(1);
+    }
+    let refreshed = v2_registry.get(preset.name()).expect("still registered");
+    assert_eq!(
+        refreshed.served().expect("full entry").artifact.source,
+        retrained.source,
+        "refresh must serve the replaced file"
+    );
+    println!(
+        "      refresh: mtime/len poll reloaded `{}` (generation {}), source now `{}`",
+        preset.name(),
+        refreshed.generation(),
+        retrained.source
+    );
 }

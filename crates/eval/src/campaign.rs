@@ -17,15 +17,17 @@ use crate::blocks::BasicBlock;
 use crate::heatmap::Heatmap;
 use crate::metrics::{evaluate_tool, ToolMetrics};
 use crate::suite::{generate_suite, SuiteConfig, SuiteKind};
-use palmed_baselines::{IacaLikePredictor, McaLikePredictor, PmEvo, PmEvoConfig, UopsStylePredictor};
+use palmed_baselines::{
+    IacaLikePredictor, McaLikePredictor, PmEvo, PmEvoConfig, PmEvoPredictor, UopsStylePredictor,
+};
 use palmed_core::{MappingReport, Palmed, PalmedConfig, PalmedPredictor, ThroughputPredictor};
-use palmed_isa::{ExecClass, InstId, InventoryConfig};
+use palmed_isa::{ExecClass, InstId, InstructionSet, InventoryConfig};
 use palmed_machine::{
     presets::PresetMachine, AnalyticMeasurer, BackendKind, BackendMeasurer, MeasurementNoise,
     Measurer, MemoizingMeasurer, SimulationConfig,
 };
 use palmed_par::par_map;
-use palmed_serve::CompiledModel;
+use palmed_serve::{CompiledModel, DisjArtifact, ModelRegistry, RegistryEntry};
 use std::sync::Arc;
 
 /// Configuration of a full evaluation campaign.
@@ -129,12 +131,28 @@ pub struct CampaignResult {
 #[derive(Debug, Clone, Default)]
 pub struct Campaign {
     config: CampaignConfig,
+    /// Pre-loaded baseline models, looked up by `"<machine>/<tool>"`.
+    baselines: Option<Arc<ModelRegistry>>,
 }
 
 impl Campaign {
     /// Creates a campaign driver.
     pub fn new(config: CampaignConfig) -> Self {
-        Campaign { config }
+        Campaign { config, baselines: None }
+    }
+
+    /// Serves baseline models out of a registry instead of re-training them
+    /// per campaign.  Currently the PMEvo baseline is looked up as a
+    /// disjunctive entry named `"<machine>/pmevo"` (the key
+    /// [`pmevo_artifact_for`] writes); when present, its compiled port
+    /// mapping is evaluated directly — the evolutionary search and its pair
+    /// benchmarks are skipped entirely, the way the real tools load
+    /// published mappings.  Missing or non-disjunctive entries fall back to
+    /// training.
+    #[must_use]
+    pub fn with_baselines(mut self, registry: Arc<ModelRegistry>) -> Self {
+        self.baselines = Some(registry);
+        self
     }
 
     /// The configuration of this campaign.
@@ -170,20 +188,46 @@ impl Campaign {
         let palmed_predictor = CompiledModel::compile("palmed", &palmed_result.mapping);
 
         // ---- Baselines. ----
-        // PMEvo trains on one representative per execution class plus the
-        // Palmed basic instructions: its published mapping only covers the
+        // PMEvo's mapping comes from the baseline registry when a campaign
+        // pre-loaded one (a persisted `PALMED-DISJ v1` artifact — the way
+        // the real tools ship published port mappings); otherwise it is
+        // re-evolved on one representative per execution class plus the
+        // Palmed basic instructions — its published mapping only covers the
         // instructions occurring in its training binaries, which is what
         // limits its coverage.
-        let mut pmevo_trained: Vec<InstId> = ExecClass::ALL
-            .iter()
-            .filter_map(|&class| insts.ids_with_class(class).into_iter().next())
-            .collect();
-        for inst in palmed_result.basic_instructions() {
-            if !pmevo_trained.contains(&inst) {
-                pmevo_trained.push(inst);
+        // The entry must carry this campaign's exact instruction inventory:
+        // `InstId`s are indices, so an artifact persisted under a different
+        // inventory would silently score the wrong instructions.  Mismatches
+        // fall back to training.
+        let preloaded_pmevo: Option<Arc<RegistryEntry>> = self
+            .baselines
+            .as_ref()
+            .and_then(|registry| registry.get(&format!("{}/pmevo", preset.name())))
+            .filter(|entry| {
+                entry
+                    .disjunctive()
+                    .is_some_and(|model| model.artifact.instructions == *insts)
+            });
+        let trained_pmevo: Option<PmEvoPredictor> = if preloaded_pmevo.is_none() {
+            let mut pmevo_trained: Vec<InstId> = ExecClass::ALL
+                .iter()
+                .filter_map(|&class| insts.ids_with_class(class).into_iter().next())
+                .collect();
+            for inst in palmed_result.basic_instructions() {
+                if !pmevo_trained.contains(&inst) {
+                    pmevo_trained.push(inst);
+                }
             }
-        }
-        let pmevo = PmEvo::new(config.pmevo).train(&inference_measurer, &pmevo_trained);
+            Some(PmEvo::new(config.pmevo).train(&inference_measurer, &pmevo_trained))
+        } else {
+            None
+        };
+        let pmevo: &dyn ThroughputPredictor = preloaded_pmevo
+            .as_deref()
+            .and_then(|entry| entry.disjunctive())
+            .map(|model| &model.compiled as &dyn ThroughputPredictor)
+            .or(trained_pmevo.as_ref().map(|p| p as &dyn ThroughputPredictor))
+            .expect("pmevo is preloaded or freshly trained");
 
         let uops = UopsStylePredictor::new(Arc::clone(&ground_truth));
         let iaca = if is_intel_like {
@@ -204,7 +248,7 @@ impl Campaign {
             let tools: Vec<(&str, &dyn ThroughputPredictor, bool)> = vec![
                 ("palmed", &palmed_predictor as &dyn ThroughputPredictor, true),
                 ("uops-style", &uops, is_intel_like),
-                ("pmevo", &pmevo, true),
+                ("pmevo", pmevo, true),
                 ("iaca-like", &iaca, is_intel_like),
                 ("llvm-mca-like", &mca, true),
             ];
@@ -255,6 +299,35 @@ fn evaluate_with_heatmap(
     ToolResult { tool: tool.name().to_string(), metrics, heatmap }
 }
 
+/// Flattens a trained PMEvo predictor into a persistable `PALMED-DISJ v1`
+/// artifact, keyed the way [`Campaign::with_baselines`] looks it up
+/// (machine name `"<preset>/pmevo"`).  Save it once, and later campaigns
+/// load the pre-built table instead of re-evolving the mapping; the loaded
+/// model predicts bit-identically to `predictor`.
+///
+/// `instructions` must be the inventory the predictor was trained against —
+/// it is what the campaign's inventory check compares.
+///
+/// # Panics
+///
+/// Panics if the predictor uses more abstract ports than the artifact
+/// format's cap ([`palmed_serve::disj::MAX_DISJ_PORTS`], 16); PMEvo
+/// configurations use far fewer (6 by default) — the subset enumeration is
+/// exponential in the port count.
+pub fn pmevo_artifact_for(
+    preset_name: &str,
+    predictor: &PmEvoPredictor,
+    instructions: &InstructionSet,
+) -> DisjArtifact {
+    DisjArtifact::new(
+        format!("{preset_name}/pmevo"),
+        "pmevo-evolved",
+        instructions.clone(),
+        predictor.num_ports() as u32,
+        predictor.to_rows(),
+    )
+}
+
 /// Convenience: returns the Palmed predictor and the ground-truth measurer of
 /// a preset, for examples that only need a single machine.
 pub fn infer_palmed_for(preset: &PresetMachine, config: PalmedConfig) -> (PalmedPredictor, AnalyticMeasurer) {
@@ -291,6 +364,49 @@ mod tests {
             assert!(pmevo.metrics.coverage <= palmed.metrics.coverage + 1e-9);
             let uops = tools.iter().find(|t| t.tool == "uops-style").unwrap();
             assert!(!uops.metrics.is_unavailable());
+        }
+    }
+
+    #[test]
+    fn preloaded_pmevo_baseline_is_served_instead_of_retrained() {
+        let config = CampaignConfig::small();
+        let preset = presets::skl_sp(&config.inventory);
+        let baseline = Campaign::new(config).run_machine(&preset, true);
+
+        // Train a deliberately tiny PMEvo (two instructions) out of band,
+        // persist it through the disjunctive codec, and hand it to the
+        // campaign via the registry.
+        let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(preset.mapping_arc()));
+        let trained: Vec<InstId> = preset.instructions.ids().take(2).collect();
+        let predictor = PmEvo::new(config.pmevo).train(&measurer, &trained);
+        let artifact = pmevo_artifact_for(preset.name(), &predictor, &preset.instructions);
+        let bytes = artifact.render();
+        let registry = Arc::new(ModelRegistry::new());
+        registry
+            .swap_bytes(format!("{}/pmevo", preset.name()), bytes)
+            .expect("disjunctive artifact round trips through the registry");
+
+        let run = Campaign::new(config)
+            .with_baselines(Arc::clone(&registry))
+            .run_machine(&preset, true);
+        for (kind, tools) in &run.suites {
+            let pmevo = tools.iter().find(|t| t.tool == "pmevo").unwrap();
+            let full = baseline
+                .suites
+                .iter()
+                .find(|(k, _)| k == kind)
+                .and_then(|(_, tools)| tools.iter().find(|t| t.tool == "pmevo"))
+                .unwrap();
+            assert!(!pmevo.metrics.is_unavailable());
+            // The served two-instruction model covers far less than the
+            // campaign-trained one would — proof the campaign used the
+            // registry entry rather than re-training.
+            assert!(
+                pmevo.metrics.coverage < full.metrics.coverage,
+                "preloaded coverage {} should undercut trained coverage {}",
+                pmevo.metrics.coverage,
+                full.metrics.coverage
+            );
         }
     }
 

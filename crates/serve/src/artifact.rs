@@ -23,6 +23,7 @@
 //!   re-hash are rejected at load time instead of silently mis-predicting.
 
 use crate::binfmt::{ArtifactBytes, RawIndex};
+use crate::codec::ModelKind;
 use crate::compiled::CompiledModel;
 use palmed_core::ConjunctiveMapping;
 use palmed_isa::{ExecClass, Extension, InstDesc, InstId, InstructionSet};
@@ -68,18 +69,29 @@ impl MappingCell {
     }
 
     fn get(&self) -> &ConjunctiveMapping {
-        self.cell.get_or_init(|| {
-            // `get_or_init` runs the closure exactly once, so the rebuild
-            // state is there to take — and taking it drops this cell's hold
-            // on the artifact bytes as soon as the rows exist.
-            let deferred = self
-                .deferred
-                .lock()
-                .expect("rebuild never panics on validated bytes")
-                .take()
-                .expect("unfilled cells carry rebuild state");
-            deferred.index.rebuild_mapping(deferred.bytes.as_slice())
-        })
+        let mut initialised_here = false;
+        let mapping = self.cell.get_or_init(|| {
+            initialised_here = true;
+            // `get_or_init` runs the closure exactly once.  The rebuild
+            // state is only *read* here (an `Arc` bump + index clone), not
+            // taken: concurrent `Clone`s racing the rebuild must still find
+            // it — they see an unfilled cell and need the state to stay
+            // deferred themselves.
+            let (bytes, index) = {
+                let guard =
+                    self.deferred.lock().expect("rebuild never panics on validated bytes");
+                let deferred = guard.as_ref().expect("unfilled cells carry rebuild state");
+                (deferred.bytes.clone(), deferred.index.clone())
+            };
+            index.rebuild_mapping(bytes.as_slice())
+        });
+        if initialised_here {
+            // The rows exist now; drop this cell's hold on the artifact
+            // bytes.  Only the initialising call pays this lock — steady
+            // state is a bare `OnceLock` read.
+            self.deferred.lock().expect("rebuild never panics on validated bytes").take();
+        }
+        mapping
     }
 
     fn is_ready(&self) -> bool {
@@ -89,16 +101,22 @@ impl MappingCell {
 
 impl Clone for MappingCell {
     fn clone(&self) -> Self {
-        match self.cell.get() {
-            // Once materialised, clone the mapping; the rebuild source is no
-            // longer needed.
-            Some(mapping) => MappingCell::ready(mapping.clone()),
-            None => {
-                let guard =
-                    self.deferred.lock().expect("rebuild never panics on validated bytes");
-                let deferred = guard.as_ref().expect("unfilled cells carry rebuild state");
+        // Once materialised, clone the mapping; the rebuild source is no
+        // longer needed.
+        if let Some(mapping) = self.cell.get() {
+            return MappingCell::ready(mapping.clone());
+        }
+        let guard = self.deferred.lock().expect("rebuild never panics on validated bytes");
+        match guard.as_ref() {
+            Some(deferred) => {
                 MappingCell::deferred(deferred.bytes.clone(), deferred.index.clone())
             }
+            // A concurrent `mapping()` call finished between the two checks:
+            // the rebuild state is only released *after* the cell fills, and
+            // the mutex orders that release before this observation.
+            None => MappingCell::ready(
+                self.cell.get().expect("rebuild state is released only after the cell fills").clone(),
+            ),
         }
     }
 }
@@ -164,12 +182,21 @@ pub enum ArtifactError {
         /// Human-readable description of the violation.
         reason: String,
     },
-    /// A byte-level violation of the binary `v2b` layout.
+    /// A byte-level violation of a binary artifact layout.
     MalformedBinary {
         /// Byte offset the violation was detected at.
         offset: usize,
         /// Human-readable description of the violation.
         reason: String,
+    },
+    /// The buffer holds a valid artifact of a different kind than the
+    /// caller can load (e.g. a disjunctive `PALMED-DISJ v1` buffer handed
+    /// to the conjunctive codec).
+    WrongKind {
+        /// The kind the caller expected.
+        expected: ModelKind,
+        /// The kind the buffer sniffed as.
+        found: ModelKind,
     },
 }
 
@@ -193,6 +220,9 @@ impl fmt::Display for ArtifactError {
             ArtifactError::MalformedBinary { offset, reason } => {
                 write!(f, "malformed binary artifact at byte {offset}: {reason}")
             }
+            ArtifactError::WrongKind { expected, found } => {
+                write!(f, "wrong artifact kind: expected `{expected}`, found `{found}`")
+            }
         }
     }
 }
@@ -205,15 +235,9 @@ impl From<std::io::Error> for ArtifactError {
     }
 }
 
-/// FNV-1a 64-bit hash, the integrity checksum of the artifact format.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+// The text trailer's hash; one definition in `crate::checksum` serves all
+// codecs, re-exported here where the v1 format historically lived.
+pub use crate::checksum::fnv1a64;
 
 /// Replaces whitespace in a name so it stays a single token on its line.
 /// Shared with the binary codec: both formats must sanitise names
@@ -492,7 +516,8 @@ impl ModelArtifact {
     /// Renders the artifact in the binary `PALMED-MODEL v2b` format (see the
     /// crate docs for the layout), checksum trailer included.
     pub fn render_v2(&self) -> Vec<u8> {
-        crate::binfmt::encode(self)
+        use crate::codec::ArtifactCodec;
+        crate::binfmt::V2bCodec::encode(self)
     }
 
     /// Parses a binary `v2b` artifact, verifying the checksum.
@@ -502,17 +527,21 @@ impl ModelArtifact {
     /// Returns an [`ArtifactError`] on any layout violation, truncation or
     /// checksum mismatch; never panics on untrusted input.
     pub fn parse_v2(bytes: &[u8]) -> Result<Self, ArtifactError> {
-        crate::binfmt::decode(bytes).map(|(artifact, _)| artifact)
+        use crate::codec::ArtifactCodec;
+        crate::binfmt::V2bCodec::decode(bytes)
     }
 
-    /// Parses an artifact in either format, sniffing the version from the
-    /// first bytes: the `v2b` magic selects the binary codec, anything else
-    /// must be v1 text.
+    /// Parses an artifact in either conjunctive format, sniffing the version
+    /// from the first bytes: the `v2b` magic selects the binary codec,
+    /// anything else without a known magic must be v1 text.
     ///
     /// # Errors
     ///
     /// Returns an [`ArtifactError`] from the selected codec; non-UTF-8 input
-    /// without the binary magic is reported as [`ArtifactError::MissingHeader`].
+    /// without a binary magic is reported as
+    /// [`ArtifactError::MissingHeader`], and a disjunctive-family buffer as
+    /// [`ArtifactError::WrongKind`] (load those through
+    /// [`DisjArtifact`](crate::DisjArtifact) or the registry).
     pub fn parse_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
         Self::parse_any(bytes).map(|(artifact, _)| artifact)
     }
@@ -523,13 +552,19 @@ impl ModelArtifact {
     pub(crate) fn parse_any(
         bytes: &[u8],
     ) -> Result<(Self, Option<CompiledModel>), ArtifactError> {
-        if bytes.starts_with(crate::binfmt::MAGIC) {
-            let (artifact, compiled) = crate::binfmt::decode(bytes)?;
-            Ok((artifact, Some(compiled)))
-        } else {
-            let text =
-                std::str::from_utf8(bytes).map_err(|_| ArtifactError::MissingHeader)?;
-            Ok((Self::parse(text)?, None))
+        match ModelKind::sniff(bytes) {
+            ModelKind::ConjunctiveV2b => {
+                let (artifact, compiled) = crate::binfmt::decode(bytes)?;
+                Ok((artifact, Some(compiled)))
+            }
+            ModelKind::ConjunctiveV1 => {
+                let text =
+                    std::str::from_utf8(bytes).map_err(|_| ArtifactError::MissingHeader)?;
+                Ok((Self::parse(text)?, None))
+            }
+            found => {
+                Err(ArtifactError::WrongKind { expected: ModelKind::ConjunctiveV1, found })
+            }
         }
     }
 
@@ -740,11 +775,7 @@ mod tests {
         // bodies by mutating a valid one and re-appending a fresh checksum.
         let valid = example().render_v2();
         let body = &valid[..valid.len() - 8];
-        let rehash = |body: &[u8]| {
-            let mut out = body.to_vec();
-            out.extend_from_slice(&crate::binfmt::checksum64(&out).to_le_bytes());
-            out
-        };
+        let rehash = |body: &[u8]| crate::codec::finish_trailer(body.to_vec());
         // Truncated body with a valid checksum: cursor runs out of bytes.
         let crafted = rehash(&body[..body.len() - 4]);
         assert!(matches!(
@@ -754,7 +785,7 @@ mod tests {
         // Declared string length far beyond the file: no huge allocation,
         // clean error.
         let mut huge = body.to_vec();
-        let machine_len_at = crate::binfmt::MAGIC.len();
+        let machine_len_at = crate::codec::V2B_MAGIC.len();
         huge[machine_len_at..machine_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             ModelArtifact::parse_v2(&rehash(&huge)),

@@ -18,7 +18,10 @@
 //!   [`CompiledModel::compile`] does, so a v1↔v2 round trip is
 //!   bit-identical) — which serve-only loads defer until first access.
 //!
-//! Layout (all integers little-endian; see the crate docs for the grammar):
+//! The byte-level plumbing (magic + FNV trailer, length-prefixed sections,
+//! the offset-tagged [`Cursor`]) is the shared machinery of
+//! [`crate::codec`]; this module owns only the conjunctive-CSR layout
+//! itself (see the crate docs for the grammar):
 //!
 //! ```text
 //! magic            "PALMED-MODEL v2b\n"            17 bytes
@@ -34,54 +37,35 @@
 //! vals             nnz × u64 (f64 bits), finite and > 0
 //! checksum         u64, FNV-1a 64 over 8-byte LE words of all preceding bytes
 //! ```
-//!
-//! Unlike v1's byte-at-a-time trailer, the v2 checksum strides FNV-1a over
-//! zero-padded 8-byte little-endian words — 8× fewer multiplies, because the
-//! dominant cost of a validate-and-copy load would otherwise be the
-//! integrity sweep itself.
-//!
-//! The checksum is integrity, not authentication: declared counts are
-//! untrusted, so every array length is checked against the remaining byte
-//! budget *before* the allocation it would drive.
 
-use crate::artifact::{ArtifactError, ModelArtifact};
+use crate::artifact::{token, ArtifactError, ModelArtifact};
+use crate::codec::{
+    finish_trailer, push_f64, push_str, push_u32, u32_at, ArtifactCodec, Cursor, ModelKind,
+    V2B_MAGIC,
+};
 use crate::compiled::{CompiledModel, CompiledModelRef};
+use crate::mmap::FileBuf;
 use palmed_core::ConjunctiveMapping;
-use palmed_isa::{ExecClass, Extension, InstDesc, InstId, InstructionSet};
+use palmed_isa::{InstId, InstructionSet};
 use std::ops::Range;
 use std::sync::Arc;
 
-/// First bytes of every v2b artifact; what format sniffing keys on.
-pub(crate) const MAGIC: &[u8] = b"PALMED-MODEL v2b\n";
+/// The `PALMED-MODEL v2b` codec, as the registry's sniff table sees it.
+pub(crate) struct V2bCodec;
 
-/// FNV-1a 64 strided over zero-padded 8-byte little-endian words.
-pub(crate) fn checksum64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    let mut chunks = bytes.chunks_exact(8);
-    for chunk in &mut chunks {
-        hash ^= u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+impl ArtifactCodec for V2bCodec {
+    const KIND: ModelKind = ModelKind::ConjunctiveV2b;
+    const MAGIC: &'static [u8] = V2B_MAGIC;
+    type Artifact = ModelArtifact;
+
+    fn encode(artifact: &ModelArtifact) -> Vec<u8> {
+        encode(artifact)
     }
-    let tail = chunks.remainder();
-    if !tail.is_empty() {
-        let mut word = [0u8; 8];
-        word[..tail.len()].copy_from_slice(tail);
-        hash ^= u64::from_le_bytes(word);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+
+    fn decode(bytes: &[u8]) -> Result<ModelArtifact, ArtifactError> {
+        decode(bytes).map(|(artifact, _)| artifact)
     }
-    hash
 }
-
-fn push_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn push_str(out: &mut Vec<u8>, s: &str) {
-    push_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-use crate::artifact::token;
 
 /// Serialises an artifact into the v2b binary form, checksum included.
 pub(crate) fn encode(artifact: &ModelArtifact) -> Vec<u8> {
@@ -91,18 +75,11 @@ pub(crate) fn encode(artifact: &ModelArtifact) -> Vec<u8> {
     let (mapped, row_ptr, cols, vals) = compiled.raw_parts();
 
     let mut out = Vec::with_capacity(64 + 16 * vals.len());
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(V2B_MAGIC);
     push_str(&mut out, &machine);
     push_str(&mut out, &token(&artifact.source));
 
-    push_u32(&mut out, artifact.instructions.len() as u32);
-    for (_, desc) in artifact.instructions.iter() {
-        push_str(&mut out, &token(&desc.name));
-        let class = ExecClass::ALL.iter().position(|c| *c == desc.class).expect("known class");
-        let ext = Extension::ALL.iter().position(|e| *e == desc.extension).expect("known ext");
-        out.push(class as u8);
-        out.push(ext as u8);
-    }
+    crate::codec::write_instruction_table(&mut out, &artifact.instructions);
 
     push_u32(&mut out, compiled.num_resources() as u32);
     for r in mapping.resources() {
@@ -119,91 +96,10 @@ pub(crate) fn encode(artifact: &ModelArtifact) -> Vec<u8> {
         push_u32(&mut out, c);
     }
     for &v in vals {
-        out.extend_from_slice(&v.to_bits().to_le_bytes());
+        push_f64(&mut out, v);
     }
 
-    let checksum = checksum64(&out);
-    out.extend_from_slice(&checksum.to_le_bytes());
-    out
-}
-
-/// Byte cursor with offset-tagged errors and allocation-capping reads.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn bad(&self, reason: impl Into<String>) -> ArtifactError {
-        ArtifactError::MalformedBinary { offset: self.pos, reason: reason.into() }
-    }
-
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ArtifactError> {
-        if n > self.bytes.len() - self.pos {
-            return Err(self.bad(format!(
-                "{what} needs {n} bytes but only {} remain",
-                self.bytes.len() - self.pos
-            )));
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
-    /// Like [`Cursor::take`], but returns the byte range instead of the
-    /// slice — what the zero-copy index stores.
-    fn take_range(&mut self, n: usize, what: &str) -> Result<Range<usize>, ArtifactError> {
-        let start = self.pos;
-        self.take(n, what)?;
-        Ok(start..start + n)
-    }
-
-    fn u32(&mut self, what: &str) -> Result<u32, ArtifactError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
-    }
-
-    fn str(&mut self, what: &str) -> Result<&'a str, ArtifactError> {
-        let len = self.u32(what)? as usize;
-        let start = self.pos;
-        let bytes = self.take(len, what)?;
-        std::str::from_utf8(bytes).map_err(|_| ArtifactError::MalformedBinary {
-            offset: start,
-            reason: format!("{what} is not valid UTF-8"),
-        })
-    }
-
-    /// Reads a name that must already be in the sanitised `token` form the
-    /// encoder writes (non-empty, no whitespace).  Accepting anything looser
-    /// would let a crafted binary load names that cannot re-render into
-    /// either text grammar, breaking the documented v1↔v2 round trip.
-    fn token(&mut self, what: &str) -> Result<&'a str, ArtifactError> {
-        let name = self.str(what)?;
-        if name.is_empty() || name.chars().any(char::is_whitespace) {
-            return Err(ArtifactError::MalformedBinary {
-                offset: self.pos,
-                reason: format!("{what} `{name}` is not a whitespace-free token"),
-            });
-        }
-        Ok(name)
-    }
-
-    /// [`Cursor::token`] plus the byte range the name occupies.
-    fn token_range(&mut self, what: &str) -> Result<Range<usize>, ArtifactError> {
-        let start = self.pos + 4;
-        let name = self.token(what)?;
-        Ok(start..start + name.len())
-    }
-
-    fn done(&self) -> bool {
-        self.pos == self.bytes.len()
-    }
-}
-
-/// Reads the `i`-th little-endian `u32` of a validated array range.
-#[inline]
-fn u32_at(bytes: &[u8], range: &Range<usize>, i: usize) -> u32 {
-    let at = range.start + 4 * i;
-    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+    finish_trailer(out)
 }
 
 /// A validated map of the byte ranges inside one v2b artifact: everything a
@@ -238,44 +134,14 @@ pub(crate) struct Validated {
 /// and serve-only — so corruption, truncation and crafted structural
 /// violations are rejected identically everywhere.
 pub(crate) fn validate(bytes: &[u8]) -> Result<Validated, ArtifactError> {
-    if !bytes.starts_with(MAGIC) {
-        return Err(ArtifactError::MissingHeader);
-    }
-    // --- Integrity: the trailing u64 checksums every preceding byte. ---
-    if bytes.len() < MAGIC.len() + 8 {
-        return Err(ArtifactError::MissingChecksum);
-    }
-    let body = &bytes[..bytes.len() - 8];
-    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
-    let computed = checksum64(body);
-    if stored != computed {
-        return Err(ArtifactError::ChecksumMismatch { stored, computed });
-    }
+    let body = crate::codec::verify_for::<V2bCodec>(bytes)?;
 
-    let mut cur = Cursor { bytes: body, pos: MAGIC.len() };
+    let mut cur = Cursor::after_magic(body, V2B_MAGIC);
     let machine = cur.token_range("machine name")?;
     let source = cur.token_range("source name")?;
 
-    // Instruction inventory.
-    let n_insts = cur.u32("instruction count")? as usize;
-    let mut instructions = InstructionSet::new();
-    // `n_insts` is untrusted: cap the pre-allocation, the cursor bounds real
-    // growth by the file length.
-    instructions.reserve(n_insts.min(1 << 16));
-    for i in 0..n_insts {
-        let name = cur.token("instruction name")?;
-        let codes = cur.take(2, "class/extension codes")?;
-        let (class_code, ext_code) = (codes[0] as usize, codes[1] as usize);
-        let class = *ExecClass::ALL
-            .get(class_code)
-            .ok_or_else(|| cur.bad(format!("unknown class code {class_code}")))?;
-        let extension = *Extension::ALL
-            .get(ext_code)
-            .ok_or_else(|| cur.bad(format!("unknown extension code {ext_code}")))?;
-        instructions
-            .try_push(InstDesc { name: name.to_string(), class, extension })
-            .map_err(|desc| cur.bad(format!("duplicate instruction `{}` (entry {i})", desc.name)))?;
-    }
+    let instructions = crate::codec::read_instruction_table(&mut cur)?;
+    let n_insts = instructions.len();
 
     // Resource names.
     let n_resources = cur.u32("resource count")? as usize;
@@ -299,28 +165,8 @@ pub(crate) fn validate(bytes: &[u8]) -> Result<Validated, ArtifactError> {
     if slots > 0 && bytes[mapped.end - 1] == 0 {
         return Err(cur.bad("last row slot is unmapped (slot table is not minimal)"));
     }
-    let row_ptr_len = (slots + 1)
-        .checked_mul(4)
-        .ok_or_else(|| cur.bad("row_ptr count overflows".to_string()))?;
-    let row_ptr = cur.take_range(row_ptr_len, "row_ptr")?;
-    let nnz = cur.u32("entry count")? as usize;
-    let first = u32_at(bytes, &row_ptr, 0);
-    let last = u32_at(bytes, &row_ptr, slots);
-    if first != 0 || last as usize != nnz {
-        return Err(cur.bad(format!("row_ptr must run from 0 to {nnz}, found {first}..{last}")));
-    }
-    // Full monotonicity up front: with the endpoints pinned above, this also
-    // bounds every entry by `nnz`, so no row walk below (or later, in a
-    // borrowed view) can index past the arrays even on a crafted (correctly
-    // re-hashed) body.
-    let mut previous_ptr = 0u32;
-    for (i, word) in bytes[row_ptr.clone()].chunks_exact(4).enumerate().skip(1) {
-        let p = u32::from_le_bytes(word.try_into().expect("4 bytes"));
-        if p < previous_ptr {
-            return Err(cur.bad(format!("row_ptr decreases at slot {}", i - 1)));
-        }
-        previous_ptr = p;
-    }
+    let (row_ptr, nnz) =
+        crate::codec::read_csr_ptr(&mut cur, bytes, slots, "row_ptr", "entry count")?;
     let cols_len =
         nnz.checked_mul(4).ok_or_else(|| cur.bad("columns count overflows".to_string()))?;
     let cols = cur.take_range(cols_len, "columns")?;
@@ -480,9 +326,9 @@ impl RawIndex {
     }
 }
 
-/// Owned artifact bytes whose CSR integer arrays are guaranteed to sit on
-/// aligned offsets, shareable between a serve-only registry entry and the
-/// deferred mapping state of its artifact.
+/// Owned or mapped artifact bytes whose CSR integer arrays are guaranteed to
+/// sit on aligned offsets, shareable between a serve-only registry entry and
+/// the deferred mapping state of its artifact.
 ///
 /// `std::fs::read` hands back a buffer whose base alignment is allocator
 /// luck and whose array offsets depend on name lengths, so roughly 3 in 4
@@ -491,12 +337,40 @@ impl RawIndex {
 /// are misaligned it re-bases the payload with a leading shift (one memcpy —
 /// still no per-array copies, no rebuild), after which [`RawIndex::view`] is
 /// guaranteed to succeed on little-endian targets.
-#[derive(Debug, Clone)]
+/// [`ArtifactBytes::from_file`] goes one step further and serves straight
+/// from an `mmap(2)`-backed buffer (page-aligned base, so only the in-file
+/// array offset decides), copying to an aligned heap buffer only when it
+/// must.
+#[derive(Clone)]
 pub(crate) struct ArtifactBytes {
-    buf: Arc<Vec<u8>>,
-    /// Offset of the artifact's first byte inside `buf` (non-zero only when
-    /// the payload was re-based for alignment).
-    start: usize,
+    backing: Backing,
+}
+
+/// Summarised `Debug` — a retained artifact is hundreds of kilobytes, and
+/// this type is reachable from `Debug` on every serving registry entry.
+impl std::fmt::Debug for ArtifactBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.backing {
+            Backing::Heap { start, .. } => {
+                write!(f, "ArtifactBytes::Heap({} bytes, start {start})", self.as_slice().len())
+            }
+            Backing::Mapped(_) => {
+                write!(f, "ArtifactBytes::Mapped({} bytes)", self.as_slice().len())
+            }
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Backing {
+    Heap {
+        buf: Arc<Vec<u8>>,
+        /// Offset of the artifact's first byte inside `buf` (non-zero only
+        /// when the payload was re-based for alignment).
+        start: usize,
+    },
+    /// A read-only file mapping (see [`crate::mmap`]); zero heap bytes.
+    Mapped(Arc<FileBuf>),
 }
 
 impl ArtifactBytes {
@@ -505,20 +379,45 @@ impl ArtifactBytes {
     pub(crate) fn aligned(bytes: Vec<u8>, index: &RawIndex) -> ArtifactBytes {
         let misalignment = (bytes.as_ptr() as usize + index.row_ptr_offset()) % 4;
         if misalignment == 0 {
-            return ArtifactBytes { buf: Arc::new(bytes), start: 0 };
+            return ArtifactBytes { backing: Backing::Heap { buf: Arc::new(bytes), start: 0 } };
         }
         let mut buf = vec![0u8; bytes.len() + 4];
         let start = (4 - (buf.as_ptr() as usize + index.row_ptr_offset()) % 4) % 4;
         buf[start..start + bytes.len()].copy_from_slice(&bytes);
         buf.truncate(start + bytes.len());
-        ArtifactBytes { buf: Arc::new(buf), start }
+        ArtifactBytes { backing: Backing::Heap { buf: Arc::new(buf), start } }
     }
 
-    /// The artifact bytes.  The heap block behind the `Arc` never moves, so
-    /// the alignment established at construction holds for the lifetime of
-    /// every clone.
+    /// Wraps a whole-file buffer, serving straight from the mapping when the
+    /// arrays are aligned in it and copying to an aligned heap buffer
+    /// otherwise (also the path for heap-read fallbacks).
+    pub(crate) fn from_file(buf: FileBuf, index: &RawIndex) -> ArtifactBytes {
+        let aligned_in_place =
+            (buf.as_slice().as_ptr() as usize + index.row_ptr_offset()).is_multiple_of(4);
+        if buf.is_mapped() && aligned_in_place {
+            return ArtifactBytes { backing: Backing::Mapped(Arc::new(buf)) };
+        }
+        let bytes = match buf {
+            FileBuf::Heap(bytes) => bytes,
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            mapped => mapped.as_slice().to_vec(),
+        };
+        ArtifactBytes::aligned(bytes, index)
+    }
+
+    /// True when the bytes are served straight from a file mapping.
+    pub(crate) fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped(_))
+    }
+
+    /// The artifact bytes.  The heap block or mapping behind the `Arc` never
+    /// moves, so the alignment established at construction holds for the
+    /// lifetime of every clone.
     pub(crate) fn as_slice(&self) -> &[u8] {
-        &self.buf[self.start..]
+        match &self.backing {
+            Backing::Heap { buf, start } => &buf[*start..],
+            Backing::Mapped(buf) => buf.as_slice(),
+        }
     }
 }
 
@@ -541,6 +440,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<(ModelArtifact, CompiledModel), Art
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checksum::fnv1a64_words;
 
     /// Hand-encodes a crafted v2b body with a `row_ptr` that overshoots
     /// `nnz` in the middle while keeping the pinned endpoints valid: the
@@ -548,7 +448,7 @@ mod tests {
     #[test]
     fn overshooting_row_ptr_is_rejected_not_panicking() {
         let mut body = Vec::new();
-        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(V2B_MAGIC);
         push_str(&mut body, "m");
         push_str(&mut body, "s");
         push_u32(&mut body, 2); // instructions
@@ -566,9 +466,8 @@ mod tests {
         }
         push_u32(&mut body, 1); // nnz
         push_u32(&mut body, 0); // cols
-        body.extend_from_slice(&1.0f64.to_bits().to_le_bytes()); // vals
-        let checksum = checksum64(&body);
-        body.extend_from_slice(&checksum.to_le_bytes());
+        push_f64(&mut body, 1.0); // vals
+        let body = finish_trailer(body);
         match decode(&body) {
             Err(ArtifactError::MalformedBinary { reason, .. }) => {
                 assert!(reason.contains("row_ptr"), "unexpected reason: {reason}");
@@ -598,5 +497,15 @@ mod tests {
                 "aligned bytes must back a borrowed view (shift {shift})"
             );
         }
+    }
+
+    /// The strided-word checksum helper and the trailer the encoder writes
+    /// agree (the trailer moved to `codec`; this pins the compatibility).
+    #[test]
+    fn encoder_trailer_is_the_strided_word_checksum() {
+        let bin = crate::artifact::tests_support::example().render_v2();
+        let body = &bin[..bin.len() - 8];
+        let stored = u64::from_le_bytes(bin[bin.len() - 8..].try_into().unwrap());
+        assert_eq!(stored, fnv1a64_words(body));
     }
 }

@@ -35,9 +35,10 @@ use std::cell::RefCell;
 
 thread_local! {
     /// Reusable load buffer for the borrow-free [`ThroughputPredictor`]
-    /// entry point, so trait-object consumers (e.g. the evaluation campaign)
-    /// stay allocation-free per call like the scratch-based API.
-    static LOAD_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// entry points (shared with the disjunctive family in [`crate::disj`]),
+    /// so trait-object consumers (e.g. the evaluation campaign) stay
+    /// allocation-free per call like the scratch-based API.
+    pub(crate) static LOAD_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
 }
 
 /// A conjunctive mapping compiled into flat arrays for allocation-free

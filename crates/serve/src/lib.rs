@@ -27,20 +27,36 @@
 //! * [`corpus`] — a text format for basic-block workloads ([`Corpus`]) that
 //!   interns kernels at parse time, so prediction traffic can come from files
 //!   instead of in-process generators and ingest is index bookkeeping.
-//! * [`registry`] — [`ModelRegistry`]: several named architectures served
-//!   side by side — full entries (artifact + owned compiled form) and
-//!   serve-only entries ([`ServingModel`]) that retain the artifact bytes
-//!   and serve through the borrowed view.
+//! * [`disj`] — the second model *family*: [`DisjArtifact`] persists a
+//!   disjunctive port mapping (per-instruction µOP rows of port sets +
+//!   inverse throughputs — what PMEvo-style baselines learn) as
+//!   `PALMED-DISJ v1`, and [`CompiledDisjModel`] serves it through the same
+//!   [`KernelLoad`] interface, so baselines load pre-built tables instead
+//!   of re-training every campaign.
+//! * [`checksum`] / [`codec`] — the machinery every codec shares: one
+//!   FNV-1a-64 implementation (bytewise for the v1 text trailer, strided
+//!   over 8-byte words for the binary trailers), the tagged [`ModelKind`]
+//!   with format sniffing, length-prefixed section plumbing, and the
+//!   validate-pass/byte-range-index pattern.
+//! * [`registry`] — [`ModelRegistry`]: a concurrent store of named,
+//!   kind-tagged entries.  Readers take an atomic snapshot and predict with
+//!   **no lock held**; writers hot-swap whole generations
+//!   ([`ModelRegistry::swap_bytes`], [`ModelRegistry::reload_file`]) and
+//!   [`ModelRegistry::refresh`] polls watched files' mtime/length for
+//!   file-watch semantics without OS APIs.  Old generations stay valid
+//!   until their last holder drops.
 //!
 //! # Load modes
 //!
-//! One model, three ways to load it, ordered by how much work start-up does:
+//! Two model families, four ways to load them, ordered by how much work
+//! start-up does:
 //!
-//! | mode | entry points | cost at load |
-//! |------|--------------|--------------|
-//! | **v1 text** (interchange/debug) | [`ModelArtifact::parse`], [`ModelRegistry::load_file`] | parse every decimal, rebuild rows, compile |
-//! | **v2b owned** (validate-and-copy) | [`ModelArtifact::parse_v2`], [`ModelRegistry::load_file`] | validate, copy CSR arrays, rebuild dense rows |
-//! | **v2b serve-only** (zero-copy) | [`ModelRegistry::load_file_serving`], [`ModelView::parse_v2`] | validate only |
+//! | mode | family | entry points | cost at load |
+//! |------|--------|--------------|--------------|
+//! | **v1 text** (interchange/debug) | conjunctive | [`ModelArtifact::parse`], [`ModelRegistry::load_file`] | parse every decimal, rebuild rows, compile |
+//! | **v2b owned** (validate-and-copy) | conjunctive | [`ModelArtifact::parse_v2`], [`ModelRegistry::load_file`] | validate, copy CSR arrays, rebuild dense rows |
+//! | **v2b serve-only** (zero-copy) | conjunctive | [`ModelRegistry::load_file_serving`], [`ModelRegistry::load_file_mapped`] (`mmap(2)`-backed), [`ModelView::parse_v2`] | validate only |
+//! | **disj** (eager) | disjunctive | [`DisjArtifact::parse`], [`ModelRegistry::load_file`] | validate, copy µOP rows (disjunctive models are tiny) |
 //!
 //! The serve-only load is O(validate): the artifact bytes are retained and
 //! predictions run through a borrowed [`CompiledModelRef`] aliasing them (an
@@ -50,7 +66,27 @@
 //! serving path never reads — is **lazy**: [`ModelArtifact::mapping`]
 //! rebuilds it from the retained bytes on first access and caches it;
 //! [`ModelArtifact::mapping_ready`] tells whether that has happened.
-//! All three modes predict bit-identically.
+//! All modes of a family predict bit-identically.
+//!
+//! # Versions and migration
+//!
+//! Every registry entry reports its sniffed [`ModelKind`] (family +
+//! format version).  Which conversions are lossless:
+//!
+//! | from \ to | v1 text | v2b | disj |
+//! |-----------|---------|-----|------|
+//! | **v1 text** | — | [`migrate_v1_to_v2b`] / [`ModelArtifact::render_v2`], lossless | ✗ different family |
+//! | **v2b** | [`ModelArtifact::render`] after [`ModelArtifact::parse_v2`], lossless | — | ✗ different family |
+//! | **disj** | ✗ | ✗ | — |
+//!
+//! The two conjunctive forms are mutually lossless: migrating in either
+//! direction reproduces the artifact bit for bit (round trips are asserted
+//! by the codec property tests).  Crossing families is **not** a migration:
+//! a conjunctive mapping has collapsed the port choice away and cannot
+//! recover port sets, and flattening a disjunctive mapping into conjunctive
+//! resources changes the model class (that flattening is the inference
+//! problem Palmed itself solves).  The registry therefore keeps both
+//! families as first-class kinds instead of converting between them.
 //!
 //! # Model artifact format (`PALMED-MODEL v1`)
 //!
@@ -143,12 +179,21 @@
 pub mod artifact;
 pub mod batch;
 mod binfmt;
+pub mod checksum;
+pub mod codec;
 pub mod compiled;
 pub mod corpus;
+pub mod disj;
+mod mmap;
 pub mod registry;
 
 pub use artifact::{ArtifactError, ModelArtifact};
 pub use batch::{BatchPredictor, BatchResult, PreparedBatch};
+pub use codec::{migrate_v1_to_v2b, ModelKind};
 pub use compiled::{CompiledModel, CompiledModelRef, KernelLoad, ModelView};
 pub use corpus::{Corpus, CorpusBlock, CorpusError};
-pub use registry::{ModelRegistry, ServedModel, ServingModel};
+pub use disj::{CompiledDisjModel, DisjArtifact, DisjUop};
+pub use registry::{
+    LoadMode, ModelEntry, ModelRegistry, RefreshOutcome, RegistryEntry, RegistrySnapshot,
+    ServedDisjModel, ServedModel, ServingModel,
+};

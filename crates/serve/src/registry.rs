@@ -1,33 +1,52 @@
-//! The model registry: several named architectures served side by side.
+//! The model registry: several named architectures served side by side,
+//! hot-swappable under concurrent readers.
 //!
-//! A serving process typically holds one model per target machine
-//! (`skl-sp-like`, `zen1-like`, ...) and dispatches each prediction request
-//! to the right one.  [`ModelRegistry`] owns that table in two flavours:
+//! A serving process holds one model per target machine (`skl-sp-like`,
+//! `zen1-like`, ...) and dispatches each prediction request to the right
+//! one — while operators push updated artifacts underneath it.
+//! [`ModelRegistry`] is built for that shape:
 //!
-//! * **Full entries** ([`ServedModel`], via [`ModelRegistry::load_file`] /
-//!   [`ModelRegistry::register`]): the self-describing [`ModelArtifact`]
-//!   (needed to resolve instruction names from corpora) plus its owned
-//!   [`CompiledModel`].
-//! * **Serve-only entries** ([`ServingModel`], via
-//!   [`ModelRegistry::load_file_serving`]): the validated v2b artifact bytes
-//!   are retained and served through a borrowed [`CompiledModelRef`] — no
-//!   CSR array is copied and the artifact's dense mapping stays deferred
-//!   until something explicitly asks for it.  This is the load path a
-//!   registry serving many architectures to heavy traffic wants: start-up
-//!   is O(validate), not O(inventory).
-//!
-//! A name lives in exactly one table; loading it through the other path
-//! replaces it.
+//! * **Polymorphic entries.**  Every entry is a [`RegistryEntry`] tagging a
+//!   [`ModelKind`] (family + format, reported per entry) around one of three
+//!   model payloads: a full conjunctive [`ServedModel`] (artifact + owned
+//!   compiled form), a zero-copy conjunctive [`ServingModel`] (retained
+//!   `v2b` bytes — heap or `mmap(2)`-backed — served through a borrowed
+//!   view), or a disjunctive [`ServedDisjModel`] (a PMEvo-style port
+//!   mapping, loaded from a `PALMED-DISJ v1` artifact instead of re-evolved
+//!   per campaign).  [`ModelRegistry::load_file`] sniffs the format.
+//! * **Atomic generation swap.**  The registry state is one immutable
+//!   snapshot behind `RwLock<Arc<_>>`: readers take the lock only long
+//!   enough to clone an `Arc` ([`ModelRegistry::snapshot`] /
+//!   [`ModelRegistry::get`]); **no lock is held during prediction**.
+//!   Writers build the next snapshot and swap it in with a bumped
+//!   generation ([`ModelRegistry::swap_bytes`],
+//!   [`ModelRegistry::reload_file`]); in-flight readers keep their `Arc`
+//!   and the old generation stays fully valid until the last clone drops.
+//! * **File-watch semantics without OS APIs.**  File-loaded entries record
+//!   their source path plus the mtime/length observed at load;
+//!   [`ModelRegistry::refresh`] polls those and reloads whatever changed —
+//!   a poll loop in the serving process gives hot reload with nothing but
+//!   `std`.
+//! * **Version/migration story.**  Each entry reports its sniffed
+//!   [`ModelKind`] (family + on-disk version);
+//!   [`migrate_v1_to_v2b`](crate::migrate_v1_to_v2b) converts the
+//!   conjunctive text form to the binary form losslessly.  See the crate
+//!   docs for the full migration matrix.
 
 use crate::artifact::{ArtifactError, ModelArtifact};
 use crate::batch::BatchPredictor;
 use crate::binfmt::{self, ArtifactBytes};
+use crate::codec::ModelKind;
 use crate::compiled::{CompiledModel, CompiledModelRef, ModelView};
+use crate::disj::{CompiledDisjModel, DisjArtifact};
+use crate::mmap::FileBuf;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+use std::time::SystemTime;
 
-/// A registered model: the artifact plus its compiled form.
+/// A registered full conjunctive model: the artifact plus its compiled form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServedModel {
     /// The self-describing artifact (instruction set, mapping, provenance).
@@ -62,10 +81,11 @@ impl ServedModel {
 /// The artifact's instruction set is materialised (corpus loading needs the
 /// name index) but its dense mapping stays deferred — the first
 /// [`ModelArtifact::mapping`] access rebuilds it from the retained bytes.
-/// The load re-bases the buffer once if needed so the integer arrays are
-/// aligned, which makes the borrowed view available for the lifetime of the
-/// entry on little-endian targets; elsewhere an owned model is materialised
-/// as a fallback and [`ServingModel::view`] serves that instead.
+/// The retained buffer is either heap-owned (re-based once if needed so the
+/// integer arrays are aligned) or an `mmap(2)` of the artifact file
+/// ([`ModelRegistry::load_file_mapped`]); either way the borrowed view is
+/// available for the lifetime of the entry on little-endian targets, and an
+/// owned model is materialised as a fallback elsewhere.
 #[derive(Debug, Clone)]
 pub struct ServingModel {
     /// The self-describing artifact; its mapping stays deferred until first
@@ -80,8 +100,23 @@ pub struct ServingModel {
 
 impl ServingModel {
     fn from_bytes(raw: Vec<u8>) -> Result<Self, ArtifactError> {
-        let binfmt::Validated { instructions, index } = binfmt::validate(&raw)?;
-        let bytes = ArtifactBytes::aligned(raw, &index);
+        let validated = binfmt::validate(&raw)?;
+        let bytes = ArtifactBytes::aligned(raw, &validated.index);
+        Ok(Self::assemble(bytes, validated))
+    }
+
+    /// Serve-only load straight from a file, `mmap(2)`-backed where the
+    /// platform allows it (see [`crate::mmap`]) with a read-to-heap
+    /// fallback everywhere else.
+    fn from_file(path: &Path) -> Result<Self, ArtifactError> {
+        let buf = FileBuf::open(path)?;
+        let validated = binfmt::validate(buf.as_slice())?;
+        let bytes = ArtifactBytes::from_file(buf, &validated.index);
+        Ok(Self::assemble(bytes, validated))
+    }
+
+    fn assemble(bytes: ArtifactBytes, validated: binfmt::Validated) -> Self {
+        let binfmt::Validated { instructions, index } = validated;
         let slice = bytes.as_slice();
         let artifact = ModelArtifact::deferred(
             index.machine(slice).to_string(),
@@ -94,7 +129,7 @@ impl ServingModel {
             Some(_) => None,
             None => Some(index.to_compiled(slice)),
         };
-        Ok(ServingModel { artifact, bytes, index, fallback })
+        ServingModel { artifact, bytes, index, fallback }
     }
 
     /// The model view this entry serves through: borrowed from the retained
@@ -103,8 +138,8 @@ impl ServingModel {
     pub fn view(&self) -> ModelView<'_> {
         match &self.fallback {
             Some(model) => ModelView::Owned(Cow::Borrowed(model)),
-            // The buffer was aligned at load time and its heap block never
-            // moves, so the borrowed view remains constructible.
+            // The buffer was aligned at load time and its backing block
+            // never moves, so the borrowed view remains constructible.
             None => ModelView::Borrowed(
                 self.index.view(self.bytes.as_slice()).expect("buffer aligned at load"),
             ),
@@ -128,67 +163,422 @@ impl ServingModel {
     pub fn bytes(&self) -> &[u8] {
         self.bytes.as_slice()
     }
+
+    /// True when the retained bytes are served straight from a file mapping
+    /// (zero heap copies of the artifact).
+    pub fn is_mapped(&self) -> bool {
+        self.bytes.is_mapped()
+    }
 }
 
-/// Named model table, keyed by architecture name.
-#[derive(Debug, Clone, Default)]
+/// A registered disjunctive model: the `PALMED-DISJ v1` artifact plus its
+/// compiled serving form — the entry a PMEvo-style baseline loads instead
+/// of re-evolving its mapping every campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedDisjModel {
+    /// The self-describing artifact (instruction set, µOP rows, provenance).
+    pub artifact: DisjArtifact,
+    /// The compiled predictor built from the artifact.
+    pub compiled: CompiledDisjModel,
+}
+
+impl ServedDisjModel {
+    /// Compiles a disjunctive artifact into a servable entry.
+    pub fn from_artifact(artifact: DisjArtifact) -> Self {
+        let compiled = artifact.compile();
+        ServedDisjModel { artifact, compiled }
+    }
+
+    /// A batch predictor over the compiled model.
+    pub fn batch(&self) -> BatchPredictor<&CompiledDisjModel> {
+        BatchPredictor::new(&self.compiled)
+    }
+}
+
+/// The model payload of one registry entry: one of the three load shapes.
+#[derive(Debug)]
+pub enum ModelEntry {
+    /// Full conjunctive entry (artifact + owned compiled form).
+    Conjunctive(ServedModel),
+    /// Serve-only conjunctive entry (retained `v2b` bytes, borrowed view).
+    ConjunctiveServing(ServingModel),
+    /// Disjunctive entry (artifact + compiled port-mapping form).
+    Disjunctive(ServedDisjModel),
+}
+
+/// How a file-backed entry is (re)loaded — what [`ModelRegistry::refresh`]
+/// replays when the file changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Eager load: full conjunctive or disjunctive entry, format sniffed.
+    Full,
+    /// Serve-only `v2b` load into a heap buffer.
+    Serving,
+    /// Serve-only `v2b` load, `mmap(2)`-backed where possible.
+    Mapped,
+}
+
+/// The source file a registry entry watches: path plus the metadata
+/// observed at load time, compared by [`ModelRegistry::refresh`].
+#[derive(Debug, Clone)]
+struct SourceFile {
+    path: PathBuf,
+    mode: LoadMode,
+    mtime: Option<SystemTime>,
+    len: u64,
+}
+
+impl SourceFile {
+    /// Stats `path` *before* the load reads it, so a concurrent rewrite
+    /// between stat and read is re-observed (and re-loaded) by the next
+    /// [`ModelRegistry::refresh`] rather than missed.
+    fn observe(path: &Path, mode: LoadMode) -> SourceFile {
+        let meta = std::fs::metadata(path).ok();
+        SourceFile {
+            path: path.to_path_buf(),
+            mode,
+            mtime: meta.as_ref().and_then(|m| m.modified().ok()),
+            len: meta.map_or(0, |m| m.len()),
+        }
+    }
+
+    /// True when the file's current metadata differs from what was observed
+    /// at load time.
+    fn is_stale(&self) -> bool {
+        match std::fs::metadata(&self.path) {
+            Ok(meta) => {
+                meta.modified().ok() != self.mtime || meta.len() != self.len
+            }
+            // Vanished files count as stale; the reload will surface the
+            // I/O error to the caller.
+            Err(_) => true,
+        }
+    }
+}
+
+/// One immutable registry entry: a named, kind-tagged model installed at a
+/// specific generation.  Cheap to share (`Arc`) and valid for as long as
+/// any reader holds it, regardless of later swaps.
+#[derive(Debug)]
+pub struct RegistryEntry {
+    name: String,
+    kind: ModelKind,
+    generation: u64,
+    source: Option<SourceFile>,
+    model: ModelEntry,
+}
+
+impl RegistryEntry {
+    /// The name this entry is registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The model kind (family + format version): sniffed from the bytes
+    /// for loads and swaps, the family's canonical form
+    /// ([`ModelKind::ConjunctiveV1`] / [`ModelKind::DisjunctiveV1`]) for
+    /// memory-registered artifacts.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The registry generation this entry was installed at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The source file this entry watches, when file-loaded.
+    pub fn source_path(&self) -> Option<&Path> {
+        self.source.as_ref().map(|s| s.path.as_path())
+    }
+
+    /// The load mode a refresh would replay, when file-loaded.
+    pub fn load_mode(&self) -> Option<LoadMode> {
+        self.source.as_ref().map(|s| s.mode)
+    }
+
+    /// The model payload.
+    pub fn model(&self) -> &ModelEntry {
+        &self.model
+    }
+
+    /// The full conjunctive model, when this entry holds one.
+    pub fn served(&self) -> Option<&ServedModel> {
+        match &self.model {
+            ModelEntry::Conjunctive(model) => Some(model),
+            _ => None,
+        }
+    }
+
+    /// The serve-only conjunctive model, when this entry holds one.
+    pub fn serving(&self) -> Option<&ServingModel> {
+        match &self.model {
+            ModelEntry::ConjunctiveServing(model) => Some(model),
+            _ => None,
+        }
+    }
+
+    /// The disjunctive model, when this entry holds one.
+    pub fn disjunctive(&self) -> Option<&ServedDisjModel> {
+        match &self.model {
+            ModelEntry::Disjunctive(model) => Some(model),
+            _ => None,
+        }
+    }
+}
+
+/// One immutable generation of the registry: the entry table as it stood
+/// after some write.  Readers hold an `Arc` of this and look names up with
+/// no further synchronisation.
+#[derive(Debug, Default)]
+pub struct RegistrySnapshot {
+    generation: u64,
+    entries: BTreeMap<String, Arc<RegistryEntry>>,
+}
+
+impl RegistrySnapshot {
+    /// The generation counter of this snapshot (bumped by every write).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Looks a model up by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<RegistryEntry>> {
+        self.entries.get(name)
+    }
+
+    /// All entries, in name order.
+    pub fn entries(&self) -> impl Iterator<Item = &Arc<RegistryEntry>> {
+        self.entries.values()
+    }
+
+    /// Registered names, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// What one [`ModelRegistry::refresh`] poll did: which entries were
+/// reloaded, and which stale entries failed to (their old generation stays
+/// installed — a serving process keeps serving the last good model).
+#[derive(Debug, Default)]
+pub struct RefreshOutcome {
+    /// Names whose entries were reloaded from a changed source file.
+    pub reloaded: Vec<String>,
+    /// Stale entries whose reload failed, with the failure.
+    pub errors: Vec<(String, ArtifactError)>,
+}
+
+impl RefreshOutcome {
+    /// True when nothing changed and nothing failed.
+    pub fn is_quiet(&self) -> bool {
+        self.reloaded.is_empty() && self.errors.is_empty()
+    }
+}
+
+/// Named model table, keyed by architecture name: a concurrent store whose
+/// writes install whole new generations and whose readers never block a
+/// prediction (see the module docs).
+///
+/// All methods take `&self`; share a registry between threads as
+/// `Arc<ModelRegistry>`.
+#[derive(Debug)]
 pub struct ModelRegistry {
-    models: BTreeMap<String, ServedModel>,
-    serving: BTreeMap<String, ServingModel>,
+    shared: RwLock<Arc<RegistrySnapshot>>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry { shared: RwLock::new(Arc::new(RegistrySnapshot::default())) }
+    }
+}
+
+impl Clone for ModelRegistry {
+    /// Clones the current snapshot into an independent registry (entries
+    /// are shared by `Arc`; subsequent writes diverge).
+    fn clone(&self) -> Self {
+        let snapshot = self.snapshot();
+        ModelRegistry {
+            shared: RwLock::new(Arc::new(RegistrySnapshot {
+                generation: snapshot.generation,
+                entries: snapshot.entries.clone(),
+            })),
+        }
+    }
 }
 
 impl ModelRegistry {
-    /// An empty registry.
+    /// An empty registry at generation 0.
     pub fn new() -> Self {
         ModelRegistry::default()
     }
 
-    /// Registers an artifact under its own machine name, compiling it;
-    /// replaces any previous model of that name and returns the entry.
-    pub fn register(&mut self, artifact: ModelArtifact) -> &ServedModel {
+    /// The current immutable snapshot.  Taking it holds the lock only for
+    /// an `Arc` clone; everything after — lookups, predictions — runs
+    /// lock-free on the snapshot, which stays valid (old generation
+    /// included) until the last holder drops it.
+    pub fn snapshot(&self) -> Arc<RegistrySnapshot> {
+        self.shared.read().expect("registry lock").clone()
+    }
+
+    /// The current generation (bumped by every successful write).
+    pub fn generation(&self) -> u64 {
+        self.shared.read().expect("registry lock").generation
+    }
+
+    /// Runs one write: clones the entry table, lets `mutate` edit it, and
+    /// installs the result as the next generation.  Readers holding the old
+    /// snapshot are unaffected.
+    fn write<R>(
+        &self,
+        mutate: impl FnOnce(&mut BTreeMap<String, Arc<RegistryEntry>>, u64) -> R,
+    ) -> R {
+        self.try_write(|entries, generation| Ok::<R, ArtifactError>(mutate(entries, generation)))
+            .expect("infallible mutation")
+    }
+
+    /// [`ModelRegistry::write`] whose mutation may fail: on `Err` nothing is
+    /// installed and no generation is burnt (no-op writes like removing an
+    /// absent name go through here).  Writers serialise against each other;
+    /// readers only wait for the final snapshot swap, never for a
+    /// prediction, so mutations should do their expensive work (decode,
+    /// compile) before entering.
+    fn try_write<R, E>(
+        &self,
+        mutate: impl FnOnce(&mut BTreeMap<String, Arc<RegistryEntry>>, u64) -> Result<R, E>,
+    ) -> Result<R, E> {
+        let mut guard = self.shared.write().expect("registry lock");
+        let generation = guard.generation + 1;
+        let mut entries = guard.entries.clone();
+        let result = mutate(&mut entries, generation)?;
+        *guard = Arc::new(RegistrySnapshot { generation, entries });
+        Ok(result)
+    }
+
+    /// Installs a model under `name`, replacing any previous entry.
+    fn install(
+        &self,
+        name: String,
+        kind: ModelKind,
+        source: Option<SourceFile>,
+        model: ModelEntry,
+    ) -> Arc<RegistryEntry> {
+        self.write(|entries, generation| {
+            let entry =
+                Arc::new(RegistryEntry { name: name.clone(), kind, generation, source, model });
+            entries.insert(name, Arc::clone(&entry));
+            entry
+        })
+    }
+
+    /// Registers a conjunctive artifact under its own machine name,
+    /// compiling it; replaces any previous model of that name and returns
+    /// the installed entry.  Memory-registered conjunctive entries report
+    /// [`ModelKind::ConjunctiveV1`] — the family's canonical interchange
+    /// form — since no on-disk format was involved.
+    pub fn register(&self, artifact: ModelArtifact) -> Arc<RegistryEntry> {
         let name = artifact.machine.clone();
         self.register_as(name, artifact)
     }
 
-    /// Registers an artifact under an explicit name.
-    pub fn register_as(&mut self, name: impl Into<String>, artifact: ModelArtifact) -> &ServedModel {
-        self.insert(name.into(), ServedModel::from_artifact(artifact))
+    /// Registers a conjunctive artifact under an explicit name.
+    pub fn register_as(
+        &self,
+        name: impl Into<String>,
+        artifact: ModelArtifact,
+    ) -> Arc<RegistryEntry> {
+        self.install(
+            name.into(),
+            ModelKind::ConjunctiveV1,
+            None,
+            ModelEntry::Conjunctive(ServedModel::from_artifact(artifact)),
+        )
     }
 
-    /// The one insertion point for full entries: replaces any previous model
-    /// of that name (in either table) and returns the new entry.
-    fn insert(&mut self, name: String, served: ServedModel) -> &ServedModel {
-        self.serving.remove(&name);
-        self.models.insert(name.clone(), served);
-        &self.models[&name]
+    /// Registers a disjunctive artifact under its own machine name,
+    /// compiling it; replaces any previous model of that name.
+    pub fn register_disj(&self, artifact: DisjArtifact) -> Arc<RegistryEntry> {
+        let name = artifact.machine.clone();
+        self.install(
+            name,
+            ModelKind::DisjunctiveV1,
+            None,
+            ModelEntry::Disjunctive(ServedDisjModel::from_artifact(artifact)),
+        )
     }
 
-    /// The one insertion point for serve-only entries.
-    fn insert_serving(&mut self, name: String, serving: ServingModel) -> &ServingModel {
-        self.models.remove(&name);
-        self.serving.insert(name.clone(), serving);
-        &self.serving[&name]
+    /// Builds the eager (mode-`Full`) model entry for a buffer, sniffing
+    /// the kind: conjunctive artifacts become full [`ServedModel`]s (v2b
+    /// hands its compiled form over verbatim), disjunctive artifacts become
+    /// [`ServedDisjModel`]s.
+    fn eager_entry(bytes: &[u8]) -> Result<(String, ModelKind, ModelEntry), ArtifactError> {
+        let kind = ModelKind::sniff(bytes);
+        match kind {
+            ModelKind::ConjunctiveV1 | ModelKind::ConjunctiveV2b => {
+                let (artifact, compiled) = ModelArtifact::parse_any(bytes)?;
+                let served = match compiled {
+                    Some(compiled) => ServedModel::from_parts(artifact, compiled),
+                    None => ServedModel::from_artifact(artifact),
+                };
+                Ok((served.artifact.machine.clone(), kind, ModelEntry::Conjunctive(served)))
+            }
+            ModelKind::DisjunctiveV1 => {
+                let artifact = DisjArtifact::parse(bytes)?;
+                let name = artifact.machine.clone();
+                Ok((name, kind, ModelEntry::Disjunctive(ServedDisjModel::from_artifact(artifact))))
+            }
+        }
     }
 
-    /// Loads, verifies and registers an artifact file under the machine name
-    /// stored in the file.  The format is sniffed from the first bytes: v1
-    /// text artifacts are compiled after parsing, v2b binary artifacts hand
-    /// their compiled CSR arrays over verbatim (validate-and-copy, no
-    /// compile step).
+    /// Loads a model entry from a file in the given mode, returning the
+    /// derived name, kind and payload (the shared core of first loads and
+    /// refresh reloads).
+    fn load_path(
+        path: &Path,
+        mode: LoadMode,
+    ) -> Result<(String, ModelKind, ModelEntry), ArtifactError> {
+        match mode {
+            LoadMode::Full => Self::eager_entry(&std::fs::read(path)?),
+            LoadMode::Serving => {
+                let serving = ServingModel::from_bytes(std::fs::read(path)?)?;
+                let name = serving.artifact.machine.clone();
+                Ok((name, ModelKind::ConjunctiveV2b, ModelEntry::ConjunctiveServing(serving)))
+            }
+            LoadMode::Mapped => {
+                let serving = ServingModel::from_file(path)?;
+                let name = serving.artifact.machine.clone();
+                Ok((name, ModelKind::ConjunctiveV2b, ModelEntry::ConjunctiveServing(serving)))
+            }
+        }
+    }
+
+    /// Loads, verifies and registers an artifact file under the machine
+    /// name stored in the file.  The format is sniffed from the first
+    /// bytes: v1 text artifacts are compiled after parsing, v2b binary
+    /// artifacts hand their compiled CSR arrays over verbatim, and
+    /// `PALMED-DISJ v1` artifacts become disjunctive entries.  The entry
+    /// records the file's mtime/length, so [`ModelRegistry::refresh`] picks
+    /// up later rewrites.
     ///
     /// # Errors
     ///
-    /// Propagates I/O and [`ModelArtifact::parse_bytes`] failures; the
-    /// registry is left unchanged on error.
-    pub fn load_file(&mut self, path: impl AsRef<Path>) -> Result<&ServedModel, ArtifactError> {
-        let bytes = std::fs::read(path)?;
-        let (artifact, compiled) = ModelArtifact::parse_any(&bytes)?;
-        let name = artifact.machine.clone();
-        let served = match compiled {
-            Some(compiled) => ServedModel::from_parts(artifact, compiled),
-            None => ServedModel::from_artifact(artifact),
-        };
-        Ok(self.insert(name, served))
+    /// Propagates I/O and codec failures; the registry is left unchanged on
+    /// error.
+    pub fn load_file(&self, path: impl AsRef<Path>) -> Result<Arc<RegistryEntry>, ArtifactError> {
+        let path = path.as_ref();
+        let source = SourceFile::observe(path, LoadMode::Full);
+        let (name, kind, model) = Self::load_path(path, LoadMode::Full)?;
+        Ok(self.install(name, kind, Some(source), model))
     }
 
     /// Loads a `v2b` artifact file as a serve-only entry: the bytes are
@@ -197,18 +587,46 @@ impl ModelRegistry {
     /// is deferred until first explicit access.  Start-up cost is
     /// O(validate) — no CSR array copies, no dense row scatter.
     ///
-    /// v1 text artifacts have no zero-copy form; loading one here fails with
-    /// [`ArtifactError::MissingHeader`] (use [`ModelRegistry::load_file`]).
+    /// v1 text artifacts have no zero-copy form; loading one here fails
+    /// with [`ArtifactError::MissingHeader`] (use
+    /// [`ModelRegistry::load_file`]).
     ///
     /// # Errors
     ///
     /// Propagates I/O and v2b validation failures; the registry is left
     /// unchanged on error.
     pub fn load_file_serving(
-        &mut self,
+        &self,
         path: impl AsRef<Path>,
-    ) -> Result<&ServingModel, ArtifactError> {
-        self.load_serving_bytes(std::fs::read(path)?)
+    ) -> Result<Arc<RegistryEntry>, ArtifactError> {
+        let path = path.as_ref();
+        let source = SourceFile::observe(path, LoadMode::Serving);
+        let (name, kind, model) = Self::load_path(path, LoadMode::Serving)?;
+        Ok(self.install(name, kind, Some(source), model))
+    }
+
+    /// [`ModelRegistry::load_file_serving`] through `mmap(2)` where the
+    /// platform provides it (64-bit Unix; read-to-heap everywhere else):
+    /// the retained "buffer" is the page cache, so a serve-only load copies
+    /// no artifact byte at all unless the in-file array alignment forces a
+    /// one-time re-base.  Check [`ServingModel::is_mapped`] on the entry.
+    ///
+    /// Replace watched files atomically (write + `rename`) — an in-place
+    /// rewrite would mutate bytes under a live mapping (see the crate's
+    /// private `mmap` module docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and v2b validation failures; the registry is left
+    /// unchanged on error.
+    pub fn load_file_mapped(
+        &self,
+        path: impl AsRef<Path>,
+    ) -> Result<Arc<RegistryEntry>, ArtifactError> {
+        let path = path.as_ref();
+        let source = SourceFile::observe(path, LoadMode::Mapped);
+        let (name, kind, model) = Self::load_path(path, LoadMode::Mapped)?;
+        Ok(self.install(name, kind, Some(source), model))
     }
 
     /// [`ModelRegistry::load_file_serving`] over an in-memory buffer (e.g. a
@@ -220,41 +638,158 @@ impl ModelRegistry {
     /// Propagates v2b validation failures; the registry is left unchanged on
     /// error.
     pub fn load_serving_bytes(
-        &mut self,
+        &self,
         bytes: Vec<u8>,
-    ) -> Result<&ServingModel, ArtifactError> {
+    ) -> Result<Arc<RegistryEntry>, ArtifactError> {
         let serving = ServingModel::from_bytes(bytes)?;
         let name = serving.artifact.machine.clone();
-        Ok(self.insert_serving(name, serving))
+        Ok(self.install(
+            name,
+            ModelKind::ConjunctiveV2b,
+            None,
+            ModelEntry::ConjunctiveServing(serving),
+        ))
     }
 
-    /// Looks a full (owned) model up by name.
-    pub fn get(&self, name: &str) -> Option<&ServedModel> {
-        self.models.get(name)
+    /// Hot-swaps the model under `name` from an in-memory buffer, installing
+    /// a new generation without blocking in-flight readers (they keep their
+    /// snapshot; the old entry stays valid until the last `Arc` drops).
+    ///
+    /// The installed shape follows the sniffed format alone — `v2b` buffers
+    /// install serve-only (the natural hot-swap shape: validate-only,
+    /// zero-copy; use [`ModelRegistry::load_file`] for an eager conjunctive
+    /// entry), v1 text installs a full entry, `PALMED-DISJ v1` a
+    /// disjunctive one — so the decision never reads the current entry and
+    /// all decoding runs before the brief snapshot-swap lock.  The new
+    /// entry is keyed under `name` regardless of the machine name inside
+    /// the buffer, and no source file is watched afterwards (the bytes came
+    /// from the caller, not disk).
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec failures; the registry is left unchanged on error.
+    pub fn swap_bytes(
+        &self,
+        name: impl Into<String>,
+        bytes: Vec<u8>,
+    ) -> Result<Arc<RegistryEntry>, ArtifactError> {
+        let (kind, model) = match ModelKind::sniff(&bytes) {
+            ModelKind::ConjunctiveV2b => {
+                let serving = ServingModel::from_bytes(bytes)?;
+                (ModelKind::ConjunctiveV2b, ModelEntry::ConjunctiveServing(serving))
+            }
+            _ => {
+                let (_, kind, model) = Self::eager_entry(&bytes)?;
+                (kind, model)
+            }
+        };
+        Ok(self.install(name.into(), kind, None, model))
     }
 
-    /// Looks a serve-only model up by name.
-    pub fn get_serving(&self, name: &str) -> Option<&ServingModel> {
-        self.serving.get(name)
+    /// Reloads a file-backed entry from its recorded source path, in its
+    /// original load mode, keeping its registry name.  This is the forced
+    /// version of what [`ModelRegistry::refresh`] does on change detection.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ArtifactError::Io`] (kind `NotFound`) when `name` is
+    /// not registered or has no source file; propagates load failures; and
+    /// fails without installing when a concurrent writer replaced the entry
+    /// between the staleness read and the install — the fresher
+    /// installation wins, never the older file bytes.  In every error case
+    /// the currently-installed entry stays serving.
+    pub fn reload_file(&self, name: &str) -> Result<Arc<RegistryEntry>, ArtifactError> {
+        let entry = self.get(name).ok_or_else(|| not_found(name, "no such entry"))?;
+        let source = entry
+            .source
+            .as_ref()
+            .ok_or_else(|| not_found(name, "entry has no source file"))?;
+        let observed = SourceFile::observe(&source.path, source.mode);
+        let (_, kind, model) = Self::load_path(&source.path, source.mode)?;
+        self.try_write(|entries, generation| {
+            // Only replace the exact generation the reload decision was
+            // made against; a concurrent swap or load is fresher than the
+            // file bytes read above.
+            if !entries.get(name).is_some_and(|current| Arc::ptr_eq(current, &entry)) {
+                return Err(ArtifactError::Io(std::io::Error::other(format!(
+                    "registry entry `{name}`: replaced concurrently during reload"
+                ))));
+            }
+            let reloaded = Arc::new(RegistryEntry {
+                name: name.to_string(),
+                kind,
+                generation,
+                source: Some(observed),
+                model,
+            });
+            entries.insert(name.to_string(), Arc::clone(&reloaded));
+            Ok(reloaded)
+        })
     }
 
-    /// Registered architecture names across both tables, in sorted order.
-    pub fn names(&self) -> impl Iterator<Item = &str> {
-        let mut names: Vec<&str> =
-            self.models.keys().chain(self.serving.keys()).map(String::as_str).collect();
-        names.sort_unstable();
-        names.into_iter()
+    /// Polls every file-backed entry's source metadata (mtime + length) and
+    /// reloads the stale ones — file-watch semantics with nothing but
+    /// `std`.  A serving loop calls this periodically; readers in flight
+    /// during a reload keep predicting on their old snapshot.
+    ///
+    /// Reload failures do not disturb the failing entry (the last good
+    /// model keeps serving) and are reported in the outcome rather than
+    /// aborting the poll.
+    pub fn refresh(&self) -> RefreshOutcome {
+        let snapshot = self.snapshot();
+        let mut outcome = RefreshOutcome::default();
+        for entry in snapshot.entries() {
+            let Some(source) = entry.source.as_ref() else { continue };
+            if !source.is_stale() {
+                continue;
+            }
+            match self.reload_file(&entry.name) {
+                Ok(_) => outcome.reloaded.push(entry.name.clone()),
+                Err(error) => outcome.errors.push((entry.name.clone(), error)),
+            }
+        }
+        outcome
     }
 
-    /// Number of registered models (full and serve-only).
+    /// Removes a model, returning its entry (which stays valid for
+    /// holders).  Removing an unregistered name is a no-op: no snapshot is
+    /// installed and no generation is burnt.
+    pub fn remove(&self, name: &str) -> Option<Arc<RegistryEntry>> {
+        self.try_write(|entries, _| entries.remove(name).ok_or(())).ok()
+    }
+
+    /// Looks a model up by name in the current snapshot.  The returned
+    /// entry is independent of later swaps.
+    pub fn get(&self, name: &str) -> Option<Arc<RegistryEntry>> {
+        self.shared.read().expect("registry lock").entries.get(name).cloned()
+    }
+
+    /// All current entries, in name order.
+    pub fn entries(&self) -> Vec<Arc<RegistryEntry>> {
+        self.snapshot().entries().cloned().collect()
+    }
+
+    /// Registered architecture names, in sorted order.
+    pub fn names(&self) -> Vec<String> {
+        self.snapshot().names().map(str::to_string).collect()
+    }
+
+    /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.models.len() + self.serving.len()
+        self.shared.read().expect("registry lock").len()
     }
 
     /// True when no model is registered.
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty() && self.serving.is_empty()
+        self.shared.read().expect("registry lock").is_empty()
     }
+}
+
+fn not_found(name: &str, reason: &str) -> ArtifactError {
+    ArtifactError::Io(std::io::Error::new(
+        std::io::ErrorKind::NotFound,
+        format!("registry entry `{name}`: {reason}"),
+    ))
 }
 
 #[cfg(test)]
@@ -270,51 +805,78 @@ mod tests {
         ModelArtifact::new(machine, "test", InstructionSet::paper_example(), mapping)
     }
 
+    fn ipc_of(entry: &RegistryEntry, k: &Microkernel) -> Option<f64> {
+        match entry.model() {
+            ModelEntry::Conjunctive(m) => m.batch().predict(std::slice::from_ref(k)).ipcs[0],
+            ModelEntry::ConjunctiveServing(m) => {
+                m.batch().predict(std::slice::from_ref(k)).ipcs[0]
+            }
+            ModelEntry::Disjunctive(m) => m.batch().predict(std::slice::from_ref(k)).ipcs[0],
+        }
+    }
+
     #[test]
     fn register_get_and_names() {
-        let mut registry = ModelRegistry::new();
+        let registry = ModelRegistry::new();
         assert!(registry.is_empty());
+        assert_eq!(registry.generation(), 0);
         registry.register(artifact("skl", 0.5));
         registry.register(artifact("zen", 1.0));
         assert_eq!(registry.len(), 2);
-        assert_eq!(registry.names().collect::<Vec<_>>(), vec!["skl", "zen"]);
+        assert_eq!(registry.generation(), 2);
+        assert_eq!(registry.names(), vec!["skl", "zen"]);
         let skl = registry.get("skl").unwrap();
-        assert_eq!(skl.compiled.num_instructions(), 1);
+        assert_eq!(skl.kind(), ModelKind::ConjunctiveV1);
+        assert_eq!(skl.name(), "skl");
+        assert_eq!(skl.served().unwrap().compiled.num_instructions(), 1);
         assert!(registry.get("m1").is_none());
     }
 
     #[test]
-    fn reregistering_replaces_the_model() {
-        let mut registry = ModelRegistry::new();
+    fn reregistering_replaces_the_model_and_old_entries_stay_valid() {
+        let registry = ModelRegistry::new();
         registry.register(artifact("skl", 0.5));
+        let old = registry.get("skl").unwrap();
         registry.register(artifact("skl", 0.25));
         assert_eq!(registry.len(), 1);
         let k = Microkernel::single(InstId(2));
-        let served = registry.get("skl").unwrap();
-        let ipc = served.batch().predict(std::slice::from_ref(&k)).ipcs[0].unwrap();
-        assert!((ipc - 4.0).abs() < 1e-12);
+        let new = registry.get("skl").unwrap();
+        assert!(new.generation() > old.generation());
+        // The swapped-in model serves the new rows; the old Arc still
+        // serves the old ones, bit for bit.
+        assert!((ipc_of(&new, &k).unwrap() - 4.0).abs() < 1e-12);
+        assert!((ipc_of(&old, &k).unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]
-    fn load_file_sniffs_both_artifact_formats() {
+    fn load_file_sniffs_all_three_artifact_formats() {
         let dir = std::env::temp_dir();
         let v1 = dir.join("palmed-serve-registry-v1.palmed");
         let v2 = dir.join("palmed-serve-registry-v2.palmed");
+        let dj = dir.join("palmed-serve-registry-dj.palmed");
         artifact("text-machine", 0.5).save(&v1).unwrap();
         artifact("bin-machine", 0.5).save_v2(&v2).unwrap();
-        let mut registry = ModelRegistry::new();
+        crate::disj::tests_support::example().save(&dj).unwrap();
+        let registry = ModelRegistry::new();
         registry.load_file(&v1).unwrap();
         let served = registry.load_file(&v2).unwrap();
+        let disj = registry.load_file(&dj).unwrap();
         // The verbatim binary load equals what compiling the artifact yields.
-        assert_eq!(served.compiled, served.artifact.compile());
+        let bin = served.served().unwrap();
+        assert_eq!(bin.compiled, bin.artifact.compile());
+        assert_eq!(served.kind(), ModelKind::ConjunctiveV2b);
+        assert_eq!(registry.get("text-machine").unwrap().kind(), ModelKind::ConjunctiveV1);
+        assert_eq!(disj.kind(), ModelKind::DisjunctiveV1);
+        assert_eq!(disj.name(), "skl-disj");
+        assert_eq!(disj.disjunctive().unwrap().compiled.num_instructions(), 3);
         std::fs::remove_file(&v1).ok();
         std::fs::remove_file(&v2).ok();
-        assert_eq!(registry.len(), 2);
+        std::fs::remove_file(&dj).ok();
+        assert_eq!(registry.len(), 3);
         let k = Microkernel::single(InstId(2));
         let text = registry.get("text-machine").unwrap();
-        let bin = registry.get("bin-machine").unwrap();
-        let a = text.batch().predict(std::slice::from_ref(&k)).ipcs[0];
-        let b = bin.batch().predict(std::slice::from_ref(&k)).ipcs[0];
+        let a = ipc_of(&text, &k);
+        let b = ipc_of(&served, &k);
         assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
     }
 
@@ -322,9 +884,11 @@ mod tests {
     fn load_file_round_trips_through_disk() {
         let path = std::env::temp_dir().join("palmed-serve-registry-test.palmed");
         artifact("disk-machine", 0.5).save(&path).unwrap();
-        let mut registry = ModelRegistry::new();
+        let registry = ModelRegistry::new();
         let served = registry.load_file(&path).unwrap();
-        assert_eq!(served.artifact.machine, "disk-machine");
+        assert_eq!(served.served().unwrap().artifact.machine, "disk-machine");
+        assert_eq!(served.source_path(), Some(path.as_path()));
+        assert_eq!(served.load_mode(), Some(LoadMode::Full));
         std::fs::remove_file(&path).ok();
         assert!(registry.get("disk-machine").is_some());
         assert!(registry.load_file(&path).is_err());
@@ -336,9 +900,10 @@ mod tests {
         let path = std::env::temp_dir().join("palmed-serve-registry-serving.palmed2");
         let original = artifact("lazy-machine", 0.5);
         original.save_v2(&path).unwrap();
-        let mut registry = ModelRegistry::new();
-        let serving = registry.load_file_serving(&path).unwrap();
+        let registry = ModelRegistry::new();
+        let entry = registry.load_file_serving(&path).unwrap();
         std::fs::remove_file(&path).ok();
+        let serving = entry.serving().unwrap();
         assert!(!serving.artifact.mapping_ready(), "serve-only load must not rebuild rows");
         assert_eq!(serving.artifact.machine, "lazy-machine");
         assert_eq!(serving.artifact.source, "test");
@@ -368,8 +933,33 @@ mod tests {
     }
 
     #[test]
+    fn mapped_load_serves_bit_identically_to_the_heap_load() {
+        let path = std::env::temp_dir().join("palmed-serve-registry-mapped.palmed2");
+        let original = artifact("mapped-machine", 0.5);
+        original.save_v2(&path).unwrap();
+        let registry = ModelRegistry::new();
+        let entry = registry.load_file_mapped(&path).unwrap();
+        let serving = entry.serving().unwrap();
+        assert_eq!(entry.load_mode(), Some(LoadMode::Mapped));
+        assert!(!serving.artifact.mapping_ready());
+        let k = Microkernel::pair(InstId(2), 2, InstId(3), 1);
+        let owned = original.compile();
+        let view = serving.view();
+        let mut scratch = view.scratch();
+        let mut owned_scratch = owned.scratch();
+        assert_eq!(
+            view.ipc_with(&k, &mut scratch).map(f64::to_bits),
+            owned.ipc_with(&k, &mut owned_scratch).map(f64::to_bits)
+        );
+        // The mapping (when the platform provides one) pins the inode; the
+        // entry keeps serving after the directory entry is gone.
+        std::fs::remove_file(&path).ok();
+        assert!(serving.bytes().starts_with(b"PALMED-MODEL v2b\n"));
+    }
+
+    #[test]
     fn serve_only_load_rejects_v1_text_and_corruption() {
-        let mut registry = ModelRegistry::new();
+        let registry = ModelRegistry::new();
         let text = artifact("t", 0.5).render().into_bytes();
         assert!(matches!(
             registry.load_serving_bytes(text),
@@ -380,21 +970,102 @@ mod tests {
         bin[mid] ^= 0x10;
         assert!(registry.load_serving_bytes(bin).is_err());
         assert!(registry.is_empty(), "failed loads must not disturb the registry");
+        assert_eq!(registry.generation(), 0, "failed loads must not burn generations");
     }
 
     #[test]
-    fn one_name_lives_in_one_table() {
-        let path = std::env::temp_dir().join("palmed-serve-registry-swap.palmed2");
-        artifact("swap", 0.5).save_v2(&path).unwrap();
-        let mut registry = ModelRegistry::new();
-        registry.load_file_serving(&path).unwrap();
-        assert!(registry.get("swap").is_none());
-        assert!(registry.get_serving("swap").is_some());
-        registry.load_file(&path).unwrap();
-        std::fs::remove_file(&path).ok();
-        assert!(registry.get("swap").is_some());
-        assert!(registry.get_serving("swap").is_none());
+    fn swap_bytes_installs_a_new_generation_under_the_same_name() {
+        let registry = ModelRegistry::new();
+        registry.load_serving_bytes(artifact("hot", 0.5).render_v2()).unwrap();
+        let old = registry.get("hot").unwrap();
+        let swapped =
+            registry.swap_bytes("hot", artifact("hot", 0.25).render_v2()).unwrap();
         assert_eq!(registry.len(), 1);
-        assert_eq!(registry.names().collect::<Vec<_>>(), vec!["swap"]);
+        assert!(swapped.generation() > old.generation());
+        // A v2b swap over a serve-only entry stays serve-only.
+        assert!(swapped.serving().is_some());
+        let k = Microkernel::single(InstId(2));
+        assert!((ipc_of(&swapped, &k).unwrap() - 4.0).abs() < 1e-12);
+        assert!((ipc_of(&old, &k).unwrap() - 2.0).abs() < 1e-12, "old generation stays valid");
+        // A corrupt swap leaves the installed entry untouched.
+        assert!(registry.swap_bytes("hot", vec![1, 2, 3]).is_err());
+        assert_eq!(registry.get("hot").unwrap().generation(), swapped.generation());
+        // Swapping a disjunctive buffer over it changes the entry kind.
+        let dj = registry
+            .swap_bytes("hot", crate::disj::tests_support::example().render())
+            .unwrap();
+        assert_eq!(dj.kind(), ModelKind::DisjunctiveV1);
+        assert!(dj.disjunctive().is_some());
+    }
+
+    #[test]
+    fn refresh_reloads_changed_files_only() {
+        let dir = std::env::temp_dir();
+        let watched = dir.join("palmed-serve-registry-refresh.palmed2");
+        let stable = dir.join("palmed-serve-registry-stable.palmed");
+        artifact("watched", 0.5).save_v2(&watched).unwrap();
+        artifact("stable", 0.5).save(&stable).unwrap();
+        let registry = ModelRegistry::new();
+        registry.load_file_serving(&watched).unwrap();
+        registry.load_file(&stable).unwrap();
+        registry.register(artifact("memory-only", 1.0));
+        let quiet = registry.refresh();
+        assert!(quiet.is_quiet(), "unchanged files must not reload: {quiet:?}");
+
+        let before = registry.get("watched").unwrap();
+        // Rewrite with different content (and length, so staleness shows
+        // even on filesystems with coarse mtimes).
+        let mut replacement = artifact("watched", 0.25);
+        replacement.source = "retrained-model".to_string();
+        replacement.save_v2(&watched).unwrap();
+        let outcome = registry.refresh();
+        assert_eq!(outcome.reloaded, vec!["watched".to_string()]);
+        assert!(outcome.errors.is_empty());
+        let after = registry.get("watched").unwrap();
+        assert!(after.generation() > before.generation());
+        assert_eq!(after.serving().unwrap().artifact.source, "retrained-model");
+        let k = Microkernel::single(InstId(2));
+        assert!((ipc_of(&after, &k).unwrap() - 4.0).abs() < 1e-12);
+        assert!((ipc_of(&before, &k).unwrap() - 2.0).abs() < 1e-12);
+
+        // A vanished file is stale, fails to reload, and keeps serving.
+        std::fs::remove_file(&watched).unwrap();
+        let outcome = registry.refresh();
+        assert_eq!(outcome.errors.len(), 1);
+        assert_eq!(outcome.errors[0].0, "watched");
+        assert!(registry.get("watched").is_some(), "last good model keeps serving");
+        std::fs::remove_file(&stable).ok();
+    }
+
+    #[test]
+    fn snapshots_are_immutable_views() {
+        let registry = ModelRegistry::new();
+        registry.register(artifact("a", 0.5));
+        let snapshot = registry.snapshot();
+        registry.register(artifact("b", 0.5));
+        registry.remove("a");
+        assert_eq!(snapshot.len(), 1);
+        assert!(snapshot.get("a").is_some());
+        assert!(snapshot.get("b").is_none());
+        assert_eq!(registry.names(), vec!["b"]);
+        // Removing an absent name is a true no-op: no generation burnt.
+        let generation = registry.generation();
+        assert!(registry.remove("a").is_none());
+        assert_eq!(registry.generation(), generation);
+        let names: Vec<&str> = snapshot.names().collect();
+        assert_eq!(names, vec!["a"]);
+        assert!(!snapshot.is_empty());
+        assert_eq!(registry.entries().len(), 1);
+    }
+
+    #[test]
+    fn clone_diverges_from_the_original() {
+        let registry = ModelRegistry::new();
+        registry.register(artifact("shared", 0.5));
+        let cloned = registry.clone();
+        registry.register(artifact("original-only", 0.5));
+        cloned.register(artifact("clone-only", 0.5));
+        assert_eq!(registry.names(), vec!["original-only", "shared"]);
+        assert_eq!(cloned.names(), vec!["clone-only", "shared"]);
     }
 }

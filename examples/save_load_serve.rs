@@ -34,11 +34,14 @@ fn main() {
     println!("saved model to {}", model_path.display());
 
     // 3. Reload into a registry.  A serving process would hold one model per
-    //    architecture and dispatch each request to the right one.
-    let mut registry = ModelRegistry::new();
+    //    architecture and dispatch each request to the right one; entries
+    //    are `Arc`-shared snapshots, so lookups cost a refcount bump and
+    //    predictions never hold a lock.
+    let registry = ModelRegistry::new();
     registry.load_file(&model_path).expect("checksum verifies, artifact parses");
-    println!("registry serves: {:?}", registry.names().collect::<Vec<_>>());
-    let served = registry.get(machine.name()).expect("registered under its machine name");
+    println!("registry serves: {:?}", registry.names());
+    let entry = registry.get(machine.name()).expect("registered under its machine name");
+    let served = entry.served().expect("full conjunctive entry");
     assert_eq!(served.artifact, artifact, "round trip is lossless");
 
     // 4. A workload corpus: weighted basic blocks in a text file.  Names are
@@ -80,8 +83,9 @@ fn main() {
     //    never rebuilt unless something explicitly asks for it.
     let v2_path = dir.join("model.palmed2");
     artifact.save_v2(&v2_path).expect("v2b artifact saves");
-    let mut zero_copy = ModelRegistry::new();
-    let serving = zero_copy.load_file_serving(&v2_path).expect("serve-only load validates");
+    let zero_copy = ModelRegistry::new();
+    let serving_entry = zero_copy.load_file_serving(&v2_path).expect("serve-only load validates");
+    let serving = serving_entry.serving().expect("serve-only entry");
     let borrowed = serving.batch().predict_prepared(&prepared);
     assert!(!serving.artifact.mapping_ready(), "serving never rebuilds the dense rows");
     for (a, b) in result.ipcs.iter().zip(&borrowed.ipcs) {

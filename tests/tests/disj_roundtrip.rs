@@ -1,0 +1,222 @@
+//! Property and integration tests for the disjunctive model family: the
+//! `PALMED-DISJ v1` codec round trip, its rejection of corrupted input, and
+//! the acceptance path of the unified model plane — a PMEvo mapping saved by
+//! one process round-trips through the registry and predicts bit-identically
+//! to the freshly-trained predictor.
+
+use palmed_baselines::{PmEvo, PmEvoConfig, PmEvoPredictor};
+use palmed_core::ThroughputPredictor;
+use palmed_integration_tests::artifact_prop::inventory;
+use palmed_isa::{InstId, InstructionSet, Microkernel};
+use palmed_machine::{presets, AnalyticMeasurer, MemoizingMeasurer};
+use palmed_serve::{DisjArtifact, KernelLoad, ModelKind, ModelRegistry};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Most abstract ports the generated artifacts use (subset enumeration is
+/// exponential in this; 6 matches PMEvo's default).
+const MAX_PORTS: u32 = 6;
+
+/// Builds a valid disjunctive artifact from generated raw rows: duplicate
+/// instructions collapse (last wins), masks fold into `1..2^ports`, weights
+/// are already positive by construction.
+fn build_disj(
+    num_ports: u32,
+    raw_rows: &[(u32, Vec<(u32, f64)>)],
+    insts: &InstructionSet,
+) -> DisjArtifact {
+    let mut by_inst: BTreeMap<u32, Vec<(u32, f64)>> = BTreeMap::new();
+    for (inst, uops) in raw_rows {
+        let uops = uops
+            .iter()
+            .map(|&(mask, weight)| (mask % ((1 << num_ports) - 1) + 1, weight))
+            .collect();
+        by_inst.insert(inst % insts.len() as u32, uops);
+    }
+    let rows = by_inst.into_iter().map(|(inst, uops)| (InstId(inst), uops)).collect();
+    DisjArtifact::new("prop-disj", "prop-source", insts.clone(), num_ports, rows)
+}
+
+fn kernels_from(raw: &[Vec<(u32, u32)>], insts: &InstructionSet) -> Vec<Microkernel> {
+    raw.iter()
+        .map(|pairs| {
+            let mut kernel = Microkernel::new();
+            for &(inst, count) in pairs {
+                kernel.add(InstId(inst % insts.len() as u32), count);
+            }
+            kernel
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Render → parse reproduces the artifact exactly, and the compiled
+    /// form of the reload predicts bit-identically to the original's.
+    #[test]
+    fn disj_round_trip_is_exact_and_bit_identical(
+        num_ports in 1u32..=MAX_PORTS,
+        raw_rows in prop::collection::vec(
+            (0u32..10_000, prop::collection::vec((0u32..64, 0.1f64..4.0), 1..4)),
+            1..8,
+        ),
+        raw_kernels in prop::collection::vec(
+            prop::collection::vec((0u32..10_000, 1u32..5), 1..5),
+            1..8,
+        ),
+    ) {
+        let insts = inventory();
+        let artifact = build_disj(num_ports, &raw_rows, &insts);
+        let bytes = artifact.render();
+        let reloaded = DisjArtifact::parse(&bytes).expect("round trip parses");
+        prop_assert_eq!(&reloaded, &artifact);
+        // Byte-stable re-render.
+        prop_assert_eq!(reloaded.render(), bytes);
+
+        let fresh = artifact.compile();
+        let loaded = reloaded.compile();
+        let mut s1 = fresh.scratch();
+        let mut s2 = loaded.scratch();
+        for kernel in kernels_from(&raw_kernels, &insts) {
+            prop_assert_eq!(
+                fresh.ipc_with(&kernel, &mut s1).map(f64::to_bits),
+                loaded.ipc_with(&kernel, &mut s2).map(f64::to_bits),
+                "kernel {}", kernel
+            );
+        }
+    }
+
+    /// Any single byte flip and any truncation is rejected — and a failed
+    /// load leaves the registry untouched.
+    #[test]
+    fn disj_codec_rejects_corruption_everywhere(
+        num_ports in 1u32..=MAX_PORTS,
+        raw_rows in prop::collection::vec(
+            (0u32..10_000, prop::collection::vec((0u32..64, 0.1f64..4.0), 1..3)),
+            1..6,
+        ),
+        position in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let insts = inventory();
+        let bytes = build_disj(num_ports, &raw_rows, &insts).render();
+        let target = ((position * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let mut corrupted = bytes.clone();
+        corrupted[target] ^= flip;
+        prop_assert!(DisjArtifact::parse(&corrupted).is_err());
+        let cut = ((position * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        prop_assert!(DisjArtifact::parse(&bytes[..cut]).is_err());
+        let registry = ModelRegistry::new();
+        prop_assert!(registry.swap_bytes("corrupt", corrupted).is_err());
+        prop_assert!(registry.is_empty());
+        prop_assert_eq!(registry.generation(), 0);
+    }
+}
+
+/// Every strict-prefix truncation of a small artifact is rejected (the
+/// proptest above samples cuts; this sweeps all of them).
+#[test]
+fn every_truncation_of_a_disj_artifact_is_rejected() {
+    let insts = inventory();
+    let artifact = DisjArtifact::new(
+        "trunc",
+        "s",
+        insts,
+        3,
+        vec![(InstId(0), vec![(0b101, 1.5)]), (InstId(3), vec![(0b010, 2.0), (0b111, 1.0)])],
+    );
+    let bytes = artifact.render();
+    for cut in 0..bytes.len() {
+        assert!(DisjArtifact::parse(&bytes[..cut]).is_err(), "truncation at {cut} parsed");
+    }
+    assert!(DisjArtifact::parse(&bytes).is_ok());
+}
+
+/// The acceptance path: train PMEvo, persist its mapping as a disjunctive
+/// artifact, reload it from disk through the sniffing registry, and require
+/// bit-identical predictions to the freshly-trained predictor — the
+/// evolutionary search never re-runs.
+#[test]
+fn pmevo_artifact_round_trips_through_the_registry_bit_identically() {
+    let preset = presets::paper_ports016();
+    let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(preset.mapping_arc()));
+    let trained: Vec<InstId> = preset.instructions.ids().collect();
+    let predictor = PmEvo::new(PmEvoConfig::fast()).train(&measurer, &trained);
+
+    let artifact = DisjArtifact::new(
+        "pmevo-served",
+        "pmevo-evolved",
+        (*preset.instructions).clone(),
+        predictor.num_ports() as u32,
+        predictor.to_rows(),
+    );
+    let path = std::env::temp_dir().join("palmed-disj-roundtrip.palmeddisj");
+    artifact.save(&path).unwrap();
+    let registry = ModelRegistry::new();
+    let entry = registry.load_file(&path).expect("registry sniffs PALMED-DISJ v1");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(entry.kind(), ModelKind::DisjunctiveV1);
+    let served = entry.disjunctive().expect("disjunctive entry");
+    assert_eq!(served.artifact, artifact);
+    assert_eq!(served.compiled.num_instructions(), predictor.num_trained());
+
+    // Singles, pairs and a triple: every prediction matches bit for bit,
+    // including the unsupported-kernel `None`s.
+    let mut kernels: Vec<Microkernel> = Vec::new();
+    for &a in &trained {
+        kernels.push(Microkernel::single(a));
+        for &b in &trained {
+            kernels.push(Microkernel::pair(a, 2, b, 1));
+        }
+    }
+    let batch = served.batch().predict(&kernels);
+    for (kernel, served_ipc) in kernels.iter().zip(&batch.ipcs) {
+        assert_eq!(
+            predictor.predict_ipc(kernel).map(f64::to_bits),
+            served_ipc.map(f64::to_bits),
+            "kernel {kernel}"
+        );
+    }
+
+    // The row form also reconstructs a full `PmEvoPredictor`, bit-identical
+    // to the trained one.
+    let rebuilt =
+        PmEvoPredictor::from_rows(predictor.num_ports(), &served.artifact.to_rows()).unwrap();
+    for kernel in &kernels {
+        assert_eq!(
+            predictor.predict_ipc(kernel).map(f64::to_bits),
+            rebuilt.predict_ipc(kernel).map(f64::to_bits)
+        );
+    }
+}
+
+/// The ground-truth disjunctive mapping also persists: a machine preset's
+/// resolved µOP rows survive the artifact round trip and rebuild a machine
+/// description with the same class map.
+#[test]
+fn machine_uop_rows_round_trip_through_the_disj_artifact() {
+    use palmed_machine::MachineDescription;
+    let preset = presets::paper_ports016();
+    let mapping = preset.mapping_arc();
+    let rows = mapping.uop_rows();
+    let num_ports = preset.description.num_ports as u32;
+    let artifact = DisjArtifact::new(
+        "ports016-truth",
+        preset.description.name.clone(),
+        (*preset.instructions).clone(),
+        num_ports,
+        rows.clone(),
+    );
+    let reloaded = DisjArtifact::parse(&artifact.render()).unwrap();
+    assert_eq!(reloaded.to_rows(), rows);
+    let rebuilt = MachineDescription::from_uop_rows(
+        "rebuilt",
+        preset.description.num_ports,
+        preset.description.front_end,
+        &preset.instructions,
+        &reloaded.to_rows(),
+    )
+    .expect("persisted rows rebuild a machine description");
+    assert_eq!(rebuilt.class_map, preset.description.class_map);
+}

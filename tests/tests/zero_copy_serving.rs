@@ -130,7 +130,7 @@ proptest! {
         // the serve-only registry load, which must stay untouched on error.
         let cut = ((position * bin.len() as f64) as usize).min(bin.len() - 1);
         prop_assert!(ModelView::parse_v2(&bin[..cut]).is_err());
-        let mut registry = ModelRegistry::new();
+        let registry = ModelRegistry::new();
         prop_assert!(registry.load_serving_bytes(bin[..cut].to_vec()).is_err());
         prop_assert!(registry.is_empty());
     }
@@ -151,8 +151,9 @@ proptest! {
         let artifact = build_artifact(num_resources, &rows, &insts);
         let bin = artifact.render_v2();
 
-        let mut registry = ModelRegistry::new();
-        let serving = registry.load_serving_bytes(bin).expect("serve-only load validates");
+        let registry = ModelRegistry::new();
+        let entry = registry.load_serving_bytes(bin).expect("serve-only load validates");
+        let serving = entry.serving().expect("v2b serve-only loads install serving entries");
         prop_assert!(!serving.artifact.mapping_ready());
         prop_assert_eq!(&serving.artifact.machine, &artifact.machine);
         prop_assert_eq!(&serving.artifact.instructions, &artifact.instructions);
