@@ -21,7 +21,12 @@
 //!    the sniffing registry (bit-identical predictions), hot-swap retrained
 //!    bytes under a live reader (old generation keeps serving), and replace
 //!    the artifact file atomically so `refresh()`'s mtime/length poll picks
-//!    it up.
+//!    it up;
+//! 7. prove determinism across every load mode: the v1 owned load, the
+//!    eager v2b load, the zero-copy heap and mmap'd views and the
+//!    v1-to-v2b migration must all hash to the same prediction
+//!    fingerprint, which the `.fp` sidecar records and the registry
+//!    verifies on load.
 //!
 //! Usage: `cargo run --release -p palmed-bench --bin predict -- \
 //!     [--full] [--blocks N] [--out DIR]`
@@ -38,7 +43,10 @@ use palmed_eval::metrics::evaluate_tool;
 use palmed_eval::suite::{generate_suite, SuiteConfig, SuiteKind};
 use palmed_isa::InventoryConfig;
 use palmed_machine::{presets, AnalyticMeasurer, Measurer, MemoizingMeasurer};
-use palmed_serve::{BatchPredictor, Corpus, ModelArtifact, ModelRegistry, PreparedBatch};
+use palmed_serve::{
+    migrate_v1_to_v2b, read_sidecar, BatchPredictor, Corpus, KernelLoad, ModelArtifact,
+    ModelRegistry, ModelView, PreparedBatch,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -65,7 +73,7 @@ fn main() {
     let config = if full { PalmedConfig::evaluation() } else { PalmedConfig::small() };
 
     // ---- 1. One-time inference. ----
-    println!("[1/6] inferring a mapping for `{}`...", preset.name());
+    println!("[1/7] inferring a mapping for `{}`...", preset.name());
     let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(preset.mapping_arc()));
     let start = Instant::now();
     let inferred = Palmed::new(config).infer(&measurer);
@@ -86,7 +94,7 @@ fn main() {
     );
     artifact.save(&model_path).expect("artifact saves");
     let bytes = std::fs::metadata(&model_path).map(|m| m.len()).unwrap_or(0);
-    println!("[2/6] saved model artifact to {} ({bytes} bytes)", model_path.display());
+    println!("[2/7] saved model artifact to {} ({bytes} bytes)", model_path.display());
     let registry = ModelRegistry::new();
     let entry = registry.load_file(&model_path).expect("artifact reloads with a valid checksum");
     let served = entry.served().expect("v1 loads install full entries");
@@ -150,7 +158,7 @@ fn main() {
     let corpus = Corpus::load(&corpus_path, &served.artifact.instructions)
         .expect("corpus reloads against the artifact's own instruction set");
     println!(
-        "[3/6] corpus of {} blocks written and reloaded from {}",
+        "[3/7] corpus of {} blocks written and reloaded from {}",
         corpus.len(),
         corpus_path.display()
     );
@@ -165,7 +173,7 @@ fn main() {
     let served_in = start.elapsed();
     let covered = result.ipcs.iter().flatten().count();
     println!(
-        "[4/6] ingested {} blocks ({} distinct) in {:.2?}; served in {:.2?} — \
+        "[4/7] ingested {} blocks ({} distinct) in {:.2?}; served in {:.2?} — \
          {:.0} blocks/s steady state, {covered} covered",
         corpus.len(),
         prepared.distinct(),
@@ -229,7 +237,7 @@ fn main() {
     let palmed = evaluate_tool(&served.compiled, &eval_blocks, &native_ipcs);
     let uops = palmed_baselines::UopsStylePredictor::new(preset.mapping_arc());
     let uops_metrics = evaluate_tool(&uops, &eval_blocks, &native_ipcs);
-    println!("[5/6] accuracy vs the native machine:");
+    println!("[5/7] accuracy vs the native machine:");
     println!("      tool            coverage   RMS err   Kendall tau");
     for (name, m) in [("palmed (served)", palmed), ("uops-style", uops_metrics)] {
         println!(
@@ -266,7 +274,7 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "[6/6] disjunctive artifact `{}` ({} kind) reloaded; {} corpus predictions \
+        "[6/7] disjunctive artifact `{}` ({} kind) reloaded; {} corpus predictions \
          bit-identical to the freshly-trained mapping",
         disj_entry.name(),
         disj_entry.kind(),
@@ -327,5 +335,57 @@ fn main() {
         preset.name(),
         refreshed.generation(),
         retrained.source
+    );
+
+    // ---- 7. Determinism fingerprints across every load mode. ----
+    // The same model must hash to the same prediction fingerprint no matter
+    // how it was loaded: owned from v1 text, eagerly decoded from v2b,
+    // served zero-copy from a heap buffer or an mmap'd file, or migrated
+    // from v1 to v2b.  The `.fp` sidecar pins that value on disk and the
+    // registry re-verifies it on every load.
+    let n = artifact.instructions.len();
+    let reference = artifact.fingerprint();
+    let v2_render = artifact.render_v2();
+    let heap_view =
+        ModelView::parse_v2(&v2_render).expect("rendered v2b parses as a zero-copy view");
+    let migrated = migrate_v1_to_v2b(artifact.render().as_bytes()).expect("v1 render migrates");
+    let migrated_view = ModelView::parse_v2(&migrated).expect("migrated bytes parse as a view");
+    let modes = [
+        ("v1 owned", served.compiled.fingerprint(n)),
+        ("v2b eager", v2_served.compiled.fingerprint(n)),
+        ("zero-copy heap view", heap_view.fingerprint(n)),
+        ("zero-copy mapped view", serving.view().fingerprint(n)),
+        ("v1->v2b migration", migrated_view.fingerprint(n)),
+    ];
+    for (mode, fingerprint) in modes {
+        if fingerprint != reference {
+            eprintln!(
+                "FATAL: {mode} load fingerprints as {fingerprint:016x}, \
+                 expected {reference:016x}"
+            );
+            std::process::exit(1);
+        }
+    }
+    let fp_path = out.join("model-fp.palmed2");
+    let recorded =
+        artifact.save_v2_with_fingerprint(&fp_path).expect("artifact saves with a sidecar");
+    let sidecar = read_sidecar(&fp_path).expect("sidecar reads back");
+    let verified_registry = ModelRegistry::new();
+    let verified = verified_registry
+        .load_file_serving(&fp_path)
+        .expect("sidecar-verified load admits the matching model");
+    if recorded != reference || sidecar != Some(reference) || verified.fingerprint() != reference {
+        eprintln!(
+            "FATAL: sidecar chain broke: recorded {recorded:016x}, sidecar {sidecar:?}, \
+             registry {:016x}, expected {reference:016x}",
+            verified.fingerprint()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "[7/7] determinism fingerprint {reference:016x} identical across {} load modes; \
+         sidecar recorded and registry-verified at {}",
+        modes.len(),
+        fp_path.display()
     );
 }

@@ -28,7 +28,7 @@ use crate::compiled::CompiledModel;
 use palmed_core::ConjunctiveMapping;
 use palmed_isa::{ExecClass, Extension, InstDesc, InstId, InstructionSet};
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
 
 /// The lazily materialised mapping of a [`ModelArtifact`].
@@ -198,6 +198,37 @@ pub enum ArtifactError {
         /// The kind the buffer sniffed as.
         found: ModelKind,
     },
+    /// A watched file kept changing while the registry was reading it: the
+    /// stat taken after the read disagreed with the one taken before, on
+    /// every retry.  The bytes read may interleave two writers and are
+    /// discarded even if they happen to validate.
+    TornRead {
+        /// The file that could not be read stably.
+        path: PathBuf,
+    },
+    /// The artifact decoded cleanly but its predictions hash to a different
+    /// fingerprint than the sidecar recorded at save time (see
+    /// [`model_fingerprint`](crate::fingerprint::model_fingerprint)) — the
+    /// model is *valid* but not the one that was deployed.
+    FingerprintMismatch {
+        /// Fingerprint the sidecar file recorded.
+        expected: u64,
+        /// Fingerprint recomputed from the loaded model's predictions.
+        computed: u64,
+    },
+}
+
+impl ArtifactError {
+    /// The byte offset a binary-layout rejection points at, when the error
+    /// carries one.  Fuzzing and triage use this to locate the violated
+    /// field; text-format errors carry a line number in their message
+    /// instead.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            ArtifactError::MalformedBinary { offset, .. } => Some(*offset),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ArtifactError {
@@ -223,6 +254,13 @@ impl fmt::Display for ArtifactError {
             ArtifactError::WrongKind { expected, found } => {
                 write!(f, "wrong artifact kind: expected `{expected}`, found `{found}`")
             }
+            ArtifactError::TornRead { path } => {
+                write!(f, "torn read: `{}` kept changing while being read", path.display())
+            }
+            ArtifactError::FingerprintMismatch { expected, computed } => write!(
+                f,
+                "fingerprint mismatch: sidecar recorded {expected:016x}, model predicts {computed:016x}"
+            ),
         }
     }
 }
@@ -597,6 +635,45 @@ impl ModelArtifact {
     /// [`ModelArtifact::parse_bytes`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
         Self::parse_bytes(&std::fs::read(path)?)
+    }
+
+    /// The artifact's determinism fingerprint: a canonical FNV-1a-64 hash
+    /// over the compiled model's predictions on the pinned probe corpus (see
+    /// [`model_fingerprint`](crate::fingerprint::model_fingerprint)).  Every
+    /// load mode of the same model — owned, borrowed, memory-mapped,
+    /// migrated — produces the same value.
+    pub fn fingerprint(&self) -> u64 {
+        use crate::compiled::KernelLoad;
+        self.compile().fingerprint(self.instructions.len())
+    }
+
+    /// Saves the v1 text artifact plus a fingerprint sidecar
+    /// (`<path>.fp`), returning the recorded fingerprint.  Registries that
+    /// later load `<path>` verify the model against the sidecar.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from either write.
+    pub fn save_with_fingerprint(&self, path: impl AsRef<Path>) -> Result<u64, ArtifactError> {
+        let path = path.as_ref();
+        self.save(path)?;
+        let fp = self.fingerprint();
+        crate::fingerprint::write_sidecar(path, fp)?;
+        Ok(fp)
+    }
+
+    /// Saves the binary v2b artifact plus a fingerprint sidecar
+    /// (`<path>.fp`), returning the recorded fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from either write.
+    pub fn save_v2_with_fingerprint(&self, path: impl AsRef<Path>) -> Result<u64, ArtifactError> {
+        let path = path.as_ref();
+        self.save_v2(path)?;
+        let fp = self.fingerprint();
+        crate::fingerprint::write_sidecar(path, fp)?;
+        Ok(fp)
     }
 }
 

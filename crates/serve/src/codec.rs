@@ -319,10 +319,13 @@ impl<'a> Cursor<'a> {
     /// would let a crafted binary load names that cannot re-render into the
     /// text grammar, breaking the documented cross-format round trips.
     pub(crate) fn token(&mut self, what: &str) -> Result<&'a str, ArtifactError> {
+        let at = self.pos;
         let name = self.str(what)?;
         if name.is_empty() || name.chars().any(char::is_whitespace) {
             return Err(ArtifactError::MalformedBinary {
-                offset: self.pos,
+                // Point at the name itself (just past its length prefix),
+                // not wherever the cursor advanced to.
+                offset: at + 4,
                 reason: format!("{what} `{name}` is not a whitespace-free token"),
             });
         }

@@ -285,6 +285,15 @@ pub trait KernelLoad {
             None
         }
     }
+
+    /// The model's determinism fingerprint over the pinned probe corpus for
+    /// `num_slots` instruction slots (use the artifact's instruction-set
+    /// length).  Any two implementors that predict bit-identically — owned,
+    /// borrowed, memory-mapped, migrated — fingerprint identically; see
+    /// [`model_fingerprint`](crate::fingerprint::model_fingerprint).
+    fn fingerprint(&self, num_slots: usize) -> u64 {
+        crate::fingerprint::model_fingerprint(self, num_slots)
+    }
 }
 
 impl KernelLoad for CompiledModel {

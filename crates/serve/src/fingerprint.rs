@@ -1,0 +1,228 @@
+//! Determinism fingerprints: a canonical hash of *what a model predicts*.
+//!
+//! The codecs' checksums prove the **bytes** arrived intact; they say nothing
+//! about whether two differently-encoded artifacts — a v1 text file and its
+//! v2b migration, an owned [`CompiledModel`](crate::CompiledModel) and a
+//! zero-copy [`ModelView`](crate::ModelView) over mapped bytes — are the
+//! *same model*.  A fingerprint closes that gap: it is an FNV-1a-64 hash over
+//! the bit patterns of the model's IPC predictions on a pinned, deterministic
+//! probe corpus, so any two loads that predict bit-identically fingerprint
+//! identically, across load modes, formats, refactors and replicas.
+//!
+//! Fingerprints are recorded in a **sidecar** file next to saved artifacts
+//! (`model.palmed2` → `model.palmed2.fp`, see [`sidecar_path`]) and verified
+//! by the [`ModelRegistry`](crate::ModelRegistry) at load and refresh time: a
+//! file that decodes cleanly but predicts differently than what was deployed
+//! is rejected with [`ArtifactError::FingerprintMismatch`].
+//!
+//! The probe corpus ([`probe_corpus`]) is **pinned**: its construction is
+//! part of the fingerprint's definition, and changing it invalidates every
+//! recorded fingerprint.  Evolve it only together with a sidecar format
+//! version bump.
+
+use crate::artifact::ArtifactError;
+use crate::checksum::fnv1a64;
+use crate::compiled::KernelLoad;
+use palmed_isa::{InstId, Microkernel};
+use std::ffi::OsString;
+use std::path::{Path, PathBuf};
+
+/// Header line of the fingerprint sidecar format.
+const FPRINT_HEADER: &str = "PALMED-FPRINT v1";
+
+/// Number of pseudo-random instruction mixes in the probe corpus.
+const PROBE_MIXES: usize = 48;
+
+/// Fixed seed for the probe-mix generator ("PALMED" in ASCII, versioned).
+/// Changing this changes every fingerprint — see the module docs.
+const PROBE_SEED: u64 = 0x50414c4d_45440001;
+
+/// A tiny splitmix64, local to this module so the probe corpus can never
+/// drift with the vendored `rand` shim.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The pinned probe corpus for a model with `num_slots` instruction slots
+/// (use the artifact's instruction-set length; all load modes of one model
+/// agree on it).
+///
+/// The corpus exercises the prediction surface deterministically: the empty
+/// kernel, every single-instruction kernel over the first slots, a fixed set
+/// of pseudo-random mixes, and out-of-range boundary probes (which predict
+/// `None` and hash as a distinguished pattern).
+pub fn probe_corpus(num_slots: usize) -> Vec<Microkernel> {
+    let mut probes = Vec::with_capacity(2 + num_slots.min(12) + PROBE_MIXES + 2);
+    // The empty kernel (predicts None on every model).
+    probes.push(Microkernel::new());
+    // Singles over the leading slots.
+    for i in 0..num_slots.min(12) {
+        probes.push(Microkernel::single(InstId(i as u32)));
+    }
+    // Deterministic mixes.
+    let mut state = PROBE_SEED ^ (num_slots as u64);
+    for _ in 0..PROBE_MIXES {
+        let mut kernel = Microkernel::new();
+        if num_slots > 0 {
+            let distinct = 1 + (splitmix64(&mut state) % 4) as usize;
+            for _ in 0..distinct {
+                let inst = InstId((splitmix64(&mut state) % num_slots as u64) as u32);
+                let mult = 1 + (splitmix64(&mut state) % 7) as u32;
+                kernel.add(inst, mult);
+            }
+        }
+        probes.push(kernel);
+    }
+    // Boundary probes: the last valid slot and the first invalid one.
+    if num_slots > 0 {
+        probes.push(Microkernel::single(InstId(num_slots as u32 - 1)));
+    }
+    probes.push(Microkernel::single(InstId(num_slots as u32)));
+    probes
+}
+
+/// Computes the determinism fingerprint of a model: FNV-1a-64 over the slot
+/// count and the bit patterns of its IPC predictions on the pinned
+/// [`probe_corpus`].  `None` predictions (unmapped or out-of-range
+/// instructions) hash as `u64::MAX`, a NaN bit pattern no real IPC produces.
+///
+/// Two models fingerprint identically iff they predict bit-identically on
+/// the probe corpus — which, for the serving plane's load modes, the codec
+/// round-trip tests extend to *all* kernels.
+pub fn model_fingerprint<M: KernelLoad + ?Sized>(model: &M, num_slots: usize) -> u64 {
+    let mut buffer = Vec::with_capacity(8 * (PROBE_MIXES + num_slots.min(12) + 4));
+    buffer.extend_from_slice(&(num_slots as u64).to_le_bytes());
+    let mut scratch = model.scratch();
+    for kernel in probe_corpus(num_slots) {
+        let bits = model.ipc_with(&kernel, &mut scratch).map_or(u64::MAX, f64::to_bits);
+        buffer.extend_from_slice(&bits.to_le_bytes());
+    }
+    fnv1a64(&buffer)
+}
+
+/// The sidecar path an artifact's fingerprint is recorded at: the artifact
+/// path with `.fp` appended (so `model.palmed2` pairs with
+/// `model.palmed2.fp` and never shadows another artifact).
+pub fn sidecar_path(path: impl AsRef<Path>) -> PathBuf {
+    let mut os: OsString = path.as_ref().as_os_str().to_os_string();
+    os.push(".fp");
+    PathBuf::from(os)
+}
+
+/// Writes the fingerprint sidecar for the artifact at `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_sidecar(path: impl AsRef<Path>, fingerprint: u64) -> Result<(), ArtifactError> {
+    std::fs::write(sidecar_path(path), format!("{FPRINT_HEADER}\n{fingerprint:016x}\n"))?;
+    Ok(())
+}
+
+/// Reads the fingerprint sidecar for the artifact at `path`, if present.
+/// `Ok(None)` means no sidecar exists (the artifact was saved without one);
+/// a sidecar that exists but does not parse is an error — silently ignoring
+/// it would disable the very verification it exists for.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than "not found", and reports a
+/// malformed sidecar as [`ArtifactError::Malformed`].
+pub fn read_sidecar(path: impl AsRef<Path>) -> Result<Option<u64>, ArtifactError> {
+    let text = match std::fs::read_to_string(sidecar_path(path)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(ArtifactError::Io(e)),
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(FPRINT_HEADER) {
+        return Err(ArtifactError::Malformed {
+            line: 1,
+            reason: format!("fingerprint sidecar missing `{FPRINT_HEADER}` header"),
+        });
+    }
+    let hex = lines.next().unwrap_or("").trim();
+    let fingerprint = u64::from_str_radix(hex, 16).map_err(|_| ArtifactError::Malformed {
+        line: 2,
+        reason: format!("invalid fingerprint `{hex}` in sidecar"),
+    })?;
+    if lines.any(|l| !l.trim().is_empty()) {
+        return Err(ArtifactError::Malformed {
+            line: 3,
+            reason: "trailing content after fingerprint".to_string(),
+        });
+    }
+    Ok(Some(fingerprint))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::tests_support::example;
+
+    #[test]
+    fn probe_corpus_is_pinned_and_deterministic() {
+        let a = probe_corpus(6);
+        let b = probe_corpus(6);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_slice(), y.as_slice());
+        }
+        // Different slot counts reseed the mixes: corpora differ.
+        assert_ne!(model_fingerprint(&example().compile(), 6), {
+            model_fingerprint(&example().compile(), 7)
+        });
+        // Degenerate inventories still produce a corpus (empty + boundary).
+        assert!(!probe_corpus(0).is_empty());
+    }
+
+    #[test]
+    fn fingerprint_agrees_across_formats_and_load_modes() {
+        let artifact = example();
+        let n = artifact.instructions.len();
+        let expected = artifact.fingerprint();
+        // v1 text round trip.
+        let from_v1 = crate::ModelArtifact::parse(&artifact.render()).unwrap();
+        assert_eq!(from_v1.fingerprint(), expected);
+        // v2b eager round trip.
+        let bytes = artifact.render_v2();
+        let from_v2 = crate::ModelArtifact::parse_v2(&bytes).unwrap();
+        assert_eq!(from_v2.fingerprint(), expected);
+        // Zero-copy view over the same bytes.
+        let view = crate::ModelView::parse_v2(&bytes).unwrap();
+        assert_eq!(view.fingerprint(n), expected);
+        // A different model fingerprints differently.
+        let mut other = artifact.clone();
+        other.machine = "other".into();
+        let mut mapping = palmed_core::ConjunctiveMapping::with_resources(1);
+        mapping.set_usage(palmed_isa::InstId(2), vec![1.0]);
+        let other = crate::ModelArtifact::new("m", "s", other.instructions, mapping);
+        assert_ne!(other.fingerprint(), expected);
+    }
+
+    #[test]
+    fn sidecar_round_trips_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join("palmed-fp-sidecar-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.palmed2");
+        assert_eq!(sidecar_path(&path).extension().unwrap(), "fp");
+        assert_eq!(read_sidecar(&path).unwrap(), None);
+        write_sidecar(&path, 0xdead_beef_0123_4567).unwrap();
+        assert_eq!(read_sidecar(&path).unwrap(), Some(0xdead_beef_0123_4567));
+        std::fs::write(sidecar_path(&path), "PALMED-FPRINT v1\nnot-hex\n").unwrap();
+        assert!(matches!(
+            read_sidecar(&path),
+            Err(ArtifactError::Malformed { line: 2, .. })
+        ));
+        std::fs::write(sidecar_path(&path), "garbage\n").unwrap();
+        assert!(matches!(
+            read_sidecar(&path),
+            Err(ArtifactError::Malformed { line: 1, .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -146,6 +146,43 @@
 //! <name> <weight> <inst>×<count> <inst>×<count> ...
 //! ```
 //!
+//! # Threat model
+//!
+//! The artifact plane accepts bytes it does not trust — files other
+//! processes write, hot-reload sources that can be replaced or truncated
+//! mid-read.  What the validators do and do not promise:
+//!
+//! * **Checksums are integrity, not authentication.**  The FNV-1a-64
+//!   trailers (and the v1 `checksum` line) detect truncation, bit rot and
+//!   forgotten hand edits; they do **not** stop an adversary, who can
+//!   re-hash a crafted body.  Every structural check therefore holds on its
+//!   own: declared counts never drive allocations (pre-allocations are
+//!   capped, real growth is bounded by the buffer length), CSR pointer
+//!   arrays are pinned to `0..nnz` and monotone before any row is walked,
+//!   names must be whitespace-free tokens, and every rejection is a
+//!   structured [`ArtifactError`] — decoding never panics on untrusted
+//!   input.  These invariants are exercised continuously by the
+//!   structure-aware mutational fuzzer in `crates/fuzz` (`fuzz_codecs`).
+//! * **Validation promises decodability, not provenance.**  A buffer that
+//!   validates is a well-formed model; nothing says it is the model you
+//!   deployed.  That is what **fingerprints** add: a canonical FNV-1a-64
+//!   hash over the model's predictions on a pinned probe corpus
+//!   ([`fingerprint::model_fingerprint`], [`KernelLoad::fingerprint`]),
+//!   recorded in a `.fp` sidecar at save time
+//!   ([`ModelArtifact::save_v2_with_fingerprint`]) and verified by the
+//!   registry at load and refresh time.  All load modes of one model —
+//!   owned, borrowed, memory-mapped, migrated — fingerprint identically.
+//!   A fingerprint is *determinism* evidence, not a signature: it has no
+//!   key, so it too does not authenticate.
+//! * **Hot reload is fault-tolerant, not transactional.**  The registry
+//!   re-stats a source after reading and discards torn reads
+//!   ([`ArtifactError::TornRead`]); repeated failures back off
+//!   exponentially and eventually quarantine the source
+//!   ([`ModelRegistry::health`], [`ModelRegistry::readmit`]) while the last
+//!   good generation keeps serving.  Writers should still replace artifacts
+//!   by atomic rename — especially for memory-mapped entries, which pin the
+//!   original inode.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -184,6 +221,7 @@ pub mod codec;
 pub mod compiled;
 pub mod corpus;
 pub mod disj;
+pub mod fingerprint;
 mod mmap;
 pub mod registry;
 
@@ -193,7 +231,8 @@ pub use codec::{migrate_v1_to_v2b, ModelKind};
 pub use compiled::{CompiledModel, CompiledModelRef, KernelLoad, ModelView};
 pub use corpus::{Corpus, CorpusBlock, CorpusError};
 pub use disj::{CompiledDisjModel, DisjArtifact, DisjUop};
+pub use fingerprint::{model_fingerprint, probe_corpus, read_sidecar, sidecar_path, write_sidecar};
 pub use registry::{
-    LoadMode, ModelEntry, ModelRegistry, RefreshOutcome, RegistryEntry, RegistrySnapshot,
-    ServedDisjModel, ServedModel, ServingModel,
+    EntryHealth, LoadMode, ModelEntry, ModelRegistry, RefreshOutcome, RefreshStatus,
+    RegistryEntry, RegistrySnapshot, ServedDisjModel, ServedModel, ServingModel,
 };

@@ -27,6 +27,16 @@
 //!   [`ModelRegistry::refresh`] polls those and reloads whatever changed —
 //!   a poll loop in the serving process gives hot reload with nothing but
 //!   `std`.
+//! * **Fault-tolerant refresh.**  Loads re-stat the source *after* reading
+//!   and retry (then reject, [`ArtifactError::TornRead`]) when the file
+//!   changed mid-read; a `.fp` fingerprint sidecar, when present, must
+//!   match the loaded model's predictions
+//!   ([`ArtifactError::FingerprintMismatch`]).  Reload failures back off
+//!   exponentially (capped at [`MAX_BACKOFF_POLLS`] skipped polls) and
+//!   after [`QUARANTINE_AFTER`] consecutive failures the source is
+//!   **quarantined** — no longer polled, while the last good generation
+//!   keeps serving — until [`ModelRegistry::readmit`] clears it.
+//!   [`ModelRegistry::health`] reports all of this per entry.
 //! * **Version/migration story.**  Each entry reports its sniffed
 //!   [`ModelKind`] (family + on-disk version);
 //!   [`migrate_v1_to_v2b`](crate::migrate_v1_to_v2b) converts the
@@ -43,8 +53,22 @@ use crate::mmap::FileBuf;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::SystemTime;
+
+/// Consecutive reload failures after which [`ModelRegistry::refresh`]
+/// quarantines a source: the file stops being polled (the last good
+/// generation keeps serving) until [`ModelRegistry::readmit`] clears it.
+pub const QUARANTINE_AFTER: u32 = 4;
+
+/// Cap on the exponential refresh backoff, in skipped polls: after the
+/// `f`-th consecutive failure the next `min(2^(f-1), MAX_BACKOFF_POLLS)`
+/// refresh calls skip the entry without touching the filesystem.
+pub const MAX_BACKOFF_POLLS: u32 = 16;
+
+/// Attempts a stable read makes (stat, read, re-stat) before giving up with
+/// [`ArtifactError::TornRead`].
+const TORN_READ_RETRIES: u32 = 3;
 
 /// A registered full conjunctive model: the artifact plus its compiled form.
 #[derive(Debug, Clone, PartialEq)]
@@ -264,6 +288,7 @@ pub struct RegistryEntry {
     name: String,
     kind: ModelKind,
     generation: u64,
+    fingerprint: u64,
     source: Option<SourceFile>,
     model: ModelEntry,
 }
@@ -285,6 +310,15 @@ impl RegistryEntry {
     /// The registry generation this entry was installed at.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The entry's determinism fingerprint, computed at install time from
+    /// the model's predictions on the pinned probe corpus (see
+    /// [`model_fingerprint`](crate::fingerprint::model_fingerprint)).  Two
+    /// entries serving the same model report the same value regardless of
+    /// format or load mode.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The source file this entry watches, when file-loaded.
@@ -377,13 +411,88 @@ pub struct RefreshOutcome {
     pub reloaded: Vec<String>,
     /// Stale entries whose reload failed, with the failure.
     pub errors: Vec<(String, ArtifactError)>,
+    /// Entries this poll skipped because an earlier failure's exponential
+    /// backoff is still draining (their files were not even stat'ed).
+    pub backed_off: Vec<String>,
+    /// Entries this poll **newly** quarantined ([`QUARANTINE_AFTER`]
+    /// consecutive failures reached); already-quarantined entries are
+    /// skipped silently — see [`ModelRegistry::health`].
+    pub quarantined: Vec<String>,
 }
 
 impl RefreshOutcome {
-    /// True when nothing changed and nothing failed.
+    /// True when nothing changed and nothing failed (entries quietly waiting
+    /// out a backoff do not count as noise).
     pub fn is_quiet(&self) -> bool {
-        self.reloaded.is_empty() && self.errors.is_empty()
+        self.reloaded.is_empty() && self.errors.is_empty() && self.quarantined.is_empty()
     }
+}
+
+/// Where one entry stands with respect to [`ModelRegistry::refresh`] — the
+/// `status` field of [`EntryHealth`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshStatus {
+    /// No refresh has touched the entry since install, or the last poll
+    /// found the source unchanged.
+    #[default]
+    Current,
+    /// The last poll (or [`ModelRegistry::reload_file`] /
+    /// [`ModelRegistry::readmit`]) reloaded the entry successfully.
+    Reloaded,
+    /// The last reload attempt failed; the entry is backing off.
+    Failed,
+    /// The last poll skipped the entry because its backoff is draining.
+    BackingOff,
+    /// The source is quarantined: [`QUARANTINE_AFTER`] consecutive failures,
+    /// no longer polled until [`ModelRegistry::readmit`].
+    Quarantined,
+}
+
+/// Per-entry health report of [`ModelRegistry::health`]: what is installed,
+/// and how its watched source has been behaving.
+#[derive(Debug, Clone)]
+pub struct EntryHealth {
+    /// The entry's registry name.
+    pub name: String,
+    /// The installed model kind.
+    pub kind: ModelKind,
+    /// Generation of the currently-installed (last good) entry.
+    pub generation: u64,
+    /// Determinism fingerprint of the installed model.
+    pub fingerprint: u64,
+    /// True when the entry watches a source file (refresh applies to it).
+    pub watched: bool,
+    /// Outcome of the most recent refresh interaction.
+    pub status: RefreshStatus,
+    /// Consecutive reload failures since the last success.
+    pub consecutive_failures: u32,
+    /// Polls the entry will still skip before the next reload attempt.
+    pub backoff_remaining: u32,
+    /// True when the source is quarantined.
+    pub quarantined: bool,
+    /// Rendered form of the most recent reload failure, if any.
+    pub last_error: Option<String>,
+}
+
+/// Mutable refresh bookkeeping for one entry, kept outside the immutable
+/// snapshots so failure counters do not burn registry generations.
+#[derive(Debug, Clone, Default)]
+struct HealthState {
+    consecutive_failures: u32,
+    backoff_remaining: u32,
+    quarantined: bool,
+    last_status: RefreshStatus,
+    last_error: Option<String>,
+}
+
+/// What the refresh gate decided for one entry, under the health lock.
+enum Gate {
+    /// Poll the source and reload if stale.
+    Attempt,
+    /// Backoff still draining: skip without touching the filesystem.
+    Backoff,
+    /// Quarantined: skip silently until readmitted.
+    Quarantined,
 }
 
 /// Named model table, keyed by architecture name: a concurrent store whose
@@ -395,11 +504,18 @@ impl RefreshOutcome {
 #[derive(Debug)]
 pub struct ModelRegistry {
     shared: RwLock<Arc<RegistrySnapshot>>,
+    /// Refresh bookkeeping, keyed by entry name.  Locked only for brief
+    /// read-modify-write sections, never across the snapshot `RwLock` or
+    /// any filesystem call.
+    health: Mutex<BTreeMap<String, HealthState>>,
 }
 
 impl Default for ModelRegistry {
     fn default() -> Self {
-        ModelRegistry { shared: RwLock::new(Arc::new(RegistrySnapshot::default())) }
+        ModelRegistry {
+            shared: RwLock::new(Arc::new(RegistrySnapshot::default())),
+            health: Mutex::new(BTreeMap::new()),
+        }
     }
 }
 
@@ -413,6 +529,7 @@ impl Clone for ModelRegistry {
                 generation: snapshot.generation,
                 entries: snapshot.entries.clone(),
             })),
+            health: Mutex::new(self.health.lock().expect("health lock").clone()),
         }
     }
 }
@@ -465,7 +582,15 @@ impl ModelRegistry {
         Ok(result)
     }
 
-    /// Installs a model under `name`, replacing any previous entry.
+    /// Runs a brief read-modify-write on the health table.  Kept as the
+    /// single access path so the lock is provably never held across the
+    /// snapshot `RwLock` or a filesystem call.
+    fn with_health<R>(&self, f: impl FnOnce(&mut BTreeMap<String, HealthState>) -> R) -> R {
+        f(&mut self.health.lock().expect("health lock"))
+    }
+
+    /// Installs a model under `name`, replacing any previous entry,
+    /// computing the fingerprint from the payload.
     fn install(
         &self,
         name: String,
@@ -473,12 +598,36 @@ impl ModelRegistry {
         source: Option<SourceFile>,
         model: ModelEntry,
     ) -> Arc<RegistryEntry> {
-        self.write(|entries, generation| {
-            let entry =
-                Arc::new(RegistryEntry { name: name.clone(), kind, generation, source, model });
+        let fingerprint = entry_fingerprint(&model);
+        self.install_with(name, kind, source, model, fingerprint)
+    }
+
+    /// [`ModelRegistry::install`] with a pre-computed fingerprint.  A fresh
+    /// install wipes any refresh failure history recorded under the name.
+    fn install_with(
+        &self,
+        name: String,
+        kind: ModelKind,
+        source: Option<SourceFile>,
+        model: ModelEntry,
+        fingerprint: u64,
+    ) -> Arc<RegistryEntry> {
+        let entry = self.write(|entries, generation| {
+            let entry = Arc::new(RegistryEntry {
+                name: name.clone(),
+                kind,
+                generation,
+                fingerprint,
+                source,
+                model,
+            });
             entries.insert(name, Arc::clone(&entry));
             entry
-        })
+        });
+        self.with_health(|health| {
+            health.remove(entry.name());
+        });
+        entry
     }
 
     /// Registers a conjunctive artifact under its own machine name,
@@ -540,26 +689,63 @@ impl ModelRegistry {
         }
     }
 
-    /// Loads a model entry from a file in the given mode, returning the
-    /// derived name, kind and payload (the shared core of first loads and
-    /// refresh reloads).
-    fn load_path(
-        path: &Path,
-        mode: LoadMode,
-    ) -> Result<(String, ModelKind, ModelEntry), ArtifactError> {
-        match mode {
-            LoadMode::Full => Self::eager_entry(&std::fs::read(path)?),
+    /// Loads a model entry from a file in the given mode — the shared core
+    /// of first loads and refresh reloads.  The read is *stable* (re-stat
+    /// after reading, retry on mismatch — see [`read_stable_with`]), the
+    /// payload's fingerprint is computed, and when a `.fp` sidecar exists
+    /// next to the file it must match ([`ArtifactError::FingerprintMismatch`]
+    /// otherwise): a model that decodes but predicts differently than what
+    /// was deployed never installs.
+    fn load_path(path: &Path, mode: LoadMode) -> Result<Loaded, ArtifactError> {
+        let (source, name, kind, model) = match mode {
+            LoadMode::Full => {
+                let (source, bytes) = read_stable(path, mode)?;
+                let (name, kind, model) = Self::eager_entry(&bytes)?;
+                (source, name, kind, model)
+            }
             LoadMode::Serving => {
-                let serving = ServingModel::from_bytes(std::fs::read(path)?)?;
+                let (source, bytes) = read_stable(path, mode)?;
+                let serving = ServingModel::from_bytes(bytes)?;
                 let name = serving.artifact.machine.clone();
-                Ok((name, ModelKind::ConjunctiveV2b, ModelEntry::ConjunctiveServing(serving)))
+                (source, name, ModelKind::ConjunctiveV2b, ModelEntry::ConjunctiveServing(serving))
             }
             LoadMode::Mapped => {
-                let serving = ServingModel::from_file(path)?;
+                // A mapping has no byte snapshot to length-check; stability
+                // is stat-before == stat-after around the validate pass.
+                // (Writers must replace mapped artifacts by atomic rename
+                // anyway — an in-place rewrite mutates a live mapping.)
+                let mut stable = None;
+                for _ in 0..TORN_READ_RETRIES {
+                    let before = SourceFile::observe(path, mode);
+                    let serving = ServingModel::from_file(path)?;
+                    let after = SourceFile::observe(path, mode);
+                    if before.mtime == after.mtime && before.len == after.len {
+                        stable = Some((before, serving));
+                        break;
+                    }
+                }
+                let (source, serving) = stable
+                    .ok_or_else(|| ArtifactError::TornRead { path: path.to_path_buf() })?;
                 let name = serving.artifact.machine.clone();
-                Ok((name, ModelKind::ConjunctiveV2b, ModelEntry::ConjunctiveServing(serving)))
+                (source, name, ModelKind::ConjunctiveV2b, ModelEntry::ConjunctiveServing(serving))
+            }
+        };
+        let fingerprint = entry_fingerprint(&model);
+        if let Some(expected) = crate::fingerprint::read_sidecar(path)? {
+            if expected != fingerprint {
+                return Err(ArtifactError::FingerprintMismatch {
+                    expected,
+                    computed: fingerprint,
+                });
             }
         }
+        Ok(Loaded { source, name, kind, fingerprint, model })
+    }
+
+    /// Installs the product of a [`ModelRegistry::load_path`].
+    fn install_loaded(&self, loaded: Loaded) -> Arc<RegistryEntry> {
+        let Loaded { source, name, kind, fingerprint, model } = loaded;
+        self.install_with(name, kind, Some(source), model, fingerprint)
     }
 
     /// Loads, verifies and registers an artifact file under the machine
@@ -575,10 +761,7 @@ impl ModelRegistry {
     /// Propagates I/O and codec failures; the registry is left unchanged on
     /// error.
     pub fn load_file(&self, path: impl AsRef<Path>) -> Result<Arc<RegistryEntry>, ArtifactError> {
-        let path = path.as_ref();
-        let source = SourceFile::observe(path, LoadMode::Full);
-        let (name, kind, model) = Self::load_path(path, LoadMode::Full)?;
-        Ok(self.install(name, kind, Some(source), model))
+        Ok(self.install_loaded(Self::load_path(path.as_ref(), LoadMode::Full)?))
     }
 
     /// Loads a `v2b` artifact file as a serve-only entry: the bytes are
@@ -599,10 +782,7 @@ impl ModelRegistry {
         &self,
         path: impl AsRef<Path>,
     ) -> Result<Arc<RegistryEntry>, ArtifactError> {
-        let path = path.as_ref();
-        let source = SourceFile::observe(path, LoadMode::Serving);
-        let (name, kind, model) = Self::load_path(path, LoadMode::Serving)?;
-        Ok(self.install(name, kind, Some(source), model))
+        Ok(self.install_loaded(Self::load_path(path.as_ref(), LoadMode::Serving)?))
     }
 
     /// [`ModelRegistry::load_file_serving`] through `mmap(2)` where the
@@ -623,10 +803,7 @@ impl ModelRegistry {
         &self,
         path: impl AsRef<Path>,
     ) -> Result<Arc<RegistryEntry>, ArtifactError> {
-        let path = path.as_ref();
-        let source = SourceFile::observe(path, LoadMode::Mapped);
-        let (name, kind, model) = Self::load_path(path, LoadMode::Mapped)?;
-        Ok(self.install(name, kind, Some(source), model))
+        Ok(self.install_loaded(Self::load_path(path.as_ref(), LoadMode::Mapped)?))
     }
 
     /// [`ModelRegistry::load_file_serving`] over an in-memory buffer (e.g. a
@@ -704,9 +881,8 @@ impl ModelRegistry {
             .source
             .as_ref()
             .ok_or_else(|| not_found(name, "entry has no source file"))?;
-        let observed = SourceFile::observe(&source.path, source.mode);
-        let (_, kind, model) = Self::load_path(&source.path, source.mode)?;
-        self.try_write(|entries, generation| {
+        let loaded = Self::load_path(&source.path, source.mode)?;
+        let reloaded = self.try_write(|entries, generation| {
             // Only replace the exact generation the reload decision was
             // made against; a concurrent swap or load is fresher than the
             // file bytes read above.
@@ -717,14 +893,23 @@ impl ModelRegistry {
             }
             let reloaded = Arc::new(RegistryEntry {
                 name: name.to_string(),
-                kind,
+                kind: loaded.kind,
                 generation,
-                source: Some(observed),
-                model,
+                fingerprint: loaded.fingerprint,
+                source: Some(loaded.source),
+                model: loaded.model,
             });
             entries.insert(name.to_string(), Arc::clone(&reloaded));
             Ok(reloaded)
-        })
+        })?;
+        // A successful reload wipes the failure history.
+        self.with_health(|health| {
+            health.insert(
+                name.to_string(),
+                HealthState { last_status: RefreshStatus::Reloaded, ..HealthState::default() },
+            );
+        });
+        Ok(reloaded)
     }
 
     /// Polls every file-backed entry's source metadata (mtime + length) and
@@ -734,28 +919,145 @@ impl ModelRegistry {
     ///
     /// Reload failures do not disturb the failing entry (the last good
     /// model keeps serving) and are reported in the outcome rather than
-    /// aborting the poll.
+    /// aborting the poll.  A failing entry is retried with exponential
+    /// backoff (skipping `min(2^(f-1), MAX_BACKOFF_POLLS)` polls after the
+    /// `f`-th consecutive failure) and quarantined — not polled at all —
+    /// after [`QUARANTINE_AFTER`] consecutive failures, until
+    /// [`ModelRegistry::readmit`] clears it; see [`ModelRegistry::health`].
     pub fn refresh(&self) -> RefreshOutcome {
         let snapshot = self.snapshot();
         let mut outcome = RefreshOutcome::default();
         for entry in snapshot.entries() {
             let Some(source) = entry.source.as_ref() else { continue };
+            let gate = self.with_health(|health| {
+                let state = health.entry(entry.name.clone()).or_default();
+                if state.quarantined {
+                    Gate::Quarantined
+                } else if state.backoff_remaining > 0 {
+                    state.backoff_remaining -= 1;
+                    state.last_status = RefreshStatus::BackingOff;
+                    Gate::Backoff
+                } else {
+                    Gate::Attempt
+                }
+            });
+            match gate {
+                Gate::Quarantined => continue,
+                Gate::Backoff => {
+                    outcome.backed_off.push(entry.name.clone());
+                    continue;
+                }
+                Gate::Attempt => {}
+            }
             if !source.is_stale() {
+                self.with_health(|health| {
+                    let state = health.entry(entry.name.clone()).or_default();
+                    state.consecutive_failures = 0;
+                    state.last_status = RefreshStatus::Current;
+                    state.last_error = None;
+                });
                 continue;
             }
             match self.reload_file(&entry.name) {
+                // `reload_file` already reset the health record.
                 Ok(_) => outcome.reloaded.push(entry.name.clone()),
-                Err(error) => outcome.errors.push((entry.name.clone(), error)),
+                Err(error) => {
+                    let newly_quarantined = self.with_health(|health| {
+                        let state = health.entry(entry.name.clone()).or_default();
+                        state.consecutive_failures += 1;
+                        state.last_error = Some(error.to_string());
+                        if state.consecutive_failures >= QUARANTINE_AFTER {
+                            state.quarantined = true;
+                            state.backoff_remaining = 0;
+                            state.last_status = RefreshStatus::Quarantined;
+                            true
+                        } else {
+                            state.backoff_remaining = (1u32
+                                << (state.consecutive_failures - 1))
+                                .min(MAX_BACKOFF_POLLS);
+                            state.last_status = RefreshStatus::Failed;
+                            false
+                        }
+                    });
+                    if newly_quarantined {
+                        outcome.quarantined.push(entry.name.clone());
+                    }
+                    outcome.errors.push((entry.name.clone(), error));
+                }
             }
         }
         outcome
+    }
+
+    /// Per-entry health: generation and fingerprint of the installed (last
+    /// good) model, plus the refresh bookkeeping — last outcome,
+    /// consecutive failures, remaining backoff, quarantine flag and the
+    /// rendered last error.  Entries without a watched source report the
+    /// default (healthy) state.
+    pub fn health(&self) -> Vec<EntryHealth> {
+        let snapshot = self.snapshot();
+        self.with_health(|health| {
+            snapshot
+                .entries()
+                .map(|entry| {
+                    let state = health.get(&entry.name).cloned().unwrap_or_default();
+                    EntryHealth {
+                        name: entry.name.clone(),
+                        kind: entry.kind,
+                        generation: entry.generation,
+                        fingerprint: entry.fingerprint,
+                        watched: entry.source.is_some(),
+                        status: state.last_status,
+                        consecutive_failures: state.consecutive_failures,
+                        backoff_remaining: state.backoff_remaining,
+                        quarantined: state.quarantined,
+                        last_error: state.last_error,
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// Clears an entry's quarantine / backoff state and forces a reload —
+    /// the operator's "the file is fixed, trust it again" lever.  On
+    /// success the entry is re-admitted to normal refresh polling; on
+    /// failure it restarts the backoff ladder from one failure (it does
+    /// *not* jump straight back to quarantine).
+    ///
+    /// # Errors
+    ///
+    /// Every [`ModelRegistry::reload_file`] failure; the installed entry
+    /// keeps serving either way.
+    pub fn readmit(&self, name: &str) -> Result<Arc<RegistryEntry>, ArtifactError> {
+        self.with_health(|health| {
+            health.insert(name.to_string(), HealthState::default());
+        });
+        match self.reload_file(name) {
+            Ok(entry) => Ok(entry),
+            Err(error) => {
+                self.with_health(|health| {
+                    let state = health.entry(name.to_string()).or_default();
+                    state.consecutive_failures = 1;
+                    state.backoff_remaining = 1;
+                    state.last_status = RefreshStatus::Failed;
+                    state.last_error = Some(error.to_string());
+                });
+                Err(error)
+            }
+        }
     }
 
     /// Removes a model, returning its entry (which stays valid for
     /// holders).  Removing an unregistered name is a no-op: no snapshot is
     /// installed and no generation is burnt.
     pub fn remove(&self, name: &str) -> Option<Arc<RegistryEntry>> {
-        self.try_write(|entries, _| entries.remove(name).ok_or(())).ok()
+        let removed = self.try_write(|entries, _| entries.remove(name).ok_or(())).ok();
+        if removed.is_some() {
+            self.with_health(|health| {
+                health.remove(name);
+            });
+        }
+        removed
     }
 
     /// Looks a model up by name in the current snapshot.  The returned
@@ -790,6 +1092,58 @@ fn not_found(name: &str, reason: &str) -> ArtifactError {
         std::io::ErrorKind::NotFound,
         format!("registry entry `{name}`: {reason}"),
     ))
+}
+
+/// Everything a file load produced, ready to install as one entry.
+struct Loaded {
+    source: SourceFile,
+    name: String,
+    kind: ModelKind,
+    fingerprint: u64,
+    model: ModelEntry,
+}
+
+/// The determinism fingerprint of an entry's payload, over the artifact's
+/// instruction count — so every load mode of one model agrees (see
+/// [`model_fingerprint`](crate::fingerprint::model_fingerprint)).
+fn entry_fingerprint(model: &ModelEntry) -> u64 {
+    use crate::compiled::KernelLoad;
+    match model {
+        ModelEntry::Conjunctive(m) => m.compiled.fingerprint(m.artifact.instructions.len()),
+        ModelEntry::ConjunctiveServing(m) => m.view().fingerprint(m.artifact.instructions.len()),
+        ModelEntry::Disjunctive(m) => m.compiled.fingerprint(m.artifact.instructions.len()),
+    }
+}
+
+/// Reads a watched file *stably*: stat, read, re-stat, and accept only when
+/// the metadata did not move under the read and the byte count matches the
+/// observed length.  A concurrent non-atomic writer makes the stats (or
+/// lengths) disagree; the read is retried up to [`TORN_READ_RETRIES`] times
+/// and then rejected as [`ArtifactError::TornRead`] — possibly-interleaved
+/// bytes are discarded even if they happen to validate.
+fn read_stable(path: &Path, mode: LoadMode) -> Result<(SourceFile, Vec<u8>), ArtifactError> {
+    read_stable_with(path, mode, |path| Ok(std::fs::read(path)?))
+}
+
+/// [`read_stable`] over an injectable reader (unit tests race the reader
+/// against simulated writers without real filesystem timing).
+fn read_stable_with(
+    path: &Path,
+    mode: LoadMode,
+    mut read: impl FnMut(&Path) -> Result<Vec<u8>, ArtifactError>,
+) -> Result<(SourceFile, Vec<u8>), ArtifactError> {
+    for _ in 0..TORN_READ_RETRIES {
+        let before = SourceFile::observe(path, mode);
+        let bytes = read(path)?;
+        let after = SourceFile::observe(path, mode);
+        if before.mtime == after.mtime
+            && before.len == after.len
+            && bytes.len() as u64 == before.len
+        {
+            return Ok((before, bytes));
+        }
+    }
+    Err(ArtifactError::TornRead { path: path.to_path_buf() })
 }
 
 #[cfg(test)]
@@ -1067,5 +1421,196 @@ mod tests {
         cloned.register(artifact("clone-only", 0.5));
         assert_eq!(registry.names(), vec!["original-only", "shared"]);
         assert_eq!(cloned.names(), vec!["clone-only", "shared"]);
+    }
+
+    #[test]
+    fn health_reports_per_entry_status() {
+        let dir = std::env::temp_dir();
+        let watched = dir.join("palmed-serve-registry-health.palmed2");
+        artifact("watched-health", 0.5).save_v2(&watched).unwrap();
+        let registry = ModelRegistry::new();
+        registry.register(artifact("memory-health", 1.0));
+        registry.load_file_serving(&watched).unwrap();
+
+        // Fresh installs report the default healthy state.
+        let health = registry.health();
+        assert_eq!(health.len(), 2);
+        let memory = health.iter().find(|h| h.name == "memory-health").unwrap();
+        assert!(!memory.watched);
+        assert_eq!(memory.status, RefreshStatus::Current);
+        let entry = health.iter().find(|h| h.name == "watched-health").unwrap();
+        assert!(entry.watched);
+        assert_eq!(entry.status, RefreshStatus::Current);
+        assert_eq!(entry.consecutive_failures, 0);
+        assert!(!entry.quarantined);
+        assert_eq!(entry.kind, ModelKind::ConjunctiveV2b);
+        assert_eq!(
+            entry.fingerprint,
+            registry.get("watched-health").unwrap().fingerprint()
+        );
+
+        // A quiet poll marks the entry Current; a failing reload records
+        // the error, counts the failure and starts the backoff.
+        registry.refresh();
+        std::fs::write(&watched, b"PALMED-MODEL v2b\ngarbage").unwrap();
+        let outcome = registry.refresh();
+        assert_eq!(outcome.errors.len(), 1);
+        let entry = registry
+            .health()
+            .into_iter()
+            .find(|h| h.name == "watched-health")
+            .unwrap();
+        assert_eq!(entry.status, RefreshStatus::Failed);
+        assert_eq!(entry.consecutive_failures, 1);
+        assert_eq!(entry.backoff_remaining, 1);
+        assert!(entry.last_error.is_some());
+        // The installed entry is untouched: last good generation serves.
+        assert!(registry.get("watched-health").is_some());
+
+        // The next poll drains the backoff without touching the file.
+        let outcome = registry.refresh();
+        assert!(outcome.errors.is_empty());
+        assert_eq!(outcome.backed_off, vec!["watched-health".to_string()]);
+        assert!(outcome.is_quiet(), "backoff polls stay quiet");
+
+        // Restoring the file and readmitting recovers immediately.
+        artifact("watched-health", 0.25).save_v2(&watched).unwrap();
+        let readmitted = registry.readmit("watched-health").unwrap();
+        assert!(readmitted.serving().is_some());
+        let entry = registry
+            .health()
+            .into_iter()
+            .find(|h| h.name == "watched-health")
+            .unwrap();
+        assert_eq!(entry.status, RefreshStatus::Reloaded);
+        assert_eq!(entry.consecutive_failures, 0);
+        std::fs::remove_file(&watched).ok();
+    }
+
+    #[test]
+    fn stable_reads_retry_and_reject_torn_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("palmed-serve-registry-torn.bin");
+        std::fs::write(&path, b"stable contents").unwrap();
+
+        // A reader that rewrites the file once mid-read: first attempt is
+        // torn, the retry succeeds.
+        let mut first = true;
+        let (source, bytes) = read_stable_with(&path, LoadMode::Full, |p| {
+            let bytes = std::fs::read(p)?;
+            if first {
+                first = false;
+                std::fs::write(p, b"rewritten mid-read!!").unwrap();
+            }
+            Ok(bytes)
+        })
+        .unwrap();
+        assert_eq!(bytes, b"rewritten mid-read!!");
+        assert_eq!(source.len, bytes.len() as u64);
+
+        // A writer racing every read exhausts the retries.
+        let mut flip = false;
+        let torn = read_stable_with(&path, LoadMode::Full, |p| {
+            let bytes = std::fs::read(p)?;
+            flip = !flip;
+            std::fs::write(p, if flip { &b"aaaa"[..] } else { &b"bbbbbb"[..] }).unwrap();
+            Ok(bytes)
+        });
+        match torn {
+            Err(ArtifactError::TornRead { path: p }) => assert_eq!(p, path),
+            other => panic!("expected TornRead, got {other:?}"),
+        }
+
+        // Read errors propagate as-is, without retrying into TornRead.
+        let missing = dir.join("palmed-serve-registry-torn-missing.bin");
+        assert!(matches!(
+            read_stable_with(&missing, LoadMode::Full, |p| Ok(std::fs::read(p)?)),
+            Err(ArtifactError::Io(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_sidecar_gates_loads() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("palmed-serve-registry-fp.palmed2");
+        let original = artifact("fp-machine", 0.5);
+        let recorded = original.save_v2_with_fingerprint(&path).unwrap();
+        let registry = ModelRegistry::new();
+
+        // Matching sidecar: loads fine, fingerprint is recorded on the entry.
+        let entry = registry.load_file_serving(&path).unwrap();
+        assert_eq!(entry.fingerprint(), recorded);
+        assert_eq!(entry.fingerprint(), original.fingerprint());
+
+        // A different model under the same sidecar is rejected — and the
+        // old entry keeps serving.
+        artifact("fp-machine", 0.25).save_v2(&path).unwrap();
+        crate::fingerprint::write_sidecar(&path, recorded).unwrap();
+        match registry.reload_file("fp-machine") {
+            Err(ArtifactError::FingerprintMismatch { expected, computed }) => {
+                assert_eq!(expected, recorded);
+                assert_ne!(computed, recorded);
+            }
+            other => panic!("expected FingerprintMismatch, got {other:?}"),
+        }
+        assert_eq!(registry.get("fp-machine").unwrap().fingerprint(), recorded);
+
+        // Re-recording the sidecar admits the new model.
+        artifact("fp-machine", 0.25).save_v2_with_fingerprint(&path).unwrap();
+        let reloaded = registry.reload_file("fp-machine").unwrap();
+        assert_ne!(reloaded.fingerprint(), recorded);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(crate::fingerprint::sidecar_path(&path)).ok();
+    }
+
+    #[test]
+    fn repeated_failures_quarantine_and_readmit_recovers() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("palmed-serve-registry-quarantine-unit.palmed2");
+        artifact("q-machine", 0.5).save_v2(&path).unwrap();
+        let registry = ModelRegistry::new();
+        let good = registry.load_file_serving(&path).unwrap();
+        std::fs::write(&path, b"not a model").unwrap();
+
+        // Poll until quarantined: exactly QUARANTINE_AFTER real attempts,
+        // with backoff polls in between.
+        let mut failures = 0;
+        let mut polls = 0;
+        loop {
+            polls += 1;
+            assert!(polls < 64, "quarantine must engage within bounded polls");
+            let outcome = registry.refresh();
+            failures += outcome.errors.len();
+            if !outcome.quarantined.is_empty() {
+                assert_eq!(outcome.quarantined, vec!["q-machine".to_string()]);
+                break;
+            }
+        }
+        assert_eq!(failures as u32, QUARANTINE_AFTER);
+        assert!(polls > QUARANTINE_AFTER as usize, "backoff must skip polls in between");
+
+        // Quarantined: further polls are silent, even though the file is
+        // still stale/corrupt, and the last good generation keeps serving.
+        let outcome = registry.refresh();
+        assert!(outcome.is_quiet() && outcome.backed_off.is_empty());
+        let entry = registry.health().into_iter().find(|h| h.name == "q-machine").unwrap();
+        assert!(entry.quarantined);
+        assert_eq!(entry.status, RefreshStatus::Quarantined);
+        assert_eq!(entry.consecutive_failures, QUARANTINE_AFTER);
+        assert_eq!(registry.get("q-machine").unwrap().generation(), good.generation());
+
+        // Restoring the file alone is not enough — quarantine sticks...
+        artifact("q-machine", 0.25).save_v2(&path).unwrap();
+        assert!(registry.refresh().is_quiet());
+        // ...readmit clears it and reloads.
+        let readmitted = registry.readmit("q-machine").unwrap();
+        assert!(readmitted.generation() > good.generation());
+        let entry = registry.health().into_iter().find(|h| h.name == "q-machine").unwrap();
+        assert!(!entry.quarantined);
+        assert_eq!(entry.status, RefreshStatus::Reloaded);
+        // And normal polling resumes.
+        assert!(registry.refresh().is_quiet());
+        std::fs::remove_file(&path).ok();
     }
 }
