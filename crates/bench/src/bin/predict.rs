@@ -26,7 +26,11 @@
 //!    eager v2b load, the zero-copy heap and mmap'd views and the
 //!    v1-to-v2b migration must all hash to the same prediction
 //!    fingerprint, which the `.fp` sidecar records and the registry
-//!    verifies on load.
+//!    verifies on load;
+//! 8. assert the `palmed-obs` snapshot (the walk runs with observability
+//!    enabled) covers all three subsystems: trainer counters, serving
+//!    dedup hits and latency histogram, registry install/swap/refresh
+//!    counters plus exactly one `registry.swap` event.
 //!
 //! Usage: `cargo run --release -p palmed-bench --bin predict -- \
 //!     [--full] [--blocks N] [--out DIR]`
@@ -65,6 +69,10 @@ fn main() {
         .unwrap_or_else(|| std::env::temp_dir().join("palmed-serve-demo"));
     std::fs::create_dir_all(&out).expect("output directory is creatable");
 
+    // The whole walk runs with observability armed; step 8 asserts the
+    // snapshot covers the trainer, serving and registry subsystems.
+    palmed_obs::set_enabled(true);
+
     let preset = if full {
         presets::skl_sp(&InventoryConfig::small())
     } else {
@@ -73,7 +81,7 @@ fn main() {
     let config = if full { PalmedConfig::evaluation() } else { PalmedConfig::small() };
 
     // ---- 1. One-time inference. ----
-    println!("[1/7] inferring a mapping for `{}`...", preset.name());
+    println!("[1/8] inferring a mapping for `{}`...", preset.name());
     let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(preset.mapping_arc()));
     let start = Instant::now();
     let inferred = Palmed::new(config).infer(&measurer);
@@ -94,7 +102,7 @@ fn main() {
     );
     artifact.save(&model_path).expect("artifact saves");
     let bytes = std::fs::metadata(&model_path).map(|m| m.len()).unwrap_or(0);
-    println!("[2/7] saved model artifact to {} ({bytes} bytes)", model_path.display());
+    println!("[2/8] saved model artifact to {} ({bytes} bytes)", model_path.display());
     let registry = ModelRegistry::new();
     let entry = registry.load_file(&model_path).expect("artifact reloads with a valid checksum");
     let served = entry.served().expect("v1 loads install full entries");
@@ -158,7 +166,7 @@ fn main() {
     let corpus = Corpus::load(&corpus_path, &served.artifact.instructions)
         .expect("corpus reloads against the artifact's own instruction set");
     println!(
-        "[3/7] corpus of {} blocks written and reloaded from {}",
+        "[3/8] corpus of {} blocks written and reloaded from {}",
         corpus.len(),
         corpus_path.display()
     );
@@ -173,7 +181,7 @@ fn main() {
     let served_in = start.elapsed();
     let covered = result.ipcs.iter().flatten().count();
     println!(
-        "[4/7] ingested {} blocks ({} distinct) in {:.2?}; served in {:.2?} — \
+        "[4/8] ingested {} blocks ({} distinct) in {:.2?}; served in {:.2?} — \
          {:.0} blocks/s steady state, {covered} covered",
         corpus.len(),
         prepared.distinct(),
@@ -237,7 +245,7 @@ fn main() {
     let palmed = evaluate_tool(&served.compiled, &eval_blocks, &native_ipcs);
     let uops = palmed_baselines::UopsStylePredictor::new(preset.mapping_arc());
     let uops_metrics = evaluate_tool(&uops, &eval_blocks, &native_ipcs);
-    println!("[5/7] accuracy vs the native machine:");
+    println!("[5/8] accuracy vs the native machine:");
     println!("      tool            coverage   RMS err   Kendall tau");
     for (name, m) in [("palmed (served)", palmed), ("uops-style", uops_metrics)] {
         println!(
@@ -274,7 +282,7 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "[6/7] disjunctive artifact `{}` ({} kind) reloaded; {} corpus predictions \
+        "[6/8] disjunctive artifact `{}` ({} kind) reloaded; {} corpus predictions \
          bit-identical to the freshly-trained mapping",
         disj_entry.name(),
         disj_entry.kind(),
@@ -383,9 +391,59 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "[7/7] determinism fingerprint {reference:016x} identical across {} load modes; \
+        "[7/8] determinism fingerprint {reference:016x} identical across {} load modes; \
          sidecar recorded and registry-verified at {}",
         modes.len(),
         fp_path.display()
+    );
+
+    // ---- 8. The observability snapshot must cover the whole walk. ----
+    // Serve a deliberately duplicated batch first so the dedup counter is
+    // provably non-zero even when every corpus block is distinct.
+    let (_, first_kernel) = corpus.iter().next().expect("corpus is non-empty");
+    let duplicated: Vec<_> = std::iter::repeat_n(first_kernel.clone(), 8).collect();
+    let _ = batch.predict(&duplicated);
+
+    let snapshot = palmed_obs::snapshot();
+    let check = |name: &str| {
+        let value = snapshot.counter(name).unwrap_or(0);
+        if value == 0 {
+            eprintln!("FATAL: obs counter `{name}` is empty after the full walk");
+            std::process::exit(1);
+        }
+        value
+    };
+    // Trainer: the inference in step 1 ran campaigns and LP solves.
+    let benchmarks = check("trainer.benchmarks");
+    let pivots = check("lp.simplex.iterations");
+    // Serving: batches were served, the duplicated batch deduped.
+    let serves = check("serve.batch.requests");
+    let dedup_hits = check("serve.batch.dedup_hits");
+    let serve_hist = snapshot.histogram("serve.batch.serve_ns").map(|h| h.count).unwrap_or(0);
+    if serve_hist == 0 {
+        eprintln!("FATAL: serve.batch.serve_ns histogram is empty after the full walk");
+        std::process::exit(1);
+    }
+    // Registry: models installed, the hot swap swapped, the refresh reloaded.
+    check("serve.registry.installs");
+    check("serve.registry.swaps");
+    check("serve.registry.refresh.reloaded");
+    let (events, _dropped) = palmed_obs::drain_events();
+    let swap_events = events.iter().filter(|e| e.name == "registry.swap").count();
+    if swap_events != 1 {
+        eprintln!("FATAL: expected exactly one registry.swap event, saw {swap_events}");
+        std::process::exit(1);
+    }
+    let prometheus = snapshot.render_prometheus();
+    if snapshot.is_empty() || prometheus.is_empty() || snapshot.render_json().len() < 2 {
+        eprintln!("FATAL: obs snapshot renders empty");
+        std::process::exit(1);
+    }
+    println!(
+        "[8/8] obs snapshot: {} metrics across trainer ({benchmarks} benchmarks, \
+         {pivots} simplex pivots), serving ({serves} batch serves, {dedup_hits} dedup hits) \
+         and registry; {} events drained, exactly one registry.swap",
+        snapshot.counters.len() + snapshot.gauges.len() + snapshot.histograms.len(),
+        events.len()
     );
 }

@@ -165,6 +165,7 @@ pub fn solve_bwp(
     let mut best: Option<BwpSolution> = None;
     let simplex_options = SimplexOptions::default();
     for _ in 0..config.max_rounds {
+        palmed_obs::counter!("trainer.lp2.rounds").inc();
         // For a fixed choice of saturating resource per kernel, the LP
         // decomposes by resource: the variables `ρ_{i,r}` of resource `r`
         // only appear in the `ρ_{K,r} ≤ 1` constraints of that same resource

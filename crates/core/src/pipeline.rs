@@ -156,6 +156,7 @@ impl Palmed {
 
         // ---- Phase 1: per-extension quadratic campaigns and selection. ----
         let start = Instant::now();
+        let select_span = palmed_obs::span("trainer.select");
         let mut selections: Vec<(Extension, Selection)> = Vec::new();
         for extension in Extension::ALL {
             let candidates: Vec<InstId> = instructions
@@ -174,6 +175,7 @@ impl Palmed {
         }
         let combined_basic: Vec<InstId> =
             selections.iter().flat_map(|(_, s)| s.basic.iter().copied()).collect();
+        drop(select_span);
         bench_time += start.elapsed();
 
         if combined_basic.is_empty() {
@@ -214,10 +216,14 @@ impl Palmed {
         bench_time += start.elapsed();
 
         let start = Instant::now();
+        let lp1_span = palmed_obs::span("trainer.lp1");
         let shape = discover_shape(measurer, &basic_campaign, &combined_selection, &config.shape);
+        drop(lp1_span);
         benchmarks += shape.kernels.len();
+        let lp2_span = palmed_obs::span("trainer.lp2");
         let bwp = solve_bwp(&shape, &shape.kernels, &config.bwp)
             .expect("the BWP relaxation is always feasible");
+        drop(lp2_span);
         let mut mapping = bwp.mapping;
         let saturating =
             select_saturating_kernels(&mapping, &shape, config.saturation_threshold);
@@ -225,6 +231,7 @@ impl Palmed {
 
         // ---- Phase 3: complete mapping (LPAUX). ----
         let start = Instant::now();
+        let lpaux_span = palmed_obs::span("trainer.lpaux");
         let remaining: Vec<InstId> = instructions
             .iter()
             .copied()
@@ -248,6 +255,7 @@ impl Palmed {
                 CompletionOutcome::Failed(e) => skipped.push((inst, format!("LP failure: {e}"))),
             }
         }
+        drop(lpaux_span);
         lp_time += start.elapsed();
 
         // Attach human-readable resource names derived from the heaviest
@@ -265,6 +273,13 @@ impl Palmed {
             benchmarking_time: bench_time,
             lp_time,
         };
+
+        palmed_obs::counter!("trainer.benchmarks").add(report.benchmarks_generated as u64);
+        palmed_obs::event!(
+            "trainer.mapping_inferred",
+            benchmarks = report.benchmarks_generated,
+            kernels = mapping.num_instructions(),
+        );
 
         PalmedResult { mapping, selections, saturating, skipped, report }
     }

@@ -162,6 +162,8 @@ impl Campaign {
 
     /// Runs the campaign for one machine.
     pub fn run_machine(&self, preset: &PresetMachine, is_intel_like: bool) -> MachineResult {
+        let _span = palmed_obs::span("eval.machine");
+        palmed_obs::counter!("eval.machines").inc();
         let config = &self.config;
         let ground_truth = preset.mapping_arc();
         let insts = Arc::clone(&preset.instructions);
@@ -241,6 +243,8 @@ impl Campaign {
         let mut suites = Vec::new();
         for kind in SuiteKind::ALL {
             let blocks = generate_suite(kind, &insts, &config.suite);
+            palmed_obs::counter!("eval.suites").inc();
+            palmed_obs::counter!("eval.blocks").add(blocks.len() as u64);
             // Per-block native measurements are independent; fan out across
             // cores (results keep the block order).
             let native_ipcs: Vec<f64> = par_map(&blocks, |b| native.ipc(&b.kernel));

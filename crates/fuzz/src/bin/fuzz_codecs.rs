@@ -5,7 +5,13 @@
 //! number `--seed` (default 0).  Exits non-zero if any codec invariant is
 //! violated — a panic, an unstructured rejection, or an accepted buffer
 //! that does not re-encode canonically.  CI runs this on every push.
+//!
+//! `--stats` enables the obs layer for the run and prints per-format case
+//! counts and timing, the rejection-class histogram, and the slowest-case
+//! report at exit — the profiling signal coverage-guided scheduling will
+//! consume.
 
+use palmed_fuzz::Format;
 use std::process::ExitCode;
 
 fn parse_flag(args: &[String], flag: &str, default: u32) -> Result<u32, String> {
@@ -19,12 +25,54 @@ fn parse_flag(args: &[String], flag: &str, default: u32) -> Result<u32, String> 
     }
 }
 
+/// Renders the `--stats` report from the obs snapshot + summary.
+fn print_stats(summary: &palmed_fuzz::FuzzSummary) {
+    let snapshot = palmed_obs::snapshot();
+
+    println!("fuzz_codecs: --- per-format timing ---");
+    for format in Format::ALL {
+        let Some(h) = snapshot.histogram(&format!("fuzz.case_ns.{format}")) else { continue };
+        println!(
+            "fuzz_codecs:   {:<9} {:>6} cases  mean {:>9.0} ns  p90 <= {:>9} ns  max {:>9} ns",
+            format.to_string(),
+            h.count,
+            h.mean(),
+            h.quantile_bound(0.9),
+            h.max,
+        );
+    }
+
+    println!("fuzz_codecs: --- rejection classes ---");
+    let rejects: Vec<_> = snapshot.counters_with_prefix("fuzz.reject.").collect();
+    if rejects.is_empty() {
+        println!("fuzz_codecs:   (none)");
+    }
+    for (name, count) in rejects {
+        let class = name.strip_prefix("fuzz.reject.").unwrap_or(name);
+        println!("fuzz_codecs:   {class:<21} {count:>8}");
+    }
+
+    println!("fuzz_codecs: --- slowest cases ---");
+    for slow in &summary.slowest {
+        println!(
+            "fuzz_codecs:   {:<9} case {:>9}  {:>9} ns  (replay: run_case({:?}, {}))",
+            slow.format.to_string(),
+            slow.case,
+            slow.ns,
+            slow.format,
+            slow.case
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: fuzz_codecs [--iters N] [--seed S]");
+        println!("usage: fuzz_codecs [--iters N] [--seed S] [--stats]");
         println!("  --iters N   mutation cases to run (default 10000)");
         println!("  --seed S    first deterministic case number (default 0)");
+        println!("  --stats     print per-format timing, rejection classes and");
+        println!("              the slowest-case report at exit (enables obs)");
         return ExitCode::SUCCESS;
     }
     let (iters, seed) = match (parse_flag(&args, "--iters", 10_000), parse_flag(&args, "--seed", 0))
@@ -35,6 +83,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let stats = args.iter().any(|a| a == "--stats");
+    if stats {
+        palmed_obs::set_enabled(true);
+    }
 
     // The harness catches decoder panics and reports them as violations;
     // silence the default panic backtraces so the summary stays readable.
@@ -43,6 +95,9 @@ fn main() -> ExitCode {
     let _ = std::panic::take_hook();
 
     println!("fuzz_codecs: {summary}");
+    if stats {
+        print_stats(&summary);
+    }
     if summary.violations.is_empty() {
         println!("fuzz_codecs: OK");
         ExitCode::SUCCESS

@@ -117,6 +117,21 @@ pub struct CaseOutcome {
     pub violations: Vec<Violation>,
 }
 
+/// One entry of the slowest-case report: replay with
+/// `run_case(format, case)`.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowCase {
+    /// The format the case was generated in.
+    pub format: Format,
+    /// The deterministic case number.
+    pub case: u32,
+    /// Wall time of the case in nanoseconds.
+    pub ns: u64,
+}
+
+/// How many slowest cases [`FuzzSummary`] retains.
+pub const SLOWEST_KEPT: usize = 5;
+
 /// Aggregated result of a fuzz run.
 #[derive(Debug, Default)]
 pub struct FuzzSummary {
@@ -130,6 +145,9 @@ pub struct FuzzSummary {
     pub rejections_with_offset: u64,
     /// Every violation found.
     pub violations: Vec<Violation>,
+    /// The [`SLOWEST_KEPT`] slowest cases, slowest first — the seed of the
+    /// coverage/profile-guided scheduling signal.
+    pub slowest: Vec<SlowCase>,
 }
 
 impl FuzzSummary {
@@ -139,6 +157,12 @@ impl FuzzSummary {
         self.rejected += u64::from(outcome.rejected);
         self.rejections_with_offset += u64::from(outcome.rejections_with_offset);
         self.violations.extend(outcome.violations);
+    }
+
+    fn note_case_time(&mut self, format: Format, case: u32, ns: u64) {
+        self.slowest.push(SlowCase { format, case, ns });
+        self.slowest.sort_by_key(|case| std::cmp::Reverse(case.ns));
+        self.slowest.truncate(SLOWEST_KEPT);
     }
 }
 
@@ -542,7 +566,17 @@ fn tally_rejection(outcome: &mut CaseOutcome, what: &str, error: &ArtifactError)
     if error.offset().is_some() {
         outcome.rejections_with_offset += 1;
     }
+    count_rejection_class(error.class());
     None
+}
+
+/// Bumps the per-class rejection counter.  The name is dynamic
+/// (`fuzz.reject.<class>`), so this goes through the registry directly
+/// rather than a call-site cell — gated the same way.
+fn count_rejection_class(class: &str) {
+    if palmed_obs::enabled() {
+        palmed_obs::counter(&format!("fuzz.reject.{class}")).inc();
+    }
 }
 
 /// Feeds one buffer to every decoder entry point and checks the three
@@ -653,6 +687,7 @@ pub fn check_all(
                     return Some("corpus: rejection renders empty".into());
                 }
                 outcome.rejected += 1;
+                count_rejection_class(error.class());
                 None
             }
         }) {
@@ -702,16 +737,29 @@ pub fn run_case(format: Format, case: u32) -> CaseOutcome {
     for detail in mutant_violations {
         outcome.violations.push(Violation { format, case, mutations: mutations.clone(), detail });
     }
+    palmed_obs::counter!("fuzz.cases").inc();
+    palmed_obs::counter!("fuzz.accepted").add(u64::from(outcome.accepted));
+    palmed_obs::counter!("fuzz.rejected").add(u64::from(outcome.rejected));
     outcome
 }
 
 /// Runs `iters` deterministic cases round-robin across all four formats,
-/// starting at case number `seed`.
+/// starting at case number `seed`.  Timing never affects the outcome —
+/// cases stay bit-for-bit deterministic — it only feeds the
+/// `fuzz.case_ns.<format>` histograms and the slowest-case report.
 pub fn run_many(iters: u32, seed: u32) -> FuzzSummary {
     let mut summary = FuzzSummary::default();
     for i in 0..iters {
         let format = Format::ALL[(i % 4) as usize];
-        summary.absorb(run_case(format, seed.wrapping_add(i)));
+        let case = seed.wrapping_add(i);
+        let start = std::time::Instant::now();
+        let outcome = run_case(format, case);
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if palmed_obs::enabled() {
+            palmed_obs::histogram(&format!("fuzz.case_ns.{format}")).record(ns);
+        }
+        summary.note_case_time(format, case, ns);
+        summary.absorb(outcome);
     }
     summary
 }

@@ -111,6 +111,7 @@ pub fn solve(
             };
         }
         nodes += 1;
+        palmed_obs::counter!("lp.milp.nodes").inc();
 
         let Some(sub) = apply_bounds(problem, &node.bounds) else {
             // Contradictory branch bounds: prune without an LP solve.

@@ -419,6 +419,10 @@ struct Solver {
     factors: BasisFactors,
     etas: Vec<Eta>,
     iterations: usize,
+    refactorizations: usize,
+    /// True when a caller-supplied warm basis was adopted (vs falling back
+    /// to a cold all-slack start).
+    warm_adopted: bool,
     options: SimplexOptions,
 }
 
@@ -510,6 +514,8 @@ impl Solver {
             factors: BasisFactors::empty(),
             etas: Vec::new(),
             iterations: 0,
+            refactorizations: 0,
+            warm_adopted: false,
             options: options.clone(),
         };
 
@@ -522,6 +528,7 @@ impl Solver {
                 if basic.len() == m {
                     solver.basis_cols = basic;
                     if solver.refactorize() {
+                        solver.warm_adopted = true;
                         return Ok(solver);
                     }
                 }
@@ -593,6 +600,7 @@ impl Solver {
     /// Rebuilds the basis factorisation and recomputes the basic values from
     /// scratch.  Returns false if the basis is singular.
     fn refactorize(&mut self) -> bool {
+        self.refactorizations += 1;
         let columns: Vec<Vec<(usize, f64)>> = self
             .basis_cols
             .iter()
@@ -952,8 +960,48 @@ pub fn solve_with_warm_start(
     options: &SimplexOptions,
     warm: Option<&Basis>,
 ) -> LpResult<SolveInfo> {
+    let result = solve_instrumented(problem, options, warm);
+    if result.is_err() {
+        palmed_obs::counter!("lp.simplex.failures").inc();
+    }
+    result
+}
+
+fn solve_instrumented(
+    problem: &Problem,
+    options: &SimplexOptions,
+    warm: Option<&Basis>,
+) -> LpResult<SolveInfo> {
     problem.validate()?;
     let mut solver = Solver::build(problem, warm, options)?;
+    palmed_obs::counter!("lp.simplex.solves").inc();
+    if warm.is_some() {
+        if solver.warm_adopted {
+            palmed_obs::counter!("lp.simplex.warm_start.hits").inc();
+        } else {
+            palmed_obs::counter!("lp.simplex.warm_start.misses").inc();
+        }
+    }
+    if !solver.warm_adopted {
+        palmed_obs::counter!("lp.simplex.cold_starts").inc();
+    }
+
+    let phases = run_phases(&mut solver);
+    // Pivot and refactorization totals are recorded even when the solve
+    // errors out — iteration-limit blowups are exactly what the counters
+    // exist to surface.
+    palmed_obs::counter!("lp.simplex.iterations").add(solver.iterations as u64);
+    palmed_obs::counter!("lp.simplex.refactorizations").add(solver.refactorizations as u64);
+    phases?;
+
+    Ok(SolveInfo {
+        solution: solver.extract_solution(problem),
+        basis: solver.capture_basis(),
+        iterations: solver.iterations,
+    })
+}
+
+fn run_phases(solver: &mut Solver) -> LpResult<()> {
     match solver.run_phase(true)? {
         PhaseOutcome::Infeasible => return Err(LpError::Infeasible),
         PhaseOutcome::Unbounded => unreachable!("phase 1 never reports unbounded"),
@@ -964,11 +1012,7 @@ pub fn solve_with_warm_start(
         PhaseOutcome::Infeasible => unreachable!("phase 2 never reports infeasible"),
         PhaseOutcome::Done => {}
     }
-    Ok(SolveInfo {
-        solution: solver.extract_solution(problem),
-        basis: solver.capture_basis(),
-        iterations: solver.iterations,
-    })
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,745 @@
+//! The lock-free metrics core: counters, gauges and log2-bucketed
+//! histograms behind a named registry.
+//!
+//! The primitive types ([`Counter`], [`Gauge`], [`Histogram`]) are plain
+//! atomics and record **unconditionally** — they carry no global-toggle
+//! logic, so tests can hammer them directly and assert exact totals.  The
+//! global-toggle gating lives one layer up, in the call-site cells
+//! ([`CounterCell`], [`GaugeCell`], [`HistogramCell`]) the `counter!` /
+//! `gauge!` / `histogram!` macros expand to: while
+//! [`enabled`](crate::enabled) is false those are a single relaxed atomic
+//! load — no registration, no allocation, no atomic write.
+//!
+//! A [`Registry`] is a named table of metrics; [`Registry::snapshot`]
+//! copies the current values into an immutable [`Snapshot`] that renders as
+//! Prometheus text or JSON.  Lookup-or-insert takes a short `RwLock` write;
+//! updates after that touch only the metric's own atomics.  Hot paths
+//! resolve their metric once through a call-site cell and never look it up
+//! again.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (stored as `f64` bits).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    /// A gauge at `0.0`.
+    pub const fn new() -> Self {
+        Gauge { bits: AtomicU64::new(0) }
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (compare-and-swap loop; gauges are low-frequency).
+    pub fn add(&self, delta: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log2 buckets a [`Histogram`] holds: bucket `i` counts values
+/// whose bit length is `i` (bucket 0 holds exactly the value 0), so bucket
+/// `i > 0` covers `2^(i-1) ..= 2^i - 1` and the histogram spans the full
+/// `u64` range with no "overflow" bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A lock-free log2-bucketed histogram of `u64` samples (latencies in
+/// nanoseconds, sizes, counts).
+///
+/// Recording is three relaxed atomic RMWs (bucket, count+sum) plus a
+/// relaxed max update; there is no lock anywhere.  Bucket boundaries are
+/// powers of two, which is exactly the resolution latency triage needs and
+/// makes the bucket index one `leading_zeros` instruction.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index of a value: its bit length.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `i` (`0`, `1`, `3`, `7`, ...).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating past ~584 years).
+    #[inline]
+    pub fn record_duration(&self, duration: std::time::Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// An immutable copy of one histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts, indexed by bit length ([`HISTOGRAM_BUCKETS`]
+    /// entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`): the inclusive
+    /// bound of the first bucket whose cumulative count reaches `q`.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target.max(1) {
+                return Histogram::bucket_bound(i);
+            }
+        }
+        Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Arc<Counter>),
+    /// A [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// A [`Histogram`].
+    Histogram(Arc<Histogram>),
+}
+
+/// A named table of metrics.  [`global`] is the process-wide instance every
+/// instrumentation site records into; tests build private registries for
+/// isolation.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Looks up or registers the counter `name`.  If the name is already
+    /// taken by a different metric kind, a detached (unregistered) counter
+    /// is returned so instrumentation never panics; that is a programming
+    /// error a debug assertion flags.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.lookup_or_insert(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => {
+                debug_assert!(false, "metric `{name}` is not a counter: {other:?}");
+                Arc::new(Counter::new())
+            }
+        }
+    }
+
+    /// Looks up or registers the gauge `name` (same collision policy as
+    /// [`Registry::counter`]).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.lookup_or_insert(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => {
+                debug_assert!(false, "metric `{name}` is not a gauge: {other:?}");
+                Arc::new(Gauge::new())
+            }
+        }
+    }
+
+    /// Looks up or registers the histogram `name` (same collision policy as
+    /// [`Registry::counter`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.lookup_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => {
+                debug_assert!(false, "metric `{name}` is not a histogram: {other:?}");
+                Arc::new(Histogram::new())
+            }
+        }
+    }
+
+    fn lookup_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        if let Some(found) = self.metrics.read().expect("metrics lock").get(name) {
+            return found.clone();
+        }
+        let mut metrics = self.metrics.write().expect("metrics lock");
+        metrics.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Copies every metric's current value into an immutable snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.read().expect("metrics lock");
+        let mut snapshot = Snapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snapshot.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snapshot.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snapshot.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snapshot
+    }
+}
+
+/// The process-wide metric registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Shorthand for [`global`]`().counter(name)`.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Shorthand for [`global`]`().gauge(name)`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Shorthand for [`global`]`().histogram(name)`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// Shorthand for [`global`]`().snapshot()`.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+// ---------------------------------------------------------------------------
+// Call-site cells: gated, lazily registered metric handles.
+// ---------------------------------------------------------------------------
+
+/// A call-site counter handle: registers in the global registry on first
+/// *enabled* use and is a pure flag check while observability is off.
+/// Create through the [`counter!`](crate::counter!) macro.
+#[derive(Debug)]
+pub struct CounterCell {
+    name: &'static str,
+    cell: OnceLock<Arc<Counter>>,
+}
+
+impl CounterCell {
+    /// A dormant cell for the metric `name`.
+    pub const fn new(name: &'static str) -> Self {
+        CounterCell { name, cell: OnceLock::new() }
+    }
+
+    /// Adds one, if observability is enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`, if observability is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.get_or_init(|| counter(self.name)).add(n);
+        }
+    }
+}
+
+/// A call-site gauge handle (see [`CounterCell`]).  Create through the
+/// [`gauge!`](crate::gauge!) macro.
+#[derive(Debug)]
+pub struct GaugeCell {
+    name: &'static str,
+    cell: OnceLock<Arc<Gauge>>,
+}
+
+impl GaugeCell {
+    /// A dormant cell for the metric `name`.
+    pub const fn new(name: &'static str) -> Self {
+        GaugeCell { name, cell: OnceLock::new() }
+    }
+
+    /// Sets the value, if observability is enabled.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if crate::enabled() {
+            self.cell.get_or_init(|| gauge(self.name)).set(value);
+        }
+    }
+
+    /// Adds `delta`, if observability is enabled.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        if crate::enabled() {
+            self.cell.get_or_init(|| gauge(self.name)).add(delta);
+        }
+    }
+}
+
+/// A call-site histogram handle (see [`CounterCell`]).  Create through the
+/// [`histogram!`](crate::histogram!) macro.
+#[derive(Debug)]
+pub struct HistogramCell {
+    name: &'static str,
+    cell: OnceLock<Arc<Histogram>>,
+}
+
+impl HistogramCell {
+    /// A dormant cell for the metric `name`.
+    pub const fn new(name: &'static str) -> Self {
+        HistogramCell { name, cell: OnceLock::new() }
+    }
+
+    /// Records one sample, if observability is enabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if crate::enabled() {
+            self.cell.get_or_init(|| histogram(self.name)).record(value);
+        }
+    }
+
+    /// Records the nanoseconds elapsed since a [`start_timer`] stamp.  A
+    /// `None` stamp (observability was disabled at the start of the
+    /// section) records nothing, so a section timed across an enable flip
+    /// never records a half-measured value.
+    #[inline]
+    pub fn record_elapsed(&self, start: Option<Instant>) {
+        if let Some(start) = start {
+            if crate::enabled() {
+                self.cell.get_or_init(|| histogram(self.name)).record_duration(start.elapsed());
+            }
+        }
+    }
+}
+
+/// Stamps the start of a timed section: `Some(now)` while observability is
+/// enabled, `None` (no clock read at all) otherwise.  Pair with
+/// [`HistogramCell::record_elapsed`].
+#[inline]
+pub fn start_timer() -> Option<Instant> {
+    if crate::enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + renderers.
+// ---------------------------------------------------------------------------
+
+/// An immutable copy of a registry's metrics, renderable as Prometheus text
+/// or JSON.  Name-sorted maps make both renderings deterministic for fixed
+/// values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The total of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The value of gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The state of histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Counters whose name starts with `prefix`, in name order.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(name, _)| name.starts_with(prefix))
+            .map(|(name, &value)| (name.as_str(), value))
+    }
+
+    /// True when no metric is registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Metric names are sanitised to `[a-zA-Z0-9_:]` (dots become
+    /// underscores); histograms render as the conventional cumulative
+    /// `_bucket{le="..."}` series plus `_sum` and `_count`, with one
+    /// `le` line per *occupied* log2 bucket and the mandatory `+Inf`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    Histogram::bucket_bound(i)
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object (hand-rolled; the vendored
+    /// serde is a no-op shim).  Histogram buckets are `[bound, count]`
+    /// pairs for the occupied buckets only.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{value}", json_string(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(name), json_f64(*value));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                json_string(name),
+                h.count,
+                h.sum,
+                h.max
+            );
+            let mut first = true;
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{},{n}]", Histogram::bucket_bound(b));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Sanitises a metric name for the Prometheus exposition format.
+fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+/// Renders a JSON string literal with the escapes JSON requires.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as JSON (non-finite values become `null`).
+pub(crate) fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        let mut s = format!("{value}");
+        if !s.contains('.') && !s.contains('e') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-0.5);
+        assert_eq!(g.get(), 2.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bound(0), 0);
+        assert_eq!(Histogram::bucket_bound(3), 7);
+        assert_eq!(Histogram::bucket_bound(64), u64::MAX);
+
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[7], 1); // 100
+        assert_eq!(s.buckets[10], 1); // 1000
+        assert!(s.quantile_bound(0.5) <= 3);
+        assert!(s.quantile_bound(1.0) >= 1000);
+        assert!((s.mean() - 1106.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_returns_the_same_metric_for_the_same_name() {
+        let registry = Registry::new();
+        let a = registry.counter("x.total");
+        let b = registry.counter("x.total");
+        a.inc();
+        b.add(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.snapshot().counter("x.total"), Some(3));
+    }
+
+    #[test]
+    fn snapshot_renders_deterministically_and_sorted() {
+        let registry = Registry::new();
+        registry.counter("b.second").add(2);
+        registry.counter("a.first").add(1);
+        registry.gauge("g.level").set(0.5);
+        registry.histogram("h.lat").record(5);
+        let one = registry.snapshot();
+        let two = registry.snapshot();
+        assert_eq!(one, two);
+        assert_eq!(one.render_prometheus(), two.render_prometheus());
+        assert_eq!(one.render_json(), two.render_json());
+        let prom = one.render_prometheus();
+        let a = prom.find("a_first 1").expect("a.first rendered");
+        let b = prom.find("b_second 2").expect("b.second rendered");
+        assert!(a < b, "counters render in name order");
+        assert!(prom.contains("h_lat_bucket{le=\"7\"} 1"));
+        assert!(prom.contains("h_lat_bucket{le=\"+Inf\"} 1"));
+        assert!(prom.contains("h_lat_sum 5"));
+        let json = one.render_json();
+        assert!(json.contains("\"a.first\":1"));
+        assert!(json.contains("\"g.level\":0.5"));
+        assert!(json.contains("\"h.lat\":{\"count\":1,\"sum\":5,\"max\":5,\"buckets\":[[7,1]]"));
+    }
+
+    #[test]
+    fn prefix_queries_slice_the_counter_table() {
+        let registry = Registry::new();
+        registry.counter("p.a").add(1);
+        registry.counter("p.b").add(2);
+        registry.counter("q.c").add(3);
+        let snapshot = registry.snapshot();
+        let p: Vec<_> = snapshot.counters_with_prefix("p.").collect();
+        assert_eq!(p, vec![("p.a", 1), ("p.b", 2)]);
+    }
+
+    #[test]
+    fn json_escaping_is_correct() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

@@ -1,0 +1,314 @@
+//! The span/event layer: structured events collected into per-thread ring
+//! buffers, plus scoped spans that time a section and emit both a
+//! histogram sample and a completion event.
+//!
+//! Each thread that emits events owns a fixed-capacity ring buffer
+//! (capacity [`RING_CAPACITY`]); a global list of weak-ish handles lets
+//! [`drain_events`] collect every thread's buffered events into one
+//! sequence-ordered log.  Rings drop their **oldest** event when full and
+//! count the drops, so a stalled drainer degrades to losing history, never
+//! to blocking or unbounded memory.
+//!
+//! Like the metrics core, everything here is gated on the global
+//! [`enabled`](crate::enabled) flag: while it is off, [`emit`] is a single
+//! relaxed load and a [`Span`] holds no clock stamp — no allocation, no
+//! lock, no time syscall.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::{json_f64, json_string};
+
+/// Capacity of each thread's event ring.  Power of two, large enough to
+/// hold a full registry incident (a few dozen events) hundreds of times
+/// over, small enough that idle threads cost ~1 MiB worst case.
+pub const RING_CAPACITY: usize = 4096;
+
+/// A field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Owned string (error messages, paths, keys).
+    Str(String),
+}
+
+impl FieldValue {
+    fn render_json(&self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::F64(v) => json_f64(*v),
+            FieldValue::Bool(v) => v.to_string(),
+            FieldValue::Str(v) => json_string(v),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured event: a name, a global sequence number, and a small set
+/// of key/value fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Process-global, strictly increasing assignment order.  Events from
+    /// different threads interleave in `seq` order, which is the order
+    /// [`drain_events`] returns.
+    pub seq: u64,
+    /// Dot-separated event name, e.g. `registry.quarantine`.
+    pub name: &'static str,
+    /// Key/value payload, in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Renders the event as one JSON object (one JSONL line, no newline).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"seq\":{},\"event\":{}", self.seq, json_string(self.name));
+        for (key, value) in &self.fields {
+            let _ = write!(out, ",{}:{}", json_string(key), value.render_json());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A fixed-capacity drop-oldest ring of events.
+#[derive(Debug)]
+struct Ring {
+    events: std::collections::VecDeque<Event>,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring { events: std::collections::VecDeque::with_capacity(RING_CAPACITY), dropped: 0 }
+    }
+
+    fn push(&mut self, event: Event) {
+        if self.events.len() == RING_CAPACITY {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// The global list of per-thread rings.  Rings are registered once per
+/// thread and never removed: a dead thread's remaining events stay
+/// drainable, and the handle is two words.
+fn rings() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn next_seq() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static LOCAL_RING: Arc<Mutex<Ring>> = {
+        let ring = Arc::new(Mutex::new(Ring::new()));
+        rings().lock().expect("ring list lock").push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Emits one structured event into the current thread's ring, if
+/// observability is enabled.  Prefer the [`event!`](crate::event!) macro,
+/// which also skips *building* the field vector while disabled.
+pub fn emit(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    if !crate::enabled() {
+        return;
+    }
+    let event = Event { seq: next_seq(), name, fields };
+    LOCAL_RING.with(|ring| ring.lock().expect("ring lock").push(event));
+}
+
+/// Drains every thread's buffered events, returning them in global
+/// sequence order.  Also returns the number of events lost to ring
+/// overflow since the last drain.
+pub fn drain_events() -> (Vec<Event>, u64) {
+    let handles: Vec<Arc<Mutex<Ring>>> =
+        rings().lock().expect("ring list lock").iter().map(Arc::clone).collect();
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for handle in handles {
+        let mut ring = handle.lock().expect("ring lock");
+        events.extend(ring.events.drain(..));
+        dropped += ring.dropped;
+        ring.dropped = 0;
+    }
+    events.sort_by_key(|e| e.seq);
+    (events, dropped)
+}
+
+/// Renders events as JSONL: one [`Event::render_json`] object per line.
+pub fn events_to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.render_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// A scoped span: times a section and, on drop, records the elapsed
+/// nanoseconds into the `span.<name>` histogram and emits a `span.<name>`
+/// event carrying `ns`.  Created by [`span`]; while observability is
+/// disabled the guard is inert (no clock read, nothing recorded).
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; dropping it immediately measures nothing"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Nanoseconds elapsed so far (`None` while disabled).
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start.map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // `leak`-free &'static name: span names are compile-time
+            // literals, so the histogram name is built once per distinct
+            // span name and cached in the global registry by string key.
+            crate::metrics::global().histogram(&format!("span.{}", self.name)).record(ns);
+            emit_span_event(self.name, ns);
+        }
+    }
+}
+
+fn emit_span_event(name: &'static str, ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let event = Event {
+        seq: next_seq(),
+        name: "span",
+        fields: vec![("span", FieldValue::Str(name.to_string())), ("ns", FieldValue::U64(ns))],
+    };
+    LOCAL_RING.with(|ring| ring.lock().expect("ring lock").push(event));
+}
+
+/// Opens a scoped span named `name`.  Bind the result (`let _span = ...`);
+/// it records on drop.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span { name, start: if crate::enabled() { Some(Instant::now()) } else { None } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests flip the global flag; keep them in one #[test] body so
+    // the harness can run other modules' tests in parallel safely.
+    #[test]
+    fn events_spans_and_drain() {
+        let _guard = crate::test_flag_lock();
+        crate::set_enabled(true);
+
+        emit("test.start", vec![("n", FieldValue::U64(7))]);
+        {
+            let _span = span("test.section");
+            std::hint::black_box(0u64);
+        }
+        emit("test.end", vec![("ok", FieldValue::Bool(true))]);
+
+        let (events, dropped) = drain_events();
+        assert_eq!(dropped, 0);
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert_eq!(names, ["test.start", "span", "test.end"]);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(events[0].field("n"), Some(&FieldValue::U64(7)));
+        match events[1].field("span") {
+            Some(FieldValue::Str(s)) => assert_eq!(s, "test.section"),
+            other => panic!("span field missing: {other:?}"),
+        }
+
+        let jsonl = events_to_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.contains("\"event\":\"test.start\""));
+        assert!(jsonl.contains("\"n\":7"));
+
+        // The span recorded a histogram sample too.
+        let snapshot = crate::metrics::snapshot();
+        assert_eq!(snapshot.histogram("span.test.section").map(|h| h.count), Some(1));
+
+        // A second drain is empty.
+        assert!(drain_events().0.is_empty());
+
+        // Ring overflow drops oldest and counts.
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            emit("test.flood", vec![("i", FieldValue::U64(i))]);
+        }
+        let (events, dropped) = drain_events();
+        assert_eq!(events.len(), RING_CAPACITY);
+        assert_eq!(dropped, 10);
+        assert_eq!(events[0].field("i"), Some(&FieldValue::U64(10)));
+
+        crate::set_enabled(false);
+        emit("test.after-disable", vec![]);
+        assert!(drain_events().0.is_empty());
+    }
+}

@@ -229,6 +229,25 @@ impl ArtifactError {
             _ => None,
         }
     }
+
+    /// A stable kebab-case class label for the rejection, used as a metric
+    /// name suffix (`fuzz.reject.<class>`) and an event field.  Classes
+    /// identify the *kind* of failure, not the instance — every
+    /// `Malformed { .. }` is `"malformed-text"` regardless of line or
+    /// reason.
+    pub fn class(&self) -> &'static str {
+        match self {
+            ArtifactError::Io(_) => "io",
+            ArtifactError::MissingHeader => "missing-header",
+            ArtifactError::MissingChecksum => "missing-checksum",
+            ArtifactError::ChecksumMismatch { .. } => "checksum-mismatch",
+            ArtifactError::Malformed { .. } => "malformed-text",
+            ArtifactError::MalformedBinary { .. } => "malformed-binary",
+            ArtifactError::WrongKind { .. } => "wrong-kind",
+            ArtifactError::TornRead { .. } => "torn-read",
+            ArtifactError::FingerprintMismatch { .. } => "fingerprint-mismatch",
+        }
+    }
 }
 
 impl fmt::Display for ArtifactError {

@@ -71,6 +71,7 @@ impl PreparedBatch {
     pub fn from_kernels<'k>(kernels: impl IntoIterator<Item = &'k Microkernel>) -> Self {
         let mut set = KernelSet::new();
         let slots = kernels.into_iter().map(|kernel| set.intern(kernel).0).collect();
+        palmed_obs::counter!("serve.ingest.prepared_batches").inc();
         PreparedBatch { kernels: Arc::new(set), slots }
     }
 
@@ -80,6 +81,7 @@ impl PreparedBatch {
     /// [`KernelId`](palmed_isa::KernelId)s and no kernel is hashed, compared
     /// or cloned — the interner itself is shared, not copied.
     pub fn from_corpus(corpus: &Corpus) -> Self {
+        palmed_obs::counter!("serve.ingest.prepared_batches").inc();
         PreparedBatch {
             kernels: Arc::clone(corpus.shared_kernels()),
             slots: corpus.blocks().iter().map(|b| b.kernel.0).collect(),
@@ -169,6 +171,7 @@ impl<M: KernelLoad + Sync> BatchPredictor<M> {
 
     /// Shared serving core over an already-deduplicated kernel list.
     fn serve<K: Borrow<Microkernel> + Sync>(&self, distinct: &[K], slots: &[u32]) -> BatchResult {
+        let timer = palmed_obs::start_timer();
         let shards: Vec<&[K]> = distinct.chunks(self.shard_size).collect();
         let per_shard: Vec<Vec<Option<f64>>> = palmed_par::par_map(&shards, |shard| {
             let mut scratch = self.model.scratch();
@@ -178,6 +181,12 @@ impl<M: KernelLoad + Sync> BatchPredictor<M> {
                 .collect()
         });
         let unique: Vec<Option<f64>> = per_shard.into_iter().flatten().collect();
+        palmed_obs::counter!("serve.batch.requests").inc();
+        palmed_obs::counter!("serve.batch.inputs").add(slots.len() as u64);
+        palmed_obs::counter!("serve.batch.distinct").add(distinct.len() as u64);
+        palmed_obs::counter!("serve.batch.dedup_hits")
+            .add(slots.len().saturating_sub(distinct.len()) as u64);
+        palmed_obs::histogram!("serve.batch.serve_ns").record_elapsed(timer);
         BatchResult {
             ipcs: slots.iter().map(|&i| unique[i as usize]).collect(),
             distinct: distinct.len(),

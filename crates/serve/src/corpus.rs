@@ -73,6 +73,18 @@ impl fmt::Display for CorpusError {
     }
 }
 
+impl CorpusError {
+    /// A stable kebab-case class label for the rejection (mirrors
+    /// [`ArtifactError::class`](crate::ArtifactError::class)).
+    pub fn class(&self) -> &'static str {
+        match self {
+            CorpusError::Io(_) => "io",
+            CorpusError::MissingHeader => "missing-header",
+            CorpusError::Malformed { .. } => "malformed-text",
+        }
+    }
+}
+
 impl std::error::Error for CorpusError {}
 
 impl From<std::io::Error> for CorpusError {

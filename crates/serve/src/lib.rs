@@ -183,6 +183,36 @@
 //!   by atomic rename — especially for memory-mapped entries, which pin the
 //!   original inode.
 //!
+//! # Observability
+//!
+//! The serving hot paths and the registry's health machinery are
+//! instrumented with `palmed-obs` (disabled by default; arm with
+//! `PALMED_OBS=1` or [`palmed_obs::set_enabled`]).  While disabled the
+//! instrumentation is a single relaxed atomic load per site — nothing
+//! registers, nothing allocates.  What an armed process exports:
+//!
+//! | metric | kind | meaning |
+//! |--------|------|---------|
+//! | `serve.ingest.prepared_batches` | counter | [`PreparedBatch`] constructions (ingest) |
+//! | `serve.batch.requests` | counter | [`BatchPredictor`] serve calls |
+//! | `serve.batch.inputs` | counter | input slots across all serves |
+//! | `serve.batch.distinct` | counter | distinct kernels actually evaluated |
+//! | `serve.batch.dedup_hits` | counter | inputs answered from a duplicate (`inputs − distinct`) |
+//! | `serve.batch.serve_ns` | histogram | per-serve wall latency, nanoseconds |
+//! | `serve.registry.entries` | gauge | live registry entries |
+//! | `serve.registry.{installs,swaps,reloads,readmits,removes}` | counters | lifecycle operations |
+//! | `serve.registry.torn_read_retries` | counter | torn reads discarded by the stable-read loop |
+//! | `serve.registry.refresh.{polls,reloaded,errors,backed_off,quarantined}` | counters | one per watched entry per [`ModelRegistry::refresh`], split by outcome |
+//!
+//! Every health transition additionally emits a structured event —
+//! `registry.install`, `registry.swap`, `registry.reload`,
+//! `registry.reload_failed` (with the [`ArtifactError::class`] label),
+//! `registry.backoff`, `registry.quarantine`, `registry.readmit`,
+//! `registry.torn_read_retry`, `registry.remove` — so a corrupt-then-restore
+//! incident leaves a complete audit trail in
+//! [`palmed_obs::drain_events`]-order (asserted end to end by the
+//! `obs_audit_trail` integration test).
+//!
 //! # Quickstart
 //!
 //! ```

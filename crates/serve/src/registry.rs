@@ -627,6 +627,13 @@ impl ModelRegistry {
         self.with_health(|health| {
             health.remove(entry.name());
         });
+        palmed_obs::counter!("serve.registry.installs").inc();
+        palmed_obs::gauge!("serve.registry.entries").set(self.len() as f64);
+        palmed_obs::event!(
+            "registry.install",
+            key = entry.name(),
+            generation = entry.generation(),
+        );
         entry
     }
 
@@ -860,7 +867,10 @@ impl ModelRegistry {
                 (kind, model)
             }
         };
-        Ok(self.install(name.into(), kind, None, model))
+        let entry = self.install(name.into(), kind, None, model);
+        palmed_obs::counter!("serve.registry.swaps").inc();
+        palmed_obs::event!("registry.swap", key = entry.name(), generation = entry.generation());
+        Ok(entry)
     }
 
     /// Reloads a file-backed entry from its recorded source path, in its
@@ -909,6 +919,12 @@ impl ModelRegistry {
                 HealthState { last_status: RefreshStatus::Reloaded, ..HealthState::default() },
             );
         });
+        palmed_obs::counter!("serve.registry.reloads").inc();
+        palmed_obs::event!(
+            "registry.reload",
+            key = reloaded.name(),
+            generation = reloaded.generation(),
+        );
         Ok(reloaded)
     }
 
@@ -929,6 +945,7 @@ impl ModelRegistry {
         let mut outcome = RefreshOutcome::default();
         for entry in snapshot.entries() {
             let Some(source) = entry.source.as_ref() else { continue };
+            palmed_obs::counter!("serve.registry.refresh.polls").inc();
             let gate = self.with_health(|health| {
                 let state = health.entry(entry.name.clone()).or_default();
                 if state.quarantined {
@@ -942,8 +959,12 @@ impl ModelRegistry {
                 }
             });
             match gate {
-                Gate::Quarantined => continue,
+                Gate::Quarantined => {
+                    palmed_obs::counter!("serve.registry.refresh.quarantined").inc();
+                    continue;
+                }
                 Gate::Backoff => {
+                    palmed_obs::counter!("serve.registry.refresh.backed_off").inc();
                     outcome.backed_off.push(entry.name.clone());
                     continue;
                 }
@@ -960,27 +981,50 @@ impl ModelRegistry {
             }
             match self.reload_file(&entry.name) {
                 // `reload_file` already reset the health record.
-                Ok(_) => outcome.reloaded.push(entry.name.clone()),
+                Ok(_) => {
+                    palmed_obs::counter!("serve.registry.refresh.reloaded").inc();
+                    outcome.reloaded.push(entry.name.clone());
+                }
                 Err(error) => {
-                    let newly_quarantined = self.with_health(|health| {
-                        let state = health.entry(entry.name.clone()).or_default();
-                        state.consecutive_failures += 1;
-                        state.last_error = Some(error.to_string());
-                        if state.consecutive_failures >= QUARANTINE_AFTER {
-                            state.quarantined = true;
-                            state.backoff_remaining = 0;
-                            state.last_status = RefreshStatus::Quarantined;
-                            true
-                        } else {
-                            state.backoff_remaining = (1u32
-                                << (state.consecutive_failures - 1))
-                                .min(MAX_BACKOFF_POLLS);
-                            state.last_status = RefreshStatus::Failed;
-                            false
-                        }
-                    });
+                    let (newly_quarantined, failures, backoff_polls) =
+                        self.with_health(|health| {
+                            let state = health.entry(entry.name.clone()).or_default();
+                            state.consecutive_failures += 1;
+                            state.last_error = Some(error.to_string());
+                            if state.consecutive_failures >= QUARANTINE_AFTER {
+                                state.quarantined = true;
+                                state.backoff_remaining = 0;
+                                state.last_status = RefreshStatus::Quarantined;
+                                (true, state.consecutive_failures, 0)
+                            } else {
+                                state.backoff_remaining = (1u32
+                                    << (state.consecutive_failures - 1))
+                                    .min(MAX_BACKOFF_POLLS);
+                                state.last_status = RefreshStatus::Failed;
+                                (false, state.consecutive_failures, state.backoff_remaining)
+                            }
+                        });
+                    palmed_obs::counter!("serve.registry.refresh.errors").inc();
+                    palmed_obs::event!(
+                        "registry.reload_failed",
+                        key = entry.name(),
+                        class = error.class(),
+                        error = error.to_string(),
+                    );
                     if newly_quarantined {
+                        palmed_obs::event!(
+                            "registry.quarantine",
+                            key = entry.name(),
+                            failures = failures,
+                        );
                         outcome.quarantined.push(entry.name.clone());
+                    } else {
+                        palmed_obs::event!(
+                            "registry.backoff",
+                            key = entry.name(),
+                            failures = failures,
+                            backoff_polls = backoff_polls,
+                        );
                     }
                     outcome.errors.push((entry.name.clone(), error));
                 }
@@ -1033,7 +1077,11 @@ impl ModelRegistry {
             health.insert(name.to_string(), HealthState::default());
         });
         match self.reload_file(name) {
-            Ok(entry) => Ok(entry),
+            Ok(entry) => {
+                palmed_obs::counter!("serve.registry.readmits").inc();
+                palmed_obs::event!("registry.readmit", key = name);
+                Ok(entry)
+            }
             Err(error) => {
                 self.with_health(|health| {
                     let state = health.entry(name.to_string()).or_default();
@@ -1056,6 +1104,9 @@ impl ModelRegistry {
             self.with_health(|health| {
                 health.remove(name);
             });
+            palmed_obs::counter!("serve.registry.removes").inc();
+            palmed_obs::gauge!("serve.registry.entries").set(self.len() as f64);
+            palmed_obs::event!("registry.remove", key = name);
         }
         removed
     }
@@ -1132,7 +1183,7 @@ fn read_stable_with(
     mode: LoadMode,
     mut read: impl FnMut(&Path) -> Result<Vec<u8>, ArtifactError>,
 ) -> Result<(SourceFile, Vec<u8>), ArtifactError> {
-    for _ in 0..TORN_READ_RETRIES {
+    for attempt in 1..=TORN_READ_RETRIES {
         let before = SourceFile::observe(path, mode);
         let bytes = read(path)?;
         let after = SourceFile::observe(path, mode);
@@ -1142,6 +1193,12 @@ fn read_stable_with(
         {
             return Ok((before, bytes));
         }
+        palmed_obs::counter!("serve.registry.torn_read_retries").inc();
+        palmed_obs::event!(
+            "registry.torn_read_retry",
+            path = path.display().to_string(),
+            attempt = attempt,
+        );
     }
     Err(ArtifactError::TornRead { path: path.to_path_buf() })
 }

@@ -1,0 +1,161 @@
+//! The corrupt-then-restore incident of `registry_quarantine.rs`, replayed
+//! with the obs layer armed: every health transition — reload failures, the
+//! backoff ladder, quarantine, operator readmit, recovery reload — must
+//! leave a structured event, in incident order, and the refresh counters
+//! must account for every poll.  This is the "operational alerting" feed
+//! the ROADMAP gated on: an alerting pipe that tails the event log sees the
+//! whole incident without scraping logs.
+//!
+//! Lives in its own test binary because it arms the global obs flag and
+//! drains the global event rings.
+
+use palmed_core::ConjunctiveMapping;
+use palmed_isa::{InstId, InstructionSet};
+use palmed_obs::FieldValue;
+use palmed_serve::registry::QUARANTINE_AFTER;
+use palmed_serve::{ModelArtifact, ModelRegistry};
+use std::path::PathBuf;
+
+const NAME: &str = "obs-audit-e2e";
+
+fn artifact() -> ModelArtifact {
+    let mut mapping = ConjunctiveMapping::with_resources(2);
+    mapping.set_usage(InstId(0), vec![0.25, 0.0]);
+    mapping.set_usage(InstId(2), vec![0.5, 1.0 / 3.0]);
+    ModelArtifact::new(NAME, "integration-test", InstructionSet::paper_example(), mapping)
+}
+
+fn scratch_file(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file({
+        let mut fp = path.clone();
+        fp.as_mut_os_string().push(".fp");
+        fp
+    })
+    .ok();
+    path
+}
+
+/// The names of the drained events touching our registry key, in sequence
+/// order.
+fn incident_events(events: &[palmed_obs::Event]) -> Vec<&'static str> {
+    events
+        .iter()
+        .filter(|e| {
+            matches!(e.field("key"), Some(FieldValue::Str(key)) if key == NAME)
+        })
+        .map(|e| e.name)
+        .collect()
+}
+
+#[test]
+fn corrupt_then_restore_leaves_a_complete_structured_audit_trail() {
+    palmed_obs::set_enabled(true);
+    let path = scratch_file("palmed-it-obs-audit.palmed2");
+    let good = artifact();
+    good.save_v2_with_fingerprint(&path).unwrap();
+
+    let before = palmed_obs::snapshot();
+    let _ = palmed_obs::drain_events(); // discard anything buffered before the incident
+
+    // Load, corrupt, poll to quarantine, restore, readmit.
+    let registry = ModelRegistry::new();
+    registry.load_file_serving(&path).unwrap();
+    std::fs::write(&path, b"PALMED-MODEL v2b\ncorrupted body").unwrap();
+    let mut polls = 0u32;
+    loop {
+        polls += 1;
+        assert!(polls < 64, "quarantine must engage within bounded polls");
+        if !registry.refresh().quarantined.is_empty() {
+            break;
+        }
+    }
+    let quiet_polls = 2u32;
+    for _ in 0..quiet_polls {
+        assert!(registry.refresh().is_quiet(), "quarantined entries are not polled");
+    }
+    good.save_v2(&path).unwrap();
+    registry.readmit(NAME).unwrap();
+
+    // --- The event log tells the whole story, in order. ---
+    let (events, dropped) = palmed_obs::drain_events();
+    assert_eq!(dropped, 0, "a short incident never overflows the ring");
+    let names = incident_events(&events);
+
+    assert_eq!(names.first(), Some(&"registry.install"), "the initial load is recorded");
+    assert_eq!(
+        names.iter().filter(|n| **n == "registry.reload_failed").count() as u32,
+        QUARANTINE_AFTER,
+        "every failed reload attempt is recorded exactly once"
+    );
+    assert_eq!(
+        names.iter().filter(|n| **n == "registry.backoff").count() as u32,
+        QUARANTINE_AFTER - 1,
+        "every pre-quarantine failure schedules backoff"
+    );
+    assert_eq!(names.iter().filter(|n| **n == "registry.quarantine").count(), 1);
+    assert_eq!(names.iter().filter(|n| **n == "registry.readmit").count(), 1);
+    let quarantine_at = names.iter().position(|n| *n == "registry.quarantine").unwrap();
+    let readmit_at = names.iter().position(|n| *n == "registry.readmit").unwrap();
+    let recovery_reload_at = names.iter().rposition(|n| *n == "registry.reload").unwrap();
+    assert!(
+        names[..quarantine_at].iter().all(|n| *n != "registry.readmit"),
+        "readmit only appears after quarantine"
+    );
+    assert!(quarantine_at < readmit_at, "quarantine precedes the operator readmit");
+    assert!(
+        recovery_reload_at < readmit_at,
+        "the recovery reload is part of the readmit (reload_file runs inside readmit)"
+    );
+
+    // The quarantine event carries the failure count an alert would page on.
+    let quarantine = events
+        .iter()
+        .find(|e| e.name == "registry.quarantine")
+        .expect("quarantine event present");
+    assert_eq!(
+        quarantine.field("failures"),
+        Some(&FieldValue::U64(u64::from(QUARANTINE_AFTER))),
+        "the quarantine event reports the consecutive-failure count"
+    );
+    // Every reload failure is classified for triage.
+    for event in events.iter().filter(|e| e.name == "registry.reload_failed") {
+        match event.field("class") {
+            Some(FieldValue::Str(class)) => {
+                assert!(!class.is_empty(), "rejection class must be non-empty")
+            }
+            other => panic!("reload_failed must carry a class field, got {other:?}"),
+        }
+    }
+    // And the log renders as JSONL, one object per event.
+    let jsonl = palmed_obs::events_to_jsonl(&events);
+    assert_eq!(jsonl.lines().count(), events.len());
+    assert!(jsonl.contains("\"event\":\"registry.quarantine\""));
+
+    // --- The counters account for every poll. ---
+    let after = palmed_obs::snapshot();
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+    assert_eq!(delta("serve.registry.installs"), 1, "one initial install");
+    assert_eq!(delta("serve.registry.refresh.errors"), u64::from(QUARANTINE_AFTER));
+    assert_eq!(delta("serve.registry.readmits"), 1);
+    assert_eq!(delta("serve.registry.reloads"), 1, "the readmit's recovery reload");
+    assert_eq!(delta("serve.registry.refresh.quarantined"), u64::from(quiet_polls));
+    assert_eq!(
+        delta("serve.registry.refresh.polls"),
+        u64::from(polls + quiet_polls),
+        "every refresh inspection is counted"
+    );
+    assert_eq!(
+        delta("serve.registry.refresh.polls"),
+        delta("serve.registry.refresh.errors")
+            + delta("serve.registry.refresh.backed_off")
+            + delta("serve.registry.refresh.quarantined"),
+        "every poll either attempted (and failed), backed off, or was quarantined"
+    );
+
+    std::fs::remove_file(&path).ok();
+    let mut fp_path = path;
+    fp_path.as_mut_os_string().push(".fp");
+    std::fs::remove_file(&fp_path).ok();
+}

@@ -1,0 +1,60 @@
+//! Guard: while the obs layer is disabled (the default), instrumentation
+//! does **no heap allocation** — call-site cells don't register their
+//! metrics, events don't build field vectors, spans don't open rings.
+//! Verified with a counting global allocator, which is why this is a
+//! single-test binary: the measurement window must not race another test's
+//! allocations, and the global flag must stay off for the whole process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_instrumentation_allocates_nothing_and_registers_nothing() {
+    // Pin the flag off explicitly so `enabled()` never consults the
+    // environment (env access allocates) inside the measurement window.
+    palmed_obs::set_enabled(false);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        palmed_obs::counter!("it.disabled.counter").inc();
+        palmed_obs::counter!("it.disabled.counter").add(i);
+        palmed_obs::gauge!("it.disabled.gauge").set(i as f64);
+        palmed_obs::histogram!("it.disabled.histogram").record(i);
+        let timer = palmed_obs::start_timer();
+        palmed_obs::histogram!("it.disabled.histogram").record_elapsed(timer);
+        palmed_obs::event!("it.disabled.event", i = i, label = "never built");
+        let span = palmed_obs::span("it.disabled.section");
+        assert!(span.elapsed_ns().is_none(), "a disabled span holds no clock stamp");
+        drop(span);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled instrumentation must not allocate");
+
+    // Nothing registered either: the snapshot knows none of the names, and
+    // no event reached any ring.
+    let snapshot = palmed_obs::snapshot();
+    assert_eq!(snapshot.counter("it.disabled.counter"), None);
+    assert_eq!(snapshot.gauge("it.disabled.gauge"), None);
+    assert!(snapshot.histogram("it.disabled.histogram").is_none());
+    let (events, dropped) = palmed_obs::drain_events();
+    assert!(events.is_empty(), "no event is buffered while disabled");
+    assert_eq!(dropped, 0);
+}

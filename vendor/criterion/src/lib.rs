@@ -77,6 +77,22 @@ impl Bencher {
         per_iter.sort_by(|a, b| a.total_cmp(b));
         self.result_ns = per_iter[per_iter.len() / 2];
     }
+
+    /// Times via a caller-measured routine, mirroring criterion's
+    /// `iter_custom`: `routine(iters)` returns the total wall time of
+    /// `iters` iterations, letting the caller control how the clock is
+    /// read (e.g. paired/interleaved designs that a sequential `iter`
+    /// cannot express).  The median per-iter time over the samples is
+    /// recorded.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let samples = self.sample_size.max(3);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            per_iter.push(routine(1).as_nanos() as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = per_iter[per_iter.len() / 2];
+    }
 }
 
 fn human(ns: f64) -> String {
