@@ -25,10 +25,28 @@
 //! [`migrate_v1_to_v2b`]), not just the format's own.  Everything is
 //! deterministic: case `n` replays the same bytes forever (the RNG is the
 //! vendored proptest engine's), so any finding becomes a regression test by
-//! pinning `(format, case)` — see `tests/tests/codec_mutations.rs`.
+//! pinning `(format, case)` — see `tests/tests/codec_mutations.rs`, or
+//! re-run one case verbosely with `fuzz_codecs --replay <format>:<case>`.
 //!
-//! Run the bounded CI smoke with `cargo run -p palmed-fuzz --bin
-//! fuzz_codecs -- --iters 10000`.
+//! Beyond the uniform round-robin scheduler ([`run_many`]) the crate
+//! provides:
+//!
+//! * [`guided`] — coverage-guided scheduling: a seed queue of "interesting"
+//!   mutants (first-seen rejection class, first-seen offset bucket, top
+//!   decile of case times), mutation energy biased toward rare rejection
+//!   classes, and automatic minimization of violating cases.
+//! * [`fault`] — [`FaultyIo`](fault::FaultyIo), a deterministic in-memory
+//!   [`ArtifactIo`](palmed_serve::ArtifactIo) that injects short reads,
+//!   transient stat/read errors, torn mid-write snapshots and mtime
+//!   flapping on a scripted schedule.
+//! * [`registry_fuzz`] — whole refresh-loop schedules driven through
+//!   [`FaultyIo`](fault::FaultyIo), asserting after every step that the
+//!   last good generation keeps serving bit-identically, nothing panics,
+//!   and the refresh accounting identity holds (`fuzz_registry` bin).
+//!
+//! Run the bounded CI smokes with `cargo run -p palmed-fuzz --bin
+//! fuzz_codecs -- --iters 10000` and `cargo run -p palmed-fuzz --bin
+//! fuzz_registry -- --schedules 1000`.
 
 use palmed_core::ConjunctiveMapping;
 use palmed_isa::{InstId, InstructionSet, InventoryConfig, Microkernel};
@@ -38,9 +56,14 @@ use palmed_serve::{
     ModelView,
 };
 use proptest::test_runner::TestRng;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod fault;
+pub mod guided;
+pub mod registry_fuzz;
 
 /// Magic prefixes of the binary formats, mirrored here (they are crate
 /// private in `palmed-serve`; the fuzzer needs them to re-hash trailers).
@@ -63,6 +86,11 @@ pub enum Format {
 impl Format {
     /// All formats, in round-robin order.
     pub const ALL: [Format; 4] = [Format::ModelV1, Format::ModelV2b, Format::Disj, Format::Corpus];
+
+    /// Parses the [`fmt::Display`] name back (`--replay model-v2b:123`).
+    pub fn from_name(name: &str) -> Option<Format> {
+        Format::ALL.into_iter().find(|f| f.to_string() == name)
+    }
 }
 
 impl fmt::Display for Format {
@@ -104,6 +132,40 @@ impl fmt::Display for Violation {
     }
 }
 
+/// One structured rejection, as a coverage observation: which entry point
+/// rejected, with what [`ArtifactError::class`] label, at what byte offset.
+#[derive(Debug, Clone)]
+pub struct RejectionRecord {
+    /// The decoder entry point that rejected (`parse_bytes`, `view`,
+    /// `disj`, `migrate`, `corpus`).
+    pub entry: &'static str,
+    /// The rejection-class label ([`ArtifactError::class`]).
+    pub class: &'static str,
+    /// The byte offset, when the rejection carried one
+    /// ([`ArtifactError::offset`]).
+    pub offset: Option<usize>,
+    /// The rendered error.
+    pub message: String,
+}
+
+/// Collapses a rejection offset into the coverage bucket the guided
+/// scheduler keys on: fine-grained (4-byte buckets) below 64, logarithmic
+/// above — deep-layout rejections at ever-larger offsets keep opening new
+/// buckets, which is exactly the headroom coverage-guided scheduling
+/// exploits.  `None` (no offset) is its own bucket.
+pub fn offset_bucket(offset: Option<usize>) -> u32 {
+    match offset {
+        None => u32::MAX,
+        Some(at) if at < 64 => (at / 4) as u32,
+        Some(at) => 16 + (usize::BITS - 1 - at.leading_zeros()),
+    }
+}
+
+/// The coverage key of one rejection: `(class, offset bucket)`.
+pub fn coverage_key(record: &RejectionRecord) -> (&'static str, u32) {
+    (record.class, offset_bucket(record.offset))
+}
+
 /// What one fuzz case observed across all decoder entry points.
 #[derive(Debug, Default)]
 pub struct CaseOutcome {
@@ -113,6 +175,10 @@ pub struct CaseOutcome {
     pub rejected: u32,
     /// Rejections whose [`ArtifactError::offset`] carried a byte offset.
     pub rejections_with_offset: u32,
+    /// Entry points that accepted, by name (replay verbosity).
+    pub accepts: Vec<&'static str>,
+    /// Every structured rejection, as a coverage observation.
+    pub rejections: Vec<RejectionRecord>,
     /// Invariant violations (empty on a healthy codec).
     pub violations: Vec<Violation>,
 }
@@ -148,6 +214,10 @@ pub struct FuzzSummary {
     /// The [`SLOWEST_KEPT`] slowest cases, slowest first — the seed of the
     /// coverage/profile-guided scheduling signal.
     pub slowest: Vec<SlowCase>,
+    /// Distinct `(rejection class, offset bucket)` pairs observed — the
+    /// coverage measure the guided scheduler competes with the uniform one
+    /// on (see [`guided::run_guided`]).
+    pub coverage: BTreeSet<(&'static str, u32)>,
 }
 
 impl FuzzSummary {
@@ -156,6 +226,9 @@ impl FuzzSummary {
         self.accepted += u64::from(outcome.accepted);
         self.rejected += u64::from(outcome.rejected);
         self.rejections_with_offset += u64::from(outcome.rejections_with_offset);
+        for record in &outcome.rejections {
+            self.coverage.insert(coverage_key(record));
+        }
         self.violations.extend(outcome.violations);
     }
 
@@ -170,11 +243,13 @@ impl fmt::Display for FuzzSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} cases: {} accepts, {} structured rejections ({} with byte offset), {} violations",
+            "{} cases: {} accepts, {} structured rejections ({} with byte offset), \
+             {} coverage pairs, {} violations",
             self.cases,
             self.accepted,
             self.rejected,
             self.rejections_with_offset,
+            self.coverage.len(),
             self.violations.len()
         )
     }
@@ -556,16 +631,28 @@ fn guard(what: &str, f: impl FnOnce() -> Option<String>) -> Option<String> {
     }
 }
 
-/// Tallies one rejection: its rendering must be non-empty (structured), and
-/// offsets are counted for the summary.
-fn tally_rejection(outcome: &mut CaseOutcome, what: &str, error: &ArtifactError) -> Option<String> {
-    if error.to_string().is_empty() {
+/// Tallies one rejection: its rendering must be non-empty (structured),
+/// offsets are counted for the summary, and the full record is retained for
+/// coverage tracking and replay.
+fn tally_rejection(
+    outcome: &mut CaseOutcome,
+    what: &'static str,
+    error: &ArtifactError,
+) -> Option<String> {
+    let message = error.to_string();
+    if message.is_empty() {
         return Some(format!("{what}: rejection renders empty"));
     }
     outcome.rejected += 1;
     if error.offset().is_some() {
         outcome.rejections_with_offset += 1;
     }
+    outcome.rejections.push(RejectionRecord {
+        entry: what,
+        class: error.class(),
+        offset: error.offset(),
+        message,
+    });
     count_rejection_class(error.class());
     None
 }
@@ -594,6 +681,7 @@ pub fn check_all(
     if let Some(detail) = guard("parse_bytes", || match ModelArtifact::parse_bytes(bytes) {
         Ok(artifact) => {
             outcome.accepted += 1;
+            outcome.accepts.push("parse_bytes");
             if kind == ModelKind::ConjunctiveV2b {
                 if artifact.render_v2() != bytes {
                     return Some("accepted v2b does not re-encode bit-identically".into());
@@ -620,6 +708,7 @@ pub fn check_all(
         if let Some(detail) = guard("view", || match ModelView::parse_v2(bytes) {
             Ok(view) => {
                 outcome.accepted += 1;
+                outcome.accepts.push("view");
                 match &parsed_conjunctive {
                     None => Some("zero-copy view accepts what parse_bytes rejects".into()),
                     Some(artifact) => {
@@ -645,6 +734,7 @@ pub fn check_all(
     if let Some(detail) = guard("disj", || match DisjArtifact::parse(bytes) {
         Ok(artifact) => {
             outcome.accepted += 1;
+            outcome.accepts.push("disj");
             (artifact.render() != bytes)
                 .then(|| "accepted disj does not re-encode bit-identically".into())
         }
@@ -658,6 +748,7 @@ pub fn check_all(
     if let Some(detail) = guard("migrate", || match migrate_v1_to_v2b(bytes) {
         Ok(migrated) => {
             outcome.accepted += 1;
+            outcome.accepts.push("migrate");
             match (&parsed_conjunctive, ModelArtifact::parse_v2(&migrated)) {
                 (Some(artifact), Ok(from_v2)) if from_v2 == *artifact => None,
                 (Some(_), Ok(_)) => Some("migration changed the model".into()),
@@ -675,6 +766,7 @@ pub fn check_all(
         if let Some(detail) = guard("corpus", || match Corpus::parse(text, insts) {
             Ok(corpus) => {
                 outcome.accepted += 1;
+                outcome.accepts.push("corpus");
                 let rendered = corpus.render(insts);
                 match Corpus::parse(&rendered, insts) {
                     Ok(again) if again == corpus && again.render(insts) == rendered => None,
@@ -683,10 +775,17 @@ pub fn check_all(
                 }
             }
             Err(error) => {
-                if error.to_string().is_empty() {
+                let message = error.to_string();
+                if message.is_empty() {
                     return Some("corpus: rejection renders empty".into());
                 }
                 outcome.rejected += 1;
+                outcome.rejections.push(RejectionRecord {
+                    entry: "corpus",
+                    class: error.class(),
+                    offset: None,
+                    message,
+                });
                 count_rejection_class(error.class());
                 None
             }
@@ -696,13 +795,45 @@ pub fn check_all(
     }
 }
 
+/// Applies the format's mutator to `seed`, continuing the case's RNG
+/// stream.  Seeds that no longer walk as their format (stacked guided
+/// mutations) are not handled here — see `guided::mutate_queued`.
+fn mutate_case_bytes(format: Format, seed: &[u8], rng: &mut TestRng) -> (Vec<u8>, Vec<String>) {
+    match format {
+        Format::ModelV2b => {
+            let layout = walk_v2b(seed).expect("valid v2b seed must walk");
+            mutate_binary(seed, &layout, rng)
+        }
+        Format::Disj => {
+            let layout = walk_disj(seed).expect("valid disj seed must walk");
+            mutate_binary(seed, &layout, rng)
+        }
+        Format::ModelV1 => {
+            mutate_text(std::str::from_utf8(seed).expect("v1 seeds are UTF-8"), true, rng)
+        }
+        Format::Corpus => {
+            mutate_text(std::str::from_utf8(seed).expect("corpus seeds are UTF-8"), false, rng)
+        }
+    }
+}
+
+/// Reproduces the exact bytes of a deterministic case: the valid seed, the
+/// mutant, and the mutation trail.  [`run_case`], [`replay_case`] and the
+/// guided scheduler all regenerate cases through this one path, so a case
+/// number means the same bytes everywhere.
+fn generate_case(format: Format, case: u32, insts: &InstructionSet) -> (Vec<u8>, Vec<u8>, Vec<String>) {
+    let mut rng = TestRng::for_case(case);
+    let seed = seed_bytes(format, insts, &mut rng);
+    let (mutated, mutations) = mutate_case_bytes(format, &seed, &mut rng);
+    (seed, mutated, mutations)
+}
+
 /// Runs one fully deterministic fuzz case: seed, mutate, check.  The
 /// unmutated seed is checked first — a seed the decoders reject is itself a
 /// violation (the generators only emit valid artifacts).
 pub fn run_case(format: Format, case: u32) -> CaseOutcome {
-    let mut rng = TestRng::for_case(case);
     let insts = inventory();
-    let seed = seed_bytes(format, &insts, &mut rng);
+    let (seed, mutated, mutations) = generate_case(format, case, &insts);
     let mut outcome = CaseOutcome::default();
 
     let mut seed_violations = Vec::new();
@@ -716,22 +847,6 @@ pub fn run_case(format: Format, case: u32) -> CaseOutcome {
         });
     }
 
-    let (mutated, mutations) = match format {
-        Format::ModelV2b => {
-            let layout = walk_v2b(&seed).expect("valid v2b seed must walk");
-            mutate_binary(&seed, &layout, &mut rng)
-        }
-        Format::Disj => {
-            let layout = walk_disj(&seed).expect("valid disj seed must walk");
-            mutate_binary(&seed, &layout, &mut rng)
-        }
-        Format::ModelV1 => {
-            mutate_text(std::str::from_utf8(&seed).expect("v1 seeds are UTF-8"), true, &mut rng)
-        }
-        Format::Corpus => {
-            mutate_text(std::str::from_utf8(&seed).expect("corpus seeds are UTF-8"), false, &mut rng)
-        }
-    };
     let mut mutant_violations = Vec::new();
     check_all(&mutated, &insts, &mut outcome, |detail| mutant_violations.push(detail));
     for detail in mutant_violations {
@@ -741,6 +856,44 @@ pub fn run_case(format: Format, case: u32) -> CaseOutcome {
     palmed_obs::counter!("fuzz.accepted").add(u64::from(outcome.accepted));
     palmed_obs::counter!("fuzz.rejected").add(u64::from(outcome.rejected));
     outcome
+}
+
+/// Re-runs one deterministic case with verbose per-entry-point output — the
+/// triage view behind `fuzz_codecs --replay <format>:<case>`: the exact
+/// seed and mutant bytes are regenerated, and for each buffer every decoder
+/// entry point's accept/reject outcome is rendered with its rejection
+/// class, byte offset and coverage bucket.
+pub fn replay_case(format: Format, case: u32) -> String {
+    use std::fmt::Write;
+    let insts = inventory();
+    let (seed, mutated, mutations) = generate_case(format, case, &insts);
+    let mut out = String::new();
+    let _ = writeln!(out, "replay {format} case {case}");
+    let _ = writeln!(out, "  mutations: {}", mutations.join(", "));
+    for (label, bytes) in [("seed", &seed), ("mutant", &mutated)] {
+        let mut outcome = CaseOutcome::default();
+        let mut violations = Vec::new();
+        check_all(bytes, &insts, &mut outcome, |detail| violations.push(detail));
+        let _ = writeln!(out, "--- {label}: {} bytes ---", bytes.len());
+        for entry in &outcome.accepts {
+            let _ = writeln!(out, "  accept  {entry}");
+        }
+        for record in &outcome.rejections {
+            let _ = writeln!(
+                out,
+                "  reject  {:<11} class={} offset={} bucket={}\n          {}",
+                record.entry,
+                record.class,
+                record.offset.map_or_else(|| "-".to_string(), |at| at.to_string()),
+                offset_bucket(record.offset),
+                record.message,
+            );
+        }
+        for detail in &violations {
+            let _ = writeln!(out, "  VIOLATION {detail}");
+        }
+    }
+    out
 }
 
 /// Runs `iters` deterministic cases round-robin across all four formats,

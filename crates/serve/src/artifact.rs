@@ -216,6 +216,16 @@ pub enum ArtifactError {
         /// Fingerprint recomputed from the loaded model's predictions.
         computed: u64,
     },
+    /// A keyed `PALMED-FPRINT v2` sidecar's HMAC tag does not verify under
+    /// the configured signing key: whoever wrote the sidecar did not hold
+    /// the key, so the fingerprint proves nothing about provenance (see
+    /// [`Sidecar::verify`](crate::fingerprint::Sidecar::verify)).
+    SignatureMismatch {
+        /// Hex rendering of the tag the sidecar recorded.
+        stored: String,
+        /// Hex rendering of the tag recomputed under the configured key.
+        computed: String,
+    },
 }
 
 impl ArtifactError {
@@ -246,6 +256,7 @@ impl ArtifactError {
             ArtifactError::WrongKind { .. } => "wrong-kind",
             ArtifactError::TornRead { .. } => "torn-read",
             ArtifactError::FingerprintMismatch { .. } => "fingerprint-mismatch",
+            ArtifactError::SignatureMismatch { .. } => "signature-mismatch",
         }
     }
 }
@@ -279,6 +290,10 @@ impl fmt::Display for ArtifactError {
             ArtifactError::FingerprintMismatch { expected, computed } => write!(
                 f,
                 "fingerprint mismatch: sidecar recorded {expected:016x}, model predicts {computed:016x}"
+            ),
+            ArtifactError::SignatureMismatch { stored, computed } => write!(
+                f,
+                "sidecar signature mismatch: stored tag {stored} does not verify (key computes {computed})"
             ),
         }
     }
@@ -692,6 +707,27 @@ impl ModelArtifact {
         self.save_v2(path)?;
         let fp = self.fingerprint();
         crate::fingerprint::write_sidecar(path, fp)?;
+        Ok(fp)
+    }
+
+    /// Saves the binary v2b artifact plus a **signed** `PALMED-FPRINT v2`
+    /// sidecar (HMAC-SHA256 tag under `key` — see
+    /// [`write_signed_sidecar`](crate::fingerprint::write_signed_sidecar)),
+    /// returning the recorded fingerprint.  Registries configured with the
+    /// key verify provenance, not just determinism, on every load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from either write.
+    pub fn save_v2_with_signed_fingerprint(
+        &self,
+        path: impl AsRef<Path>,
+        key: &[u8],
+    ) -> Result<u64, ArtifactError> {
+        let path = path.as_ref();
+        self.save_v2(path)?;
+        let fp = self.fingerprint();
+        crate::fingerprint::write_signed_sidecar(path, fp, key)?;
         Ok(fp)
     }
 }

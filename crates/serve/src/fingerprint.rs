@@ -15,6 +15,19 @@
 //! file that decodes cleanly but predicts differently than what was deployed
 //! is rejected with [`ArtifactError::FingerprintMismatch`].
 //!
+//! A fingerprint alone is *determinism* evidence: it has no key, so anyone
+//! who can write the artifact can also write a matching sidecar.  The
+//! **signed** `PALMED-FPRINT v2` sidecar ([`write_signed_sidecar`]) appends
+//! an HMAC-SHA256 tag over the sidecar body under a deployment key
+//! ([`crate::sign`]), upgrading the sidecar to *provenance* evidence: a
+//! registry configured with the key
+//! ([`ModelRegistry::set_signing_key`](crate::ModelRegistry::set_signing_key))
+//! rejects v2 sidecars whose tag does not verify
+//! ([`ArtifactError::SignatureMismatch`]) through the same
+//! quarantine-feeding reload path as any other structured failure.  Unkeyed
+//! v1 sidecars stay accepted (fingerprint-only), and a v2 sidecar read
+//! without a configured key degrades to fingerprint-only verification.
+//!
 //! The probe corpus ([`probe_corpus`]) is **pinned**: its construction is
 //! part of the fingerprint's definition, and changing it invalidates every
 //! recorded fingerprint.  Evolve it only together with a sidecar format
@@ -23,12 +36,17 @@
 use crate::artifact::ArtifactError;
 use crate::checksum::fnv1a64;
 use crate::compiled::KernelLoad;
+use crate::io::ArtifactIo;
+use crate::sign;
 use palmed_isa::{InstId, Microkernel};
 use std::ffi::OsString;
 use std::path::{Path, PathBuf};
 
-/// Header line of the fingerprint sidecar format.
+/// Header line of the unkeyed fingerprint sidecar format.
 const FPRINT_HEADER: &str = "PALMED-FPRINT v1";
+
+/// Header line of the keyed (HMAC-signed) sidecar format.
+const FPRINT_HEADER_V2: &str = "PALMED-FPRINT v2";
 
 /// Number of pseudo-random instruction mixes in the probe corpus.
 const PROBE_MIXES: usize = 48;
@@ -123,40 +141,157 @@ pub fn write_sidecar(path: impl AsRef<Path>, fingerprint: u64) -> Result<(), Art
     Ok(())
 }
 
-/// Reads the fingerprint sidecar for the artifact at `path`, if present.
-/// `Ok(None)` means no sidecar exists (the artifact was saved without one);
-/// a sidecar that exists but does not parse is an error — silently ignoring
-/// it would disable the very verification it exists for.
+/// Writes a **signed** `PALMED-FPRINT v2` sidecar: the v1 body (header +
+/// fingerprint) followed by an HMAC-SHA256 tag over those exact bytes under
+/// `key`.  Registries holding the key verify the tag before trusting the
+/// fingerprint; registries without it fall back to fingerprint-only
+/// verification.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_signed_sidecar(
+    path: impl AsRef<Path>,
+    fingerprint: u64,
+    key: &[u8],
+) -> Result<(), ArtifactError> {
+    let body = format!("{FPRINT_HEADER_V2}\n{fingerprint:016x}\n");
+    let tag = sign::hmac_sha256(key, body.as_bytes());
+    std::fs::write(sidecar_path(path), format!("{body}{}\n", sign::tag_to_hex(&tag)))?;
+    Ok(())
+}
+
+/// A parsed fingerprint sidecar: the recorded fingerprint plus, for the
+/// signed v2 format, the HMAC tag and the exact bytes it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sidecar {
+    /// The recorded determinism fingerprint.
+    pub fingerprint: u64,
+    /// The HMAC-SHA256 tag of a `PALMED-FPRINT v2` sidecar; `None` for the
+    /// unkeyed v1 format.
+    pub tag: Option<[u8; sign::TAG_LEN]>,
+    /// The exact sidecar bytes the tag covers (header + fingerprint lines,
+    /// as stored — not re-rendered, so verification cannot be confused by
+    /// parse leniency).
+    signed_body: Vec<u8>,
+}
+
+impl Sidecar {
+    /// Sidecar format version: 1 (unkeyed) or 2 (signed).
+    pub fn version(&self) -> u32 {
+        if self.tag.is_some() { 2 } else { 1 }
+    }
+
+    /// Verifies this sidecar's provenance under `key`.  A v1 sidecar always
+    /// verifies (it carries no tag to check — determinism evidence only),
+    /// as does a v2 sidecar when no key is configured (`key == None`,
+    /// fingerprint-only degradation).  A v2 sidecar checked against a key
+    /// must carry the matching HMAC tag.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::SignatureMismatch`] when a v2 tag does not verify
+    /// under `key`.
+    pub fn verify(&self, key: Option<&[u8]>) -> Result<(), ArtifactError> {
+        if let (Some(stored), Some(key)) = (&self.tag, key) {
+            let computed = sign::hmac_sha256(key, &self.signed_body);
+            if !sign::verify_tag(stored, &computed) {
+                return Err(ArtifactError::SignatureMismatch {
+                    stored: sign::tag_to_hex(stored),
+                    computed: sign::tag_to_hex(&computed),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a sidecar file's text, accepting both formats.
+fn parse_sidecar(text: &str) -> Result<Sidecar, ArtifactError> {
+    let mut lines = text.lines();
+    let v2 = match lines.next() {
+        Some(FPRINT_HEADER) => false,
+        Some(FPRINT_HEADER_V2) => true,
+        _ => {
+            return Err(ArtifactError::Malformed {
+                line: 1,
+                reason: format!(
+                    "fingerprint sidecar missing `{FPRINT_HEADER}` / `{FPRINT_HEADER_V2}` header"
+                ),
+            })
+        }
+    };
+    let hex = lines.next().unwrap_or("").trim();
+    let fingerprint = u64::from_str_radix(hex, 16).map_err(|_| ArtifactError::Malformed {
+        line: 2,
+        reason: format!("invalid fingerprint `{hex}` in sidecar"),
+    })?;
+    let tag = if v2 {
+        let tag_hex = lines.next().unwrap_or("").trim();
+        Some(sign::tag_from_hex(tag_hex).ok_or_else(|| ArtifactError::Malformed {
+            line: 3,
+            reason: format!("invalid signature tag `{tag_hex}` in signed sidecar"),
+        })?)
+    } else {
+        None
+    };
+    if lines.any(|l| !l.trim().is_empty()) {
+        return Err(ArtifactError::Malformed {
+            line: if v2 { 4 } else { 3 },
+            reason: "trailing content after fingerprint".to_string(),
+        });
+    }
+    // The tag covers the stored bytes of the first two lines exactly.
+    let signed_body = match text
+        .bytes()
+        .enumerate()
+        .filter(|(_, b)| *b == b'\n')
+        .nth(1)
+        .map(|(i, _)| i + 1)
+    {
+        Some(end) if v2 => text.as_bytes()[..end].to_vec(),
+        _ => Vec::new(),
+    };
+    Ok(Sidecar { fingerprint, tag, signed_body })
+}
+
+/// Reads and parses the sidecar for the artifact at `path` through an
+/// [`ArtifactIo`] backend — the registry's entry point, so fault injection
+/// covers sidecar reads too.  `Ok(None)` means no sidecar exists; a sidecar
+/// that exists but does not parse is an error — silently ignoring it would
+/// disable the very verification it exists for.
+///
+/// # Errors
+///
+/// Propagates read errors other than "not found", and reports a malformed
+/// sidecar as [`ArtifactError::Malformed`].
+pub fn read_sidecar_with(
+    io: &dyn ArtifactIo,
+    path: impl AsRef<Path>,
+) -> Result<Option<Sidecar>, ArtifactError> {
+    let bytes = match io.read(&sidecar_path(path)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(ArtifactError::Io(e)),
+    };
+    let text = String::from_utf8(bytes).map_err(|_| ArtifactError::Malformed {
+        line: 1,
+        reason: "fingerprint sidecar is not UTF-8".to_string(),
+    })?;
+    parse_sidecar(&text).map(Some)
+}
+
+/// Reads the fingerprint recorded in the sidecar for the artifact at
+/// `path`, if present, accepting both the unkeyed v1 and the signed v2
+/// format (the tag, if any, is *not* verified here — use
+/// [`read_sidecar_with`] + [`Sidecar::verify`] for provenance).
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors other than "not found", and reports a
 /// malformed sidecar as [`ArtifactError::Malformed`].
 pub fn read_sidecar(path: impl AsRef<Path>) -> Result<Option<u64>, ArtifactError> {
-    let text = match std::fs::read_to_string(sidecar_path(path)) {
-        Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(ArtifactError::Io(e)),
-    };
-    let mut lines = text.lines();
-    if lines.next() != Some(FPRINT_HEADER) {
-        return Err(ArtifactError::Malformed {
-            line: 1,
-            reason: format!("fingerprint sidecar missing `{FPRINT_HEADER}` header"),
-        });
-    }
-    let hex = lines.next().unwrap_or("").trim();
-    let fingerprint = u64::from_str_radix(hex, 16).map_err(|_| ArtifactError::Malformed {
-        line: 2,
-        reason: format!("invalid fingerprint `{hex}` in sidecar"),
-    })?;
-    if lines.any(|l| !l.trim().is_empty()) {
-        return Err(ArtifactError::Malformed {
-            line: 3,
-            reason: "trailing content after fingerprint".to_string(),
-        });
-    }
-    Ok(Some(fingerprint))
+    Ok(read_sidecar_with(&crate::io::RealIo, path)?.map(|sidecar| sidecar.fingerprint))
 }
 
 #[cfg(test)]
@@ -222,6 +357,59 @@ mod tests {
         assert!(matches!(
             read_sidecar(&path),
             Err(ArtifactError::Malformed { line: 1, .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn signed_sidecar_round_trips_and_verifies_only_under_its_key() {
+        let dir = std::env::temp_dir().join("palmed-fp-signed-sidecar-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.palmed2");
+        write_signed_sidecar(&path, 0x0123_4567_89ab_cdef, b"deploy-key").unwrap();
+
+        // The fingerprint is readable with and without the key.
+        assert_eq!(read_sidecar(&path).unwrap(), Some(0x0123_4567_89ab_cdef));
+        let sidecar = read_sidecar_with(&crate::io::RealIo, &path).unwrap().unwrap();
+        assert_eq!(sidecar.version(), 2);
+        assert_eq!(sidecar.fingerprint, 0x0123_4567_89ab_cdef);
+
+        // Verification: right key passes, wrong key is a structured reject,
+        // no key degrades to fingerprint-only.
+        sidecar.verify(Some(b"deploy-key")).unwrap();
+        sidecar.verify(None).unwrap();
+        match sidecar.verify(Some(b"wrong-key")) {
+            Err(ArtifactError::SignatureMismatch { stored, computed }) => {
+                assert_ne!(stored, computed);
+                assert_eq!(stored.len(), 64);
+            }
+            other => panic!("expected SignatureMismatch, got {other:?}"),
+        }
+
+        // Tampering with the recorded fingerprint breaks the tag.
+        let text = std::fs::read_to_string(sidecar_path(&path)).unwrap();
+        std::fs::write(
+            sidecar_path(&path),
+            text.replacen("0123456789abcdef", "0123456789abcdee", 1),
+        )
+        .unwrap();
+        let tampered = read_sidecar_with(&crate::io::RealIo, &path).unwrap().unwrap();
+        assert!(matches!(
+            tampered.verify(Some(b"deploy-key")),
+            Err(ArtifactError::SignatureMismatch { .. })
+        ));
+
+        // A v1 sidecar always verifies — it has no tag to check.
+        write_sidecar(&path, 42).unwrap();
+        let v1 = read_sidecar_with(&crate::io::RealIo, &path).unwrap().unwrap();
+        assert_eq!(v1.version(), 1);
+        v1.verify(Some(b"deploy-key")).unwrap();
+
+        // A garbage tag line is malformed, not a mismatch.
+        std::fs::write(sidecar_path(&path), "PALMED-FPRINT v2\n2a\nnot-hex\n").unwrap();
+        assert!(matches!(
+            read_sidecar_with(&crate::io::RealIo, &path),
+            Err(ArtifactError::Malformed { line: 3, .. })
         ));
         std::fs::remove_dir_all(&dir).ok();
     }

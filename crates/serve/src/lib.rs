@@ -58,6 +58,13 @@
 //! | **v2b serve-only** (zero-copy) | conjunctive | [`ModelRegistry::load_file_serving`], [`ModelRegistry::load_file_mapped`] (`mmap(2)`-backed), [`ModelView::parse_v2`] | validate only |
 //! | **disj** (eager) | disjunctive | [`DisjArtifact::parse`], [`ModelRegistry::load_file`] | validate, copy µOP rows (disjunctive models are tiny) |
 //!
+//! Every stat, read and mapped open behind these modes goes through the
+//! [`ArtifactIo`] seam ([`io`]): [`RealIo`] (the default) forwards to
+//! `std::fs` and the `mmap(2)` shim, while [`ModelRegistry::with_io`]
+//! accepts any other backend — the deterministic fault injector in
+//! `palmed-fuzz` scripts short reads, transient errors, torn snapshots and
+//! mtime flapping through it to fuzz the whole refresh loop.
+//!
 //! The serve-only load is O(validate): the artifact bytes are retained and
 //! predictions run through a borrowed [`CompiledModelRef`] aliasing them (an
 //! owned copy is the automatic fallback when the buffer cannot back an
@@ -150,30 +157,50 @@
 //!
 //! The artifact plane accepts bytes it does not trust — files other
 //! processes write, hot-reload sources that can be replaced or truncated
-//! mid-read.  What the validators do and do not promise:
+//! mid-read.  Three properties are defended, by three different mechanisms,
+//! and it matters which one a check gives you:
 //!
-//! * **Checksums are integrity, not authentication.**  The FNV-1a-64
-//!   trailers (and the v1 `checksum` line) detect truncation, bit rot and
-//!   forgotten hand edits; they do **not** stop an adversary, who can
-//!   re-hash a crafted body.  Every structural check therefore holds on its
-//!   own: declared counts never drive allocations (pre-allocations are
-//!   capped, real growth is bounded by the buffer length), CSR pointer
-//!   arrays are pinned to `0..nnz` and monotone before any row is walked,
-//!   names must be whitespace-free tokens, and every rejection is a
-//!   structured [`ArtifactError`] — decoding never panics on untrusted
-//!   input.  These invariants are exercised continuously by the
-//!   structure-aware mutational fuzzer in `crates/fuzz` (`fuzz_codecs`).
+//! | property | mechanism | defeats | does **not** defeat |
+//! |----------|-----------|---------|---------------------|
+//! | **integrity** | FNV-1a-64 trailers, v1 `checksum` line | truncation, bit rot, hand edits | an adversary, who re-hashes a crafted body |
+//! | **identity / determinism** | `PALMED-FPRINT v1` sidecar: FNV-1a-64 over predictions on a pinned probe corpus | the wrong (but well-formed) model being served; nondeterministic load paths | an adversary, who recomputes the unkeyed fingerprint |
+//! | **authenticity / provenance** | `PALMED-FPRINT v2` sidecar: the v1 body plus an HMAC-SHA256 tag ([`sign`]) | artifact + sidecar replacement by a writer who does not hold the key | a key holder; key theft; rollback to an older *genuinely signed* artifact |
+//!
+//! * **Checksums are integrity, not authentication.**  Every structural
+//!   check therefore holds on its own: declared counts never drive
+//!   allocations (pre-allocations are capped, real growth is bounded by the
+//!   buffer length), CSR pointer arrays are pinned to `0..nnz` and monotone
+//!   before any row is walked, names must be whitespace-free tokens, and
+//!   every rejection is a structured [`ArtifactError`] — decoding never
+//!   panics on untrusted input.  These invariants are exercised continuously
+//!   by the coverage-guided mutational fuzzer in `crates/fuzz`
+//!   (`fuzz_codecs`).
 //! * **Validation promises decodability, not provenance.**  A buffer that
 //!   validates is a well-formed model; nothing says it is the model you
-//!   deployed.  That is what **fingerprints** add: a canonical FNV-1a-64
-//!   hash over the model's predictions on a pinned probe corpus
-//!   ([`fingerprint::model_fingerprint`], [`KernelLoad::fingerprint`]),
-//!   recorded in a `.fp` sidecar at save time
+//!   deployed.  Fingerprints ([`fingerprint::model_fingerprint`],
+//!   [`KernelLoad::fingerprint`]) pin *which* model is served — recorded in
+//!   a `.fp` sidecar at save time
 //!   ([`ModelArtifact::save_v2_with_fingerprint`]) and verified by the
-//!   registry at load and refresh time.  All load modes of one model —
+//!   registry at load and refresh time; all load modes of one model —
 //!   owned, borrowed, memory-mapped, migrated — fingerprint identically.
-//!   A fingerprint is *determinism* evidence, not a signature: it has no
-//!   key, so it too does not authenticate.
+//!   But an unkeyed fingerprint is determinism evidence, not a signature.
+//!   **Signed sidecars** ([`ModelArtifact::save_v2_with_signed_fingerprint`],
+//!   [`write_signed_sidecar`]) add the missing key: the v2 sidecar carries
+//!   an HMAC-SHA256 tag over its header and fingerprint lines, and a
+//!   registry configured with [`ModelRegistry::set_signing_key`] rejects any
+//!   sidecar whose tag does not verify
+//!   ([`ArtifactError::SignatureMismatch`]) — a structured failure that
+//!   feeds the same backoff/quarantine machinery as any other load error.
+//!   Unkeyed v1 sidecars still verify under a keyed registry (adopting a
+//!   key must not poison existing deployments); refuse-unsigned is a policy
+//!   for a future layer, not this one.
+//! * **Key handling is the deployment's problem.**  The key is held in
+//!   process memory (no zeroization), compared tag-fold-constant-time
+//!   ([`sign::verify_tag`]) but otherwise without side-channel hardening,
+//!   and never rotated automatically: [`sign`] is a hand-rolled FIPS 180-4 /
+//!   RFC 2104 implementation pinned to published vectors, not a crypto
+//!   library.  A signed sidecar proves "someone holding the key blessed
+//!   this exact fingerprint"; it does not timestamp, sequence, or revoke.
 //! * **Hot reload is fault-tolerant, not transactional.**  The registry
 //!   re-stats a source after reading and discards torn reads
 //!   ([`ArtifactError::TornRead`]); repeated failures back off
@@ -181,7 +208,11 @@
 //!   ([`ModelRegistry::health`], [`ModelRegistry::readmit`]) while the last
 //!   good generation keeps serving.  Writers should still replace artifacts
 //!   by atomic rename — especially for memory-mapped entries, which pin the
-//!   original inode.
+//!   original inode.  The whole loop — stat, read, map, retry, back off,
+//!   quarantine, readmit — is driven through the [`ArtifactIo`] seam, so
+//!   the `fuzz_registry` harness in `crates/fuzz` replays thousands of
+//!   scripted fault schedules against it and asserts the last good
+//!   generation serves bit-identically after every step.
 //!
 //! # Observability
 //!
@@ -202,7 +233,7 @@
 //! | `serve.registry.entries` | gauge | live registry entries |
 //! | `serve.registry.{installs,swaps,reloads,readmits,removes}` | counters | lifecycle operations |
 //! | `serve.registry.torn_read_retries` | counter | torn reads discarded by the stable-read loop |
-//! | `serve.registry.refresh.{polls,reloaded,errors,backed_off,quarantined}` | counters | one per watched entry per [`ModelRegistry::refresh`], split by outcome |
+//! | `serve.registry.refresh.{polls,reloaded,errors,backed_off,quarantined,clean}` | counters | one per watched entry per [`ModelRegistry::refresh`], split by outcome; the identity `polls = reloaded + errors + backed_off + quarantined + clean` holds after every refresh |
 //!
 //! Every health transition additionally emits a structured event —
 //! `registry.install`, `registry.swap`, `registry.reload`,
@@ -252,8 +283,10 @@ pub mod compiled;
 pub mod corpus;
 pub mod disj;
 pub mod fingerprint;
+pub mod io;
 mod mmap;
 pub mod registry;
+pub mod sign;
 
 pub use artifact::{ArtifactError, ModelArtifact};
 pub use batch::{BatchPredictor, BatchResult, PreparedBatch};
@@ -261,7 +294,11 @@ pub use codec::{migrate_v1_to_v2b, ModelKind};
 pub use compiled::{CompiledModel, CompiledModelRef, KernelLoad, ModelView};
 pub use corpus::{Corpus, CorpusBlock, CorpusError};
 pub use disj::{CompiledDisjModel, DisjArtifact, DisjUop};
-pub use fingerprint::{model_fingerprint, probe_corpus, read_sidecar, sidecar_path, write_sidecar};
+pub use fingerprint::{
+    model_fingerprint, probe_corpus, read_sidecar, read_sidecar_with, sidecar_path, write_sidecar,
+    write_signed_sidecar, Sidecar,
+};
+pub use io::{ArtifactIo, FileMeta, IoBuf, RealIo};
 pub use registry::{
     EntryHealth, LoadMode, ModelEntry, ModelRegistry, RefreshOutcome, RefreshStatus,
     RegistryEntry, RegistrySnapshot, ServedDisjModel, ServedModel, ServingModel,

@@ -49,7 +49,7 @@ use crate::binfmt::{self, ArtifactBytes};
 use crate::codec::ModelKind;
 use crate::compiled::{CompiledModel, CompiledModelRef, ModelView};
 use crate::disj::{CompiledDisjModel, DisjArtifact};
-use crate::mmap::FileBuf;
+use crate::io::{ArtifactIo, RealIo};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -129,13 +129,14 @@ impl ServingModel {
         Ok(Self::assemble(bytes, validated))
     }
 
-    /// Serve-only load straight from a file, `mmap(2)`-backed where the
-    /// platform allows it (see [`crate::mmap`]) with a read-to-heap
-    /// fallback everywhere else.
-    fn from_file(path: &Path) -> Result<Self, ArtifactError> {
-        let buf = FileBuf::open(path)?;
+    /// Serve-only load straight from a file through the registry's
+    /// [`ArtifactIo`]: `mmap(2)`-backed where the backend provides a
+    /// mapping, a heap read everywhere else (including every fault
+    /// injector).
+    fn from_file(io: &dyn ArtifactIo, path: &Path) -> Result<Self, ArtifactError> {
+        let buf = io.open_buf(path)?;
         let validated = binfmt::validate(buf.as_slice())?;
-        let bytes = ArtifactBytes::from_file(buf, &validated.index);
+        let bytes = ArtifactBytes::from_file(buf.into_inner(), &validated.index);
         Ok(Self::assemble(bytes, validated))
     }
 
@@ -256,23 +257,21 @@ impl SourceFile {
     /// Stats `path` *before* the load reads it, so a concurrent rewrite
     /// between stat and read is re-observed (and re-loaded) by the next
     /// [`ModelRegistry::refresh`] rather than missed.
-    fn observe(path: &Path, mode: LoadMode) -> SourceFile {
-        let meta = std::fs::metadata(path).ok();
+    fn observe(io: &dyn ArtifactIo, path: &Path, mode: LoadMode) -> SourceFile {
+        let meta = io.stat(path).ok();
         SourceFile {
             path: path.to_path_buf(),
             mode,
-            mtime: meta.as_ref().and_then(|m| m.modified().ok()),
-            len: meta.map_or(0, |m| m.len()),
+            mtime: meta.as_ref().and_then(|m| m.mtime),
+            len: meta.map_or(0, |m| m.len),
         }
     }
 
     /// True when the file's current metadata differs from what was observed
     /// at load time.
-    fn is_stale(&self) -> bool {
-        match std::fs::metadata(&self.path) {
-            Ok(meta) => {
-                meta.modified().ok() != self.mtime || meta.len() != self.len
-            }
+    fn is_stale(&self, io: &dyn ArtifactIo) -> bool {
+        match io.stat(&self.path) {
+            Ok(meta) => meta.mtime != self.mtime || meta.len != self.len,
             // Vanished files count as stale; the reload will surface the
             // I/O error to the caller.
             Err(_) => true,
@@ -415,16 +414,40 @@ pub struct RefreshOutcome {
     /// backoff is still draining (their files were not even stat'ed).
     pub backed_off: Vec<String>,
     /// Entries this poll **newly** quarantined ([`QUARANTINE_AFTER`]
-    /// consecutive failures reached); already-quarantined entries are
-    /// skipped silently — see [`ModelRegistry::health`].
+    /// consecutive failures reached); these names also appear in
+    /// [`RefreshOutcome::errors`] with the failure that tipped them over.
+    /// Already-quarantined entries are skipped silently into
+    /// [`RefreshOutcome::quarantine_skipped`] — see
+    /// [`ModelRegistry::health`].
     pub quarantined: Vec<String>,
+    /// Entries skipped without a stat because they are already quarantined.
+    pub quarantine_skipped: Vec<String>,
+    /// Entries polled and found unchanged (stat matched the recorded
+    /// mtime/length; nothing was read or reloaded).
+    pub clean: Vec<String>,
 }
 
 impl RefreshOutcome {
     /// True when nothing changed and nothing failed (entries quietly waiting
-    /// out a backoff do not count as noise).
+    /// out a backoff, skipping a quarantine, or polling clean do not count
+    /// as noise).
     pub fn is_quiet(&self) -> bool {
         self.reloaded.is_empty() && self.errors.is_empty() && self.quarantined.is_empty()
+    }
+
+    /// Entries this poll accounted for, across every disposition.  One
+    /// refresh touches each watched entry exactly once, so this always
+    /// equals the number of watched entries in the polled snapshot —
+    /// `reloaded + errors + backed_off + quarantine_skipped + clean`
+    /// (newly-quarantined names live inside `errors`) — the accounting
+    /// identity the registry fault fuzzer (`fuzz_registry`) asserts after
+    /// every step.
+    pub fn accounted(&self) -> usize {
+        self.reloaded.len()
+            + self.errors.len()
+            + self.backed_off.len()
+            + self.quarantine_skipped.len()
+            + self.clean.len()
     }
 }
 
@@ -508,20 +531,24 @@ pub struct ModelRegistry {
     /// read-modify-write sections, never across the snapshot `RwLock` or
     /// any filesystem call.
     health: Mutex<BTreeMap<String, HealthState>>,
+    /// Every stat/read/mapped-open the registry performs goes through this
+    /// seam — [`RealIo`] in production, a scripted fault injector under
+    /// test (see [`ModelRegistry::with_io`]).
+    io: Arc<dyn ArtifactIo>,
+    /// HMAC key for `PALMED-FPRINT v2` sidecar verification, when
+    /// configured ([`ModelRegistry::set_signing_key`]).
+    signing_key: Mutex<Option<Vec<u8>>>,
 }
 
 impl Default for ModelRegistry {
     fn default() -> Self {
-        ModelRegistry {
-            shared: RwLock::new(Arc::new(RegistrySnapshot::default())),
-            health: Mutex::new(BTreeMap::new()),
-        }
+        ModelRegistry::with_io(Arc::new(RealIo))
     }
 }
 
 impl Clone for ModelRegistry {
     /// Clones the current snapshot into an independent registry (entries
-    /// are shared by `Arc`; subsequent writes diverge).
+    /// and the I/O backend are shared by `Arc`; subsequent writes diverge).
     fn clone(&self) -> Self {
         let snapshot = self.snapshot();
         ModelRegistry {
@@ -530,14 +557,42 @@ impl Clone for ModelRegistry {
                 entries: snapshot.entries.clone(),
             })),
             health: Mutex::new(self.health.lock().expect("health lock").clone()),
+            io: Arc::clone(&self.io),
+            signing_key: Mutex::new(self.signing_key.lock().expect("signing key lock").clone()),
         }
     }
 }
 
 impl ModelRegistry {
-    /// An empty registry at generation 0.
+    /// An empty registry at generation 0, backed by the real filesystem.
     pub fn new() -> Self {
         ModelRegistry::default()
+    }
+
+    /// An empty registry whose file access runs through `io` — the seam the
+    /// deterministic fault-injection harness (`fuzz_registry`) drives the
+    /// refresh/backoff/quarantine machinery through.  Production callers
+    /// use [`ModelRegistry::new`].
+    pub fn with_io(io: Arc<dyn ArtifactIo>) -> Self {
+        ModelRegistry {
+            shared: RwLock::new(Arc::new(RegistrySnapshot::default())),
+            health: Mutex::new(BTreeMap::new()),
+            io,
+            signing_key: Mutex::new(None),
+        }
+    }
+
+    /// Configures (or clears, with `None`) the HMAC key signed
+    /// `PALMED-FPRINT v2` sidecars are verified against.  With a key set,
+    /// every file load whose sidecar is v2 must carry a tag that verifies
+    /// ([`ArtifactError::SignatureMismatch`] otherwise — a structured
+    /// reject feeding the same backoff/quarantine path as any other reload
+    /// failure).  Unkeyed v1 sidecars remain accepted either way, and
+    /// without a key a v2 sidecar degrades to fingerprint-only
+    /// verification.  Takes effect on the next load; already-installed
+    /// entries are not re-verified.
+    pub fn set_signing_key(&self, key: Option<Vec<u8>>) {
+        *self.signing_key.lock().expect("signing key lock") = key;
     }
 
     /// The current immutable snapshot.  Taking it holds the lock only for
@@ -700,18 +755,21 @@ impl ModelRegistry {
     /// of first loads and refresh reloads.  The read is *stable* (re-stat
     /// after reading, retry on mismatch — see [`read_stable_with`]), the
     /// payload's fingerprint is computed, and when a `.fp` sidecar exists
-    /// next to the file it must match ([`ArtifactError::FingerprintMismatch`]
-    /// otherwise): a model that decodes but predicts differently than what
-    /// was deployed never installs.
-    fn load_path(path: &Path, mode: LoadMode) -> Result<Loaded, ArtifactError> {
+    /// next to the file it must verify: a signed v2 sidecar's HMAC tag
+    /// against the configured key ([`ArtifactError::SignatureMismatch`]),
+    /// then the recorded fingerprint against the model's predictions
+    /// ([`ArtifactError::FingerprintMismatch`]) — a model that decodes but
+    /// is not the one that was deployed never installs.
+    fn load_path(&self, path: &Path, mode: LoadMode) -> Result<Loaded, ArtifactError> {
+        let io = self.io.as_ref();
         let (source, name, kind, model) = match mode {
             LoadMode::Full => {
-                let (source, bytes) = read_stable(path, mode)?;
+                let (source, bytes) = read_stable(io, path, mode)?;
                 let (name, kind, model) = Self::eager_entry(&bytes)?;
                 (source, name, kind, model)
             }
             LoadMode::Serving => {
-                let (source, bytes) = read_stable(path, mode)?;
+                let (source, bytes) = read_stable(io, path, mode)?;
                 let serving = ServingModel::from_bytes(bytes)?;
                 let name = serving.artifact.machine.clone();
                 (source, name, ModelKind::ConjunctiveV2b, ModelEntry::ConjunctiveServing(serving))
@@ -723,9 +781,9 @@ impl ModelRegistry {
                 // anyway — an in-place rewrite mutates a live mapping.)
                 let mut stable = None;
                 for _ in 0..TORN_READ_RETRIES {
-                    let before = SourceFile::observe(path, mode);
-                    let serving = ServingModel::from_file(path)?;
-                    let after = SourceFile::observe(path, mode);
+                    let before = SourceFile::observe(io, path, mode);
+                    let serving = ServingModel::from_file(io, path)?;
+                    let after = SourceFile::observe(io, path, mode);
                     if before.mtime == after.mtime && before.len == after.len {
                         stable = Some((before, serving));
                         break;
@@ -738,10 +796,12 @@ impl ModelRegistry {
             }
         };
         let fingerprint = entry_fingerprint(&model);
-        if let Some(expected) = crate::fingerprint::read_sidecar(path)? {
-            if expected != fingerprint {
+        if let Some(sidecar) = crate::fingerprint::read_sidecar_with(io, path)? {
+            let key = self.signing_key.lock().expect("signing key lock").clone();
+            sidecar.verify(key.as_deref())?;
+            if sidecar.fingerprint != fingerprint {
                 return Err(ArtifactError::FingerprintMismatch {
-                    expected,
+                    expected: sidecar.fingerprint,
                     computed: fingerprint,
                 });
             }
@@ -768,7 +828,7 @@ impl ModelRegistry {
     /// Propagates I/O and codec failures; the registry is left unchanged on
     /// error.
     pub fn load_file(&self, path: impl AsRef<Path>) -> Result<Arc<RegistryEntry>, ArtifactError> {
-        Ok(self.install_loaded(Self::load_path(path.as_ref(), LoadMode::Full)?))
+        Ok(self.install_loaded(self.load_path(path.as_ref(), LoadMode::Full)?))
     }
 
     /// Loads a `v2b` artifact file as a serve-only entry: the bytes are
@@ -789,7 +849,7 @@ impl ModelRegistry {
         &self,
         path: impl AsRef<Path>,
     ) -> Result<Arc<RegistryEntry>, ArtifactError> {
-        Ok(self.install_loaded(Self::load_path(path.as_ref(), LoadMode::Serving)?))
+        Ok(self.install_loaded(self.load_path(path.as_ref(), LoadMode::Serving)?))
     }
 
     /// [`ModelRegistry::load_file_serving`] through `mmap(2)` where the
@@ -810,7 +870,7 @@ impl ModelRegistry {
         &self,
         path: impl AsRef<Path>,
     ) -> Result<Arc<RegistryEntry>, ArtifactError> {
-        Ok(self.install_loaded(Self::load_path(path.as_ref(), LoadMode::Mapped)?))
+        Ok(self.install_loaded(self.load_path(path.as_ref(), LoadMode::Mapped)?))
     }
 
     /// [`ModelRegistry::load_file_serving`] over an in-memory buffer (e.g. a
@@ -891,7 +951,7 @@ impl ModelRegistry {
             .source
             .as_ref()
             .ok_or_else(|| not_found(name, "entry has no source file"))?;
-        let loaded = Self::load_path(&source.path, source.mode)?;
+        let loaded = self.load_path(&source.path, source.mode)?;
         let reloaded = self.try_write(|entries, generation| {
             // Only replace the exact generation the reload decision was
             // made against; a concurrent swap or load is fresher than the
@@ -961,6 +1021,7 @@ impl ModelRegistry {
             match gate {
                 Gate::Quarantined => {
                     palmed_obs::counter!("serve.registry.refresh.quarantined").inc();
+                    outcome.quarantine_skipped.push(entry.name.clone());
                     continue;
                 }
                 Gate::Backoff => {
@@ -970,13 +1031,15 @@ impl ModelRegistry {
                 }
                 Gate::Attempt => {}
             }
-            if !source.is_stale() {
+            if !source.is_stale(self.io.as_ref()) {
                 self.with_health(|health| {
                     let state = health.entry(entry.name.clone()).or_default();
                     state.consecutive_failures = 0;
                     state.last_status = RefreshStatus::Current;
                     state.last_error = None;
                 });
+                palmed_obs::counter!("serve.registry.refresh.clean").inc();
+                outcome.clean.push(entry.name.clone());
                 continue;
             }
             match self.reload_file(&entry.name) {
@@ -1071,8 +1134,15 @@ impl ModelRegistry {
     /// # Errors
     ///
     /// Every [`ModelRegistry::reload_file`] failure; the installed entry
-    /// keeps serving either way.
+    /// keeps serving either way.  A name that is not registered or has no
+    /// watched source fails up front *without* touching the health table —
+    /// readmitting a memory-only entry must not leave a phantom failure
+    /// record behind.
     pub fn readmit(&self, name: &str) -> Result<Arc<RegistryEntry>, ArtifactError> {
+        let entry = self.get(name).ok_or_else(|| not_found(name, "no such entry"))?;
+        if entry.source.is_none() {
+            return Err(not_found(name, "entry has no source file"));
+        }
         self.with_health(|health| {
             health.insert(name.to_string(), HealthState::default());
         });
@@ -1172,21 +1242,27 @@ fn entry_fingerprint(model: &ModelEntry) -> u64 {
 /// lengths) disagree; the read is retried up to [`TORN_READ_RETRIES`] times
 /// and then rejected as [`ArtifactError::TornRead`] — possibly-interleaved
 /// bytes are discarded even if they happen to validate.
-fn read_stable(path: &Path, mode: LoadMode) -> Result<(SourceFile, Vec<u8>), ArtifactError> {
-    read_stable_with(path, mode, |path| Ok(std::fs::read(path)?))
+fn read_stable(
+    io: &dyn ArtifactIo,
+    path: &Path,
+    mode: LoadMode,
+) -> Result<(SourceFile, Vec<u8>), ArtifactError> {
+    read_stable_with(io, path, mode, |path| Ok(io.read(path)?))
 }
 
 /// [`read_stable`] over an injectable reader (unit tests race the reader
-/// against simulated writers without real filesystem timing).
+/// against simulated writers without real filesystem timing; stats still go
+/// through `io`).
 fn read_stable_with(
+    io: &dyn ArtifactIo,
     path: &Path,
     mode: LoadMode,
     mut read: impl FnMut(&Path) -> Result<Vec<u8>, ArtifactError>,
 ) -> Result<(SourceFile, Vec<u8>), ArtifactError> {
     for attempt in 1..=TORN_READ_RETRIES {
-        let before = SourceFile::observe(path, mode);
+        let before = SourceFile::observe(io, path, mode);
         let bytes = read(path)?;
-        let after = SourceFile::observe(path, mode);
+        let after = SourceFile::observe(io, path, mode);
         if before.mtime == after.mtime
             && before.len == after.len
             && bytes.len() as u64 == before.len
@@ -1553,7 +1629,7 @@ mod tests {
         // A reader that rewrites the file once mid-read: first attempt is
         // torn, the retry succeeds.
         let mut first = true;
-        let (source, bytes) = read_stable_with(&path, LoadMode::Full, |p| {
+        let (source, bytes) = read_stable_with(&RealIo, &path, LoadMode::Full, |p| {
             let bytes = std::fs::read(p)?;
             if first {
                 first = false;
@@ -1567,7 +1643,7 @@ mod tests {
 
         // A writer racing every read exhausts the retries.
         let mut flip = false;
-        let torn = read_stable_with(&path, LoadMode::Full, |p| {
+        let torn = read_stable_with(&RealIo, &path, LoadMode::Full, |p| {
             let bytes = std::fs::read(p)?;
             flip = !flip;
             std::fs::write(p, if flip { &b"aaaa"[..] } else { &b"bbbbbb"[..] }).unwrap();
@@ -1581,7 +1657,7 @@ mod tests {
         // Read errors propagate as-is, without retrying into TornRead.
         let missing = dir.join("palmed-serve-registry-torn-missing.bin");
         assert!(matches!(
-            read_stable_with(&missing, LoadMode::Full, |p| Ok(std::fs::read(p)?)),
+            read_stable_with(&RealIo, &missing, LoadMode::Full, |p| Ok(std::fs::read(p)?)),
             Err(ArtifactError::Io(_))
         ));
         std::fs::remove_file(&path).ok();

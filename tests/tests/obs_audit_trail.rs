@@ -6,36 +6,19 @@
 //! the ROADMAP gated on: an alerting pipe that tails the event log sees the
 //! whole incident without scraping logs.
 //!
+//! The on-disk choreography is `palmed_integration_tests::incident`, the
+//! same scaffolding `registry_quarantine.rs` runs — this suite only layers
+//! the obs assertions on top.
+//!
 //! Lives in its own test binary because it arms the global obs flag and
 //! drains the global event rings.
 
-use palmed_core::ConjunctiveMapping;
-use palmed_isa::{InstId, InstructionSet};
+use palmed_integration_tests::incident::{poll_until_quarantined, WatchedArtifact};
 use palmed_obs::FieldValue;
 use palmed_serve::registry::QUARANTINE_AFTER;
-use palmed_serve::{ModelArtifact, ModelRegistry};
-use std::path::PathBuf;
+use palmed_serve::ModelRegistry;
 
 const NAME: &str = "obs-audit-e2e";
-
-fn artifact() -> ModelArtifact {
-    let mut mapping = ConjunctiveMapping::with_resources(2);
-    mapping.set_usage(InstId(0), vec![0.25, 0.0]);
-    mapping.set_usage(InstId(2), vec![0.5, 1.0 / 3.0]);
-    ModelArtifact::new(NAME, "integration-test", InstructionSet::paper_example(), mapping)
-}
-
-fn scratch_file(name: &str) -> PathBuf {
-    let path = std::env::temp_dir().join(name);
-    std::fs::remove_file(&path).ok();
-    std::fs::remove_file({
-        let mut fp = path.clone();
-        fp.as_mut_os_string().push(".fp");
-        fp
-    })
-    .ok();
-    path
-}
 
 /// The names of the drained events touching our registry key, in sequence
 /// order.
@@ -52,30 +35,21 @@ fn incident_events(events: &[palmed_obs::Event]) -> Vec<&'static str> {
 #[test]
 fn corrupt_then_restore_leaves_a_complete_structured_audit_trail() {
     palmed_obs::set_enabled(true);
-    let path = scratch_file("palmed-it-obs-audit.palmed2");
-    let good = artifact();
-    good.save_v2_with_fingerprint(&path).unwrap();
+    let watched = WatchedArtifact::save(NAME, "palmed-it-obs-audit.palmed2", 0.5);
 
     let before = palmed_obs::snapshot();
     let _ = palmed_obs::drain_events(); // discard anything buffered before the incident
 
     // Load, corrupt, poll to quarantine, restore, readmit.
     let registry = ModelRegistry::new();
-    registry.load_file_serving(&path).unwrap();
-    std::fs::write(&path, b"PALMED-MODEL v2b\ncorrupted body").unwrap();
-    let mut polls = 0u32;
-    loop {
-        polls += 1;
-        assert!(polls < 64, "quarantine must engage within bounded polls");
-        if !registry.refresh().quarantined.is_empty() {
-            break;
-        }
-    }
+    registry.load_file_serving(&watched.path).unwrap();
+    watched.corrupt();
+    let polls = poll_until_quarantined(&registry, NAME, |_, _| {}).polls;
     let quiet_polls = 2u32;
     for _ in 0..quiet_polls {
         assert!(registry.refresh().is_quiet(), "quarantined entries are not polled");
     }
-    good.save_v2(&path).unwrap();
+    watched.restore();
     registry.readmit(NAME).unwrap();
 
     // --- The event log tells the whole story, in order. ---
@@ -153,9 +127,4 @@ fn corrupt_then_restore_leaves_a_complete_structured_audit_trail() {
             + delta("serve.registry.refresh.quarantined"),
         "every poll either attempted (and failed), backed off, or was quarantined"
     );
-
-    std::fs::remove_file(&path).ok();
-    let mut fp_path = path;
-    fp_path.as_mut_os_string().push(".fp");
-    std::fs::remove_file(&fp_path).ok();
 }

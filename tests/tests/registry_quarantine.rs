@@ -5,93 +5,63 @@
 //! repeated failures, and — once an operator readmits it — recover to a
 //! model whose determinism fingerprint matches the sidecar recorded at
 //! save time.
+//!
+//! The on-disk choreography (save, corrupt, poll, restore) lives in
+//! `palmed_integration_tests::incident` and is shared with the obs audit
+//! trail and fault-injection suites.
 
-use palmed_core::ConjunctiveMapping;
-use palmed_isa::{InstId, InstructionSet, Microkernel};
+use palmed_integration_tests::incident::{poll_until_quarantined, WatchedArtifact};
 use palmed_serve::registry::QUARANTINE_AFTER;
-use palmed_serve::{
-    read_sidecar, ModelArtifact, ModelEntry, ModelRegistry, RefreshStatus,
-};
-use std::path::PathBuf;
-
-fn artifact(usage: f64) -> ModelArtifact {
-    let mut mapping = ConjunctiveMapping::with_resources(2);
-    mapping.set_usage(InstId(0), vec![0.25, 0.0]);
-    mapping.set_usage(InstId(2), vec![usage, 1.0 / 3.0]);
-    ModelArtifact::new("quarantine-e2e", "integration-test", InstructionSet::paper_example(), mapping)
-}
-
-/// The exact bits the registry's current entry predicts for `kernel`.
-fn served_bits(registry: &ModelRegistry, kernel: &Microkernel) -> u64 {
-    let entry = registry.get("quarantine-e2e").expect("entry never disappears");
-    let ipcs = match entry.model() {
-        ModelEntry::Conjunctive(m) => m.batch().predict(std::slice::from_ref(kernel)).ipcs,
-        ModelEntry::ConjunctiveServing(m) => m.batch().predict(std::slice::from_ref(kernel)).ipcs,
-        ModelEntry::Disjunctive(m) => m.batch().predict(std::slice::from_ref(kernel)).ipcs,
-    };
-    ipcs[0].expect("probe kernel is covered").to_bits()
-}
-
-fn scratch_file(name: &str) -> PathBuf {
-    let path = std::env::temp_dir().join(name);
-    std::fs::remove_file(&path).ok();
-    std::fs::remove_file({
-        let mut fp = path.clone();
-        fp.as_mut_os_string().push(".fp");
-        fp
-    })
-    .ok();
-    path
-}
+use palmed_serve::{read_sidecar, ModelRegistry, RefreshStatus};
 
 #[test]
 fn corruption_never_degrades_serving_and_readmit_restores_the_fingerprint() {
-    let path = scratch_file("palmed-it-quarantine.palmed2");
-    let good = artifact(0.5);
-    let recorded_fp = good.save_v2_with_fingerprint(&path).unwrap();
-    assert_eq!(read_sidecar(&path).unwrap(), Some(recorded_fp), "sidecar records the fingerprint");
+    let watched = WatchedArtifact::save("quarantine-e2e", "palmed-it-quarantine.palmed2", 0.5);
+    assert_eq!(
+        read_sidecar(&watched.path).unwrap(),
+        Some(watched.recorded_fp),
+        "sidecar records the fingerprint"
+    );
 
     let registry = ModelRegistry::new();
-    let entry = registry.load_file_serving(&path).unwrap();
-    assert_eq!(entry.fingerprint(), recorded_fp, "load verifies and adopts the sidecar value");
+    let entry = registry.load_file_serving(&watched.path).unwrap();
+    assert_eq!(
+        entry.fingerprint(),
+        watched.recorded_fp,
+        "load verifies and adopts the sidecar value"
+    );
     let first_generation = entry.generation();
 
-    let kernel = Microkernel::pair(InstId(2), 3, InstId(0), 1);
-    let baseline = served_bits(&registry, &kernel);
+    let kernel = WatchedArtifact::probe_kernel();
+    let baseline = watched.served_bits(&registry, &kernel);
 
-    // Corrupt the watched file in place (valid magic, garbage body — the
-    // shape of a torn or botched deploy).
-    std::fs::write(&path, b"PALMED-MODEL v2b\ncorrupted body").unwrap();
+    watched.corrupt();
 
     // Poll until quarantine engages.  Exactly QUARANTINE_AFTER reload
     // attempts fail; exponential backoff makes the total poll count larger
     // than the failure count; and every single poll keeps serving the last
     // good generation bit-identically.
-    let mut failures = 0u32;
-    let mut backoff_polls = 0u32;
-    let mut polls = 0u32;
-    loop {
-        polls += 1;
-        assert!(polls < 64, "quarantine must engage within bounded polls");
-        let outcome = registry.refresh();
+    let stats = poll_until_quarantined(&registry, &watched.name, |poll, outcome| {
         assert!(outcome.reloaded.is_empty(), "corrupt bytes must never be promoted");
-        failures += outcome.errors.len() as u32;
-        backoff_polls += outcome.backed_off.len() as u32;
-        assert_eq!(served_bits(&registry, &kernel), baseline, "serving degraded during poll {polls}");
-        assert_eq!(registry.get("quarantine-e2e").unwrap().generation(), first_generation);
-        if !outcome.quarantined.is_empty() {
-            assert_eq!(outcome.quarantined, vec!["quarantine-e2e".to_string()]);
-            break;
-        }
-    }
-    assert_eq!(failures, QUARANTINE_AFTER, "every failure before quarantine is reported once");
-    assert!(backoff_polls > 0, "exponential backoff must skip polls between attempts");
-    assert_eq!(polls, QUARANTINE_AFTER + backoff_polls, "every poll either attempts or backs off");
+        assert_eq!(
+            watched.served_bits(&registry, &kernel),
+            baseline,
+            "serving degraded during poll {poll}"
+        );
+        assert_eq!(registry.get(&watched.name).unwrap().generation(), first_generation);
+    });
+    assert_eq!(stats.failures, QUARANTINE_AFTER, "every failure before quarantine is reported once");
+    assert!(stats.backoff_polls > 0, "exponential backoff must skip polls between attempts");
+    assert_eq!(
+        stats.polls,
+        QUARANTINE_AFTER + stats.backoff_polls,
+        "every poll either attempts or backs off"
+    );
 
     // Quarantined: the registry stops hammering the file entirely.
     let outcome = registry.refresh();
     assert!(outcome.is_quiet() && outcome.backed_off.is_empty());
-    let health = registry.health().into_iter().find(|h| h.name == "quarantine-e2e").unwrap();
+    let health = registry.health().into_iter().find(|h| h.name == watched.name).unwrap();
     assert!(health.quarantined);
     assert_eq!(health.status, RefreshStatus::Quarantined);
     assert_eq!(health.consecutive_failures, QUARANTINE_AFTER);
@@ -99,28 +69,27 @@ fn corruption_never_degrades_serving_and_readmit_restores_the_fingerprint() {
 
     // Restore the original bytes (and sidecar — still on disk).  Quarantine
     // sticks until an operator explicitly readmits.
-    good.save_v2(&path).unwrap();
+    watched.restore();
     assert!(registry.refresh().is_quiet(), "restoration alone does not lift quarantine");
-    assert_eq!(served_bits(&registry, &kernel), baseline);
+    assert_eq!(watched.served_bits(&registry, &kernel), baseline);
 
-    let readmitted = registry.readmit("quarantine-e2e").unwrap();
+    let readmitted = registry.readmit(&watched.name).unwrap();
     assert!(readmitted.generation() > first_generation, "readmit promotes a fresh generation");
     assert_eq!(
         readmitted.fingerprint(),
-        recorded_fp,
+        watched.recorded_fp,
         "the recovered model fingerprints identically to the one recorded at save time"
     );
-    assert_eq!(served_bits(&registry, &kernel), baseline, "recovered model predicts identically");
-    let health = registry.health().into_iter().find(|h| h.name == "quarantine-e2e").unwrap();
+    assert_eq!(
+        watched.served_bits(&registry, &kernel),
+        baseline,
+        "recovered model predicts identically"
+    );
+    let health = registry.health().into_iter().find(|h| h.name == watched.name).unwrap();
     assert!(!health.quarantined);
     assert_eq!(health.status, RefreshStatus::Reloaded);
     assert_eq!(health.consecutive_failures, 0);
 
     // Normal polling resumes quietly.
     assert!(registry.refresh().is_quiet());
-
-    std::fs::remove_file(&path).ok();
-    let mut fp_path = path;
-    fp_path.as_mut_os_string().push(".fp");
-    std::fs::remove_file(&fp_path).ok();
 }
