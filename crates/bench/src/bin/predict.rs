@@ -30,7 +30,12 @@
 //! 8. assert the `palmed-obs` snapshot (the walk runs with observability
 //!    enabled) covers all three subsystems: trainer counters, serving
 //!    dedup hits and latency histogram, registry install/swap/refresh
-//!    counters plus exactly one `registry.swap` event.
+//!    counters plus exactly one `registry.swap` event;
+//! 9. round-trip the same corpus over the wire (Linux): spawn a
+//!    [`palmed_wire::WireServer`] on a UNIX socket, serve the probe corpus
+//!    through a `PALMED-WIRE v1` request frame, and require bit-identity
+//!    with the in-process predictions plus fingerprint equality through
+//!    the admin health frame.
 //!
 //! Usage: `cargo run --release -p palmed-bench --bin predict -- \
 //!     [--full] [--blocks N] [--out DIR]`
@@ -81,7 +86,7 @@ fn main() {
     let config = if full { PalmedConfig::evaluation() } else { PalmedConfig::small() };
 
     // ---- 1. One-time inference. ----
-    println!("[1/8] inferring a mapping for `{}`...", preset.name());
+    println!("[1/9] inferring a mapping for `{}`...", preset.name());
     let measurer = MemoizingMeasurer::new(AnalyticMeasurer::new(preset.mapping_arc()));
     let start = Instant::now();
     let inferred = Palmed::new(config).infer(&measurer);
@@ -102,7 +107,7 @@ fn main() {
     );
     artifact.save(&model_path).expect("artifact saves");
     let bytes = std::fs::metadata(&model_path).map(|m| m.len()).unwrap_or(0);
-    println!("[2/8] saved model artifact to {} ({bytes} bytes)", model_path.display());
+    println!("[2/9] saved model artifact to {} ({bytes} bytes)", model_path.display());
     let registry = ModelRegistry::new();
     let entry = registry.load_file(&model_path).expect("artifact reloads with a valid checksum");
     let served = entry.served().expect("v1 loads install full entries");
@@ -166,7 +171,7 @@ fn main() {
     let corpus = Corpus::load(&corpus_path, &served.artifact.instructions)
         .expect("corpus reloads against the artifact's own instruction set");
     println!(
-        "[3/8] corpus of {} blocks written and reloaded from {}",
+        "[3/9] corpus of {} blocks written and reloaded from {}",
         corpus.len(),
         corpus_path.display()
     );
@@ -181,7 +186,7 @@ fn main() {
     let served_in = start.elapsed();
     let covered = result.ipcs.iter().flatten().count();
     println!(
-        "[4/8] ingested {} blocks ({} distinct) in {:.2?}; served in {:.2?} — \
+        "[4/9] ingested {} blocks ({} distinct) in {:.2?}; served in {:.2?} — \
          {:.0} blocks/s steady state, {covered} covered",
         corpus.len(),
         prepared.distinct(),
@@ -245,7 +250,7 @@ fn main() {
     let palmed = evaluate_tool(&served.compiled, &eval_blocks, &native_ipcs);
     let uops = palmed_baselines::UopsStylePredictor::new(preset.mapping_arc());
     let uops_metrics = evaluate_tool(&uops, &eval_blocks, &native_ipcs);
-    println!("[5/8] accuracy vs the native machine:");
+    println!("[5/9] accuracy vs the native machine:");
     println!("      tool            coverage   RMS err   Kendall tau");
     for (name, m) in [("palmed (served)", palmed), ("uops-style", uops_metrics)] {
         println!(
@@ -282,7 +287,7 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "[6/8] disjunctive artifact `{}` ({} kind) reloaded; {} corpus predictions \
+        "[6/9] disjunctive artifact `{}` ({} kind) reloaded; {} corpus predictions \
          bit-identical to the freshly-trained mapping",
         disj_entry.name(),
         disj_entry.kind(),
@@ -391,7 +396,7 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "[7/8] determinism fingerprint {reference:016x} identical across {} load modes; \
+        "[7/9] determinism fingerprint {reference:016x} identical across {} load modes; \
          sidecar recorded and registry-verified at {}",
         modes.len(),
         fp_path.display()
@@ -440,10 +445,118 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "[8/8] obs snapshot: {} metrics across trainer ({benchmarks} benchmarks, \
+        "[8/9] obs snapshot: {} metrics across trainer ({benchmarks} benchmarks, \
          {pivots} simplex pivots), serving ({serves} batch serves, {dedup_hits} dedup hits) \
          and registry; {} events drained, exactly one registry.swap",
         snapshot.counters.len() + snapshot.gauges.len() + snapshot.histograms.len(),
         events.len()
     );
+
+    // ---- 9. The wire front-end: the same corpus over a UNIX socket. ----
+    wire_round_trip(&model_path, preset.name(), &corpus_path, &result.ipcs, reference, &out);
+}
+
+/// Serves the probe corpus over a real `PALMED-WIRE v1` UNIX socket and
+/// requires bit-identity with the in-process predictions, plus fingerprint
+/// equality through the admin health frame.
+#[cfg(target_os = "linux")]
+fn wire_round_trip(
+    model_path: &std::path::Path,
+    model: &str,
+    corpus_path: &std::path::Path,
+    in_process: &[Option<f64>],
+    reference: u64,
+    out: &std::path::Path,
+) {
+    use palmed_wire::{Engine, Frame, Limits, WireClient, WireServer};
+    use std::sync::Arc;
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load_file(model_path).expect("wire registry reloads the saved artifact");
+    let limits = Limits { max_payload: 16 << 20, ..Limits::default() };
+    let socket = out.join("wire.sock");
+    let server = WireServer::bind(&socket, Engine::new(Arc::clone(&registry)), limits)
+        .expect("wire server binds");
+    let stop = server.stop_handle();
+    let handle = std::thread::spawn(move || server.run());
+    // The socket is bound before the thread spawns; retry only rides out
+    // accept-queue startup.
+    let mut client = loop {
+        match WireClient::connect(&socket) {
+            Ok(client) => break client,
+            Err(_) => std::thread::yield_now(),
+        }
+    };
+
+    let corpus_text = std::fs::read_to_string(corpus_path).expect("corpus rereads");
+    let start = Instant::now();
+    let reply = client
+        .call(&Frame::Request { req_id: 1, model: model.to_string(), corpus: corpus_text })
+        .expect("wire round trip");
+    let wire_in = start.elapsed();
+    let rows = match reply {
+        Frame::Response { req_id: 1, rows } => rows,
+        other => {
+            eprintln!("FATAL: wire reply was not the response to request 1: {other:?}");
+            std::process::exit(1);
+        }
+    };
+    let wire_mismatches = in_process
+        .iter()
+        .zip(&rows)
+        .filter(|(a, b)| a.map(f64::to_bits) != b.map(f64::to_bits))
+        .count();
+    if rows.len() != in_process.len() || wire_mismatches > 0 {
+        eprintln!(
+            "FATAL: wire served {} rows with {wire_mismatches} mismatches against \
+             {} in-process predictions",
+            rows.len(),
+            in_process.len()
+        );
+        std::process::exit(1);
+    }
+
+    let health = client
+        .call(&Frame::AdminRequest { req_id: 2, what: "health".to_string() })
+        .expect("admin health round trip");
+    match health {
+        Frame::AdminResponse { req_id: 2, body } => {
+            if !body.contains(&format!("\"fingerprint\":\"{reference:016x}\"")) {
+                eprintln!(
+                    "FATAL: admin health does not carry fingerprint {reference:016x}: {body}"
+                );
+                std::process::exit(1);
+            }
+        }
+        other => {
+            eprintln!("FATAL: admin health reply was not an admin response: {other:?}");
+            std::process::exit(1);
+        }
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().expect("wire server thread").expect("wire serve loop");
+    if socket.exists() {
+        eprintln!("FATAL: wire server left its socket file behind");
+        std::process::exit(1);
+    }
+    println!(
+        "[9/9] wire round trip over {}: {} blocks served in {wire_in:.2?}, bit-identical \
+         to the in-process predictions; admin health fingerprint {reference:016x}; \
+         server drained and unlinked its socket",
+        socket.display(),
+        rows.len()
+    );
+}
+
+#[cfg(not(target_os = "linux"))]
+fn wire_round_trip(
+    _model_path: &std::path::Path,
+    _model: &str,
+    _corpus_path: &std::path::Path,
+    _in_process: &[Option<f64>],
+    _reference: u64,
+    _out: &std::path::Path,
+) {
+    println!("[9/9] wire round trip skipped (the UNIX-socket front-end is Linux-only)");
 }

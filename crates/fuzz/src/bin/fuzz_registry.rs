@@ -11,6 +11,10 @@
 //! bit-identically, reloads only install verified bodies, the refresh
 //! accounting identity holds, and failure handling stays bounded.  Exits
 //! non-zero on any violation.  CI runs this on every push.
+//!
+//! `--replay <case>` re-executes one deterministic schedule verbosely
+//! (every seeded entry, scripted filesystem op and refresh outcome, in
+//! order) and exits — the one-liner printed alongside any violation.
 
 use std::process::ExitCode;
 
@@ -28,10 +32,25 @@ fn parse_flag(args: &[String], flag: &str, default: u32) -> Result<u32, String> 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: fuzz_registry [--schedules N] [--seed S]");
+        println!("usage: fuzz_registry [--schedules N] [--seed S] [--replay C]");
         println!("  --schedules N  fault schedules to run (default 1000)");
         println!("  --seed S       first deterministic case number (default 1)");
+        println!("  --replay C     verbosely re-run one deterministic schedule and exit");
         return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--replay") {
+        return match parse_flag(&args, "--replay", 0) {
+            Ok(case) => {
+                std::panic::set_hook(Box::new(|_| {}));
+                print!("{}", palmed_fuzz::registry_fuzz::replay_schedule(case));
+                let _ = std::panic::take_hook();
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fuzz_registry: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let (schedules, seed) =
         match (parse_flag(&args, "--schedules", 1000), parse_flag(&args, "--seed", 1)) {
@@ -55,6 +74,11 @@ fn main() -> ExitCode {
     } else {
         for violation in &summary.violations {
             eprintln!("fuzz_registry: VIOLATION {violation}");
+            eprintln!(
+                "fuzz_registry:   replay with: cargo run --release -p palmed-fuzz \
+                 --bin fuzz_registry -- --replay {}",
+                violation.case
+            );
         }
         ExitCode::FAILURE
     }

@@ -1,0 +1,98 @@
+//! Fixed-seed connection-schedule fuzz smoke for the wire plane.
+//!
+//! Runs `--schedules` deterministic connection schedules (default 500)
+//! against a [`palmed_wire::Connection`] behind the scripted
+//! [`palmed_fuzz::conn_fault::FaultyConn`] transport, starting from case
+//! number `--seed` (default 1).  Each schedule registers 1–2 models and
+//! scripts hostile peer behaviour — split and coalesced frames, stalls,
+//! short reads and writes, bursts past the in-flight cap, malformed
+//! frames, registry swaps mid-connection, slow-loris partials, idle gaps,
+//! half-closes and mid-frame disconnects — asserting after every pump
+//! that no panic escapes, every rejection is a structured error frame,
+//! shedding is exact, accepted requests serve bit-identically to the
+//! in-process predictor, and the connection always drains.
+//!
+//! It then runs `--decoder-iters` (default 2000) coverage-guided mutation
+//! cases against [`palmed_wire::decode_frame`] itself.  Exits non-zero on
+//! any violation.  CI runs this on every push.
+//!
+//! `--replay <case>` re-executes one deterministic connection schedule
+//! verbosely and exits — the one-liner printed alongside any violation.
+
+use std::process::ExitCode;
+
+fn parse_flag(args: &[String], flag: &str, default: u32) -> Result<u32, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|e| format!("{flag}: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: fuzz_wire [--schedules N] [--seed S] [--decoder-iters M] [--replay C]");
+        println!("  --schedules N      connection schedules to run (default 500)");
+        println!("  --seed S           first deterministic case number (default 1)");
+        println!("  --decoder-iters M  guided frame-decoder mutation cases (default 2000)");
+        println!("  --replay C         verbosely re-run one deterministic schedule and exit");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--replay") {
+        return match parse_flag(&args, "--replay", 0) {
+            Ok(case) => {
+                std::panic::set_hook(Box::new(|_| {}));
+                print!("{}", palmed_fuzz::wire_fuzz::replay_schedule(case));
+                let _ = std::panic::take_hook();
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fuzz_wire: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let parsed = (
+        parse_flag(&args, "--schedules", 500),
+        parse_flag(&args, "--seed", 1),
+        parse_flag(&args, "--decoder-iters", 2000),
+    );
+    let (schedules, seed, decoder_iters) = match parsed {
+        (Ok(schedules), Ok(seed), Ok(decoder_iters)) => (schedules, seed, decoder_iters),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("fuzz_wire: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Schedule panics are caught and reported as violations; keep the
+    // output readable.
+    std::panic::set_hook(Box::new(|_| {}));
+    let summary = palmed_fuzz::wire_fuzz::run_schedules(schedules, seed);
+    let decoder = palmed_fuzz::wire_fuzz::run_decoder_guided(decoder_iters, seed);
+    let _ = std::panic::take_hook();
+
+    println!("fuzz_wire: {summary}");
+    println!("fuzz_wire: {decoder}");
+    if summary.violations.is_empty() && decoder.violations.is_empty() {
+        println!("fuzz_wire: OK");
+        ExitCode::SUCCESS
+    } else {
+        for violation in &summary.violations {
+            eprintln!("fuzz_wire: VIOLATION {violation}");
+            eprintln!(
+                "fuzz_wire:   replay with: cargo run --release -p palmed-fuzz \
+                 --bin fuzz_wire -- --replay {}",
+                violation.case
+            );
+        }
+        for violation in &decoder.violations {
+            eprintln!("fuzz_wire: VIOLATION (decoder) {violation}");
+        }
+        ExitCode::FAILURE
+    }
+}

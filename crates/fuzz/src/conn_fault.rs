@@ -1,0 +1,220 @@
+//! A scripted fault transport for wire connections.
+//!
+//! [`FaultyConn`] implements [`palmed_wire::WireStream`] over a
+//! deterministic event queue, the connection-level sibling of
+//! [`FaultyIo`](crate::fault::FaultyIo): where that simulates a hostile
+//! *filesystem* under the registry's refresh loop, this simulates a
+//! hostile *peer and kernel* under a wire
+//! [`Connection`](palmed_wire::Connection) —
+//!
+//! * **split and coalesced frames** — each [`ConnEvent::Chunk`] is one
+//!   successful `read`, so a frame spread over many chunks exercises
+//!   partial-read resumption and many frames packed into one chunk
+//!   exercise coalesced decoding;
+//! * **short reads** — a chunk larger than the caller's buffer is
+//!   delivered across as many reads as it takes;
+//! * **stalls** — [`ConnEvent::Stall`] makes the next reads report
+//!   [`io::ErrorKind::WouldBlock`], the "nothing yet" a non-blocking
+//!   socket returns;
+//! * **half-close and hard disconnects** — [`ConnEvent::Eof`] ends the
+//!   read side cleanly (`Ok(0)`), [`ConnEvent::Disconnect`] fails both
+//!   directions from that point on, mid-frame if scripted so;
+//! * **short and stalled writes** — [`FaultyConn::write_cap`] bounds how
+//!   many bytes one `write` accepts and [`FaultyConn::write_stalls`]
+//!   refuses writes with `WouldBlock`, forcing the connection's
+//!   partial-write resumption through its paces.
+//!
+//! Everything the connection manages to write lands in
+//! [`FaultyConn::outgoing`], in order, so a schedule can decode the
+//! server's byte stream exactly as a client would.
+
+use palmed_wire::WireStream;
+use std::collections::VecDeque;
+use std::io;
+
+/// One scripted read-side event.
+#[derive(Debug, Clone)]
+pub enum ConnEvent {
+    /// Bytes that arrive together.  Chunk boundaries are read boundaries.
+    Chunk(Vec<u8>),
+    /// The next `n` reads return [`io::ErrorKind::WouldBlock`].
+    Stall(u32),
+    /// Clean half-close: reads return `Ok(0)` from here on.
+    Eof,
+    /// Hard failure: reads return [`io::ErrorKind::ConnectionReset`] and
+    /// writes [`io::ErrorKind::BrokenPipe`] from here on.
+    Disconnect,
+}
+
+/// The scripted transport.  Faults count into [`FaultyConn::injected`] so
+/// a fuzz summary can prove the schedules actually exercised them.
+#[derive(Debug, Default)]
+pub struct FaultyConn {
+    events: VecDeque<ConnEvent>,
+    /// Reads left to refuse with `WouldBlock`.
+    stalled: u32,
+    eof: bool,
+    disconnected: bool,
+    /// Largest byte count one `write` accepts (`None` = unbounded).
+    pub write_cap: Option<usize>,
+    /// Writes to refuse with `WouldBlock` before accepting bytes again.
+    pub write_stalls: u32,
+    /// Every byte the connection wrote, in order.
+    pub outgoing: Vec<u8>,
+    /// Faults delivered: stalls, short reads/writes, failed calls.
+    pub injected: u64,
+}
+
+impl FaultyConn {
+    /// An empty transport: reads `WouldBlock`, writes succeed unbounded.
+    pub fn new() -> FaultyConn {
+        FaultyConn::default()
+    }
+
+    /// Queues bytes that arrive together.
+    pub fn push_chunk(&mut self, bytes: impl Into<Vec<u8>>) {
+        self.events.push_back(ConnEvent::Chunk(bytes.into()));
+    }
+
+    /// Queues `n` `WouldBlock` reads.
+    pub fn push_stall(&mut self, n: u32) {
+        self.events.push_back(ConnEvent::Stall(n));
+    }
+
+    /// Queues a clean read-side close.
+    pub fn push_eof(&mut self) {
+        self.events.push_back(ConnEvent::Eof);
+    }
+
+    /// Queues a hard disconnect.
+    pub fn push_disconnect(&mut self) {
+        self.events.push_back(ConnEvent::Disconnect);
+    }
+
+    /// True once a scripted [`ConnEvent::Disconnect`] has been reached.
+    pub fn is_disconnected(&self) -> bool {
+        self.disconnected
+    }
+
+    /// Scripted read-side events (plus stalls) not yet delivered.
+    pub fn read_pending(&self) -> usize {
+        self.events.len() + self.stalled as usize
+    }
+
+    /// Clears the write-side faults (the read script is left alone) — what
+    /// a drain pass uses to let buffered output out.
+    pub fn clear_write_faults(&mut self) {
+        self.write_cap = None;
+        self.write_stalls = 0;
+    }
+}
+
+impl WireStream for FaultyConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.disconnected {
+            self.injected += 1;
+            return Err(io::ErrorKind::ConnectionReset.into());
+        }
+        if self.stalled > 0 {
+            self.stalled -= 1;
+            self.injected += 1;
+            return Err(io::ErrorKind::WouldBlock.into());
+        }
+        if self.eof {
+            return Ok(0);
+        }
+        loop {
+            match self.events.pop_front() {
+                Some(ConnEvent::Chunk(bytes)) => {
+                    if bytes.is_empty() {
+                        continue;
+                    }
+                    let n = bytes.len().min(buf.len());
+                    buf[..n].copy_from_slice(&bytes[..n]);
+                    if n < bytes.len() {
+                        // Short read: the rest arrives on the next call.
+                        self.injected += 1;
+                        self.events.push_front(ConnEvent::Chunk(bytes[n..].to_vec()));
+                    }
+                    return Ok(n);
+                }
+                Some(ConnEvent::Stall(n)) => {
+                    self.injected += 1;
+                    self.stalled = n.saturating_sub(1);
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                Some(ConnEvent::Eof) => {
+                    self.eof = true;
+                    return Ok(0);
+                }
+                Some(ConnEvent::Disconnect) => {
+                    self.disconnected = true;
+                    self.injected += 1;
+                    return Err(io::ErrorKind::ConnectionReset.into());
+                }
+                None => return Err(io::ErrorKind::WouldBlock.into()),
+            }
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.disconnected {
+            self.injected += 1;
+            return Err(io::ErrorKind::BrokenPipe.into());
+        }
+        if self.write_stalls > 0 {
+            self.write_stalls -= 1;
+            self.injected += 1;
+            return Err(io::ErrorKind::WouldBlock.into());
+        }
+        let n = self.write_cap.map_or(buf.len(), |cap| cap.min(buf.len()));
+        if n < buf.len() {
+            self.injected += 1;
+        }
+        self.outgoing.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_split_stall_and_close_as_scripted() {
+        let mut conn = FaultyConn::new();
+        conn.push_chunk(vec![1, 2, 3, 4, 5]);
+        conn.push_stall(2);
+        conn.push_chunk(vec![6]);
+        conn.push_eof();
+
+        let mut buf = [0u8; 3];
+        assert_eq!(conn.read(&mut buf).unwrap(), 3);
+        assert_eq!(&buf, &[1, 2, 3]);
+        // Short read: the chunk's tail survives the small buffer.
+        assert_eq!(conn.read(&mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], &[4, 5]);
+        assert_eq!(conn.read(&mut buf).unwrap_err().kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(conn.read(&mut buf).unwrap_err().kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(conn.read(&mut buf).unwrap(), 1);
+        assert_eq!(conn.read(&mut buf).unwrap(), 0, "EOF after the script");
+        assert!(conn.injected >= 3);
+    }
+
+    #[test]
+    fn writes_respect_caps_stalls_and_disconnects() {
+        let mut conn = FaultyConn::new();
+        conn.write_cap = Some(2);
+        conn.write_stalls = 1;
+        assert_eq!(conn.write(b"abcd").unwrap_err().kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(conn.write(b"abcd").unwrap(), 2);
+        assert_eq!(conn.write(b"cd").unwrap(), 2);
+        assert_eq!(conn.outgoing, b"abcd");
+
+        conn.push_disconnect();
+        let mut buf = [0u8; 4];
+        assert_eq!(conn.read(&mut buf).unwrap_err().kind(), io::ErrorKind::ConnectionReset);
+        assert!(conn.is_disconnected());
+        assert_eq!(conn.write(b"x").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+    }
+}

@@ -43,10 +43,17 @@
 //!   [`FaultyIo`](fault::FaultyIo), asserting after every step that the
 //!   last good generation keeps serving bit-identically, nothing panics,
 //!   and the refresh accounting identity holds (`fuzz_registry` bin).
+//! * [`wire_fuzz`] — whole connection schedules driven through
+//!   [`FaultyConn`](conn_fault::FaultyConn), asserting after every pump
+//!   that the wire plane's state machine sheds exactly, rejects
+//!   structurally, serves bit-identically to the in-process predictor and
+//!   always drains, plus a coverage-guided fuzz of the frame decoder
+//!   itself (`fuzz_wire` bin).
 //!
 //! Run the bounded CI smokes with `cargo run -p palmed-fuzz --bin
-//! fuzz_codecs -- --iters 10000` and `cargo run -p palmed-fuzz --bin
-//! fuzz_registry -- --schedules 1000`.
+//! fuzz_codecs -- --iters 10000`, `cargo run -p palmed-fuzz --bin
+//! fuzz_registry -- --schedules 1000` and `cargo run -p palmed-fuzz --bin
+//! fuzz_wire -- --schedules 500`.
 
 use palmed_core::ConjunctiveMapping;
 use palmed_isa::{InstId, InstructionSet, InventoryConfig, Microkernel};
@@ -61,9 +68,11 @@ use std::fmt;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+pub mod conn_fault;
 pub mod fault;
 pub mod guided;
 pub mod registry_fuzz;
+pub mod wire_fuzz;
 
 /// Magic prefixes of the binary formats, mirrored here (they are crate
 /// private in `palmed-serve`; the fuzzer needs them to re-hash trailers).

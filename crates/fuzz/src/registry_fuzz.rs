@@ -239,6 +239,16 @@ struct ScheduleStats {
     quarantines: u64,
     injected: u64,
     violations: Vec<String>,
+    /// Verbose per-step trace, populated only under `--replay`.
+    trace: Option<Vec<String>>,
+}
+
+impl ScheduleStats {
+    fn note(&mut self, line: impl FnOnce() -> String) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(line());
+        }
+    }
 }
 
 /// Checks every post-refresh invariant; appends violations to `stats`.
@@ -360,6 +370,9 @@ fn run_schedule(case: u32, stats: &mut ScheduleStats) {
     };
     registry.set_signing_key(key.clone());
     let keyed = key.is_some();
+    stats.note(|| {
+        format!("schedule: {}", if keyed { "signing key armed" } else { "unkeyed registry" })
+    });
 
     // Seed 1–3 watched entries across families, wire formats and modes.
     let mut entries: Vec<SimEntry> = Vec::new();
@@ -405,7 +418,15 @@ fn run_schedule(case: u32, stats: &mut ScheduleStats) {
             Mode::Mapped => registry.load_file_mapped(&sim.path),
         };
         match loaded {
-            Ok(entry) if entry.fingerprint() == fp && entry.name() == name => entries.push(sim),
+            Ok(entry) if entry.fingerprint() == fp && entry.name() == name => {
+                stats.note(|| {
+                    format!(
+                        "seed `{name}`: {:?}/{:?}/{:?} sidecar {:?}, fingerprint {fp:016x}",
+                        sim.family, sim.wire, sim.mode, sim.sidecar
+                    )
+                });
+                entries.push(sim);
+            }
             Ok(entry) => stats.violations.push(format!(
                 "initial load of `{name}` installed {:016x} under `{}`, expected {fp:016x}",
                 entry.fingerprint(),
@@ -432,6 +453,7 @@ fn run_schedule(case: u32, stats: &mut ScheduleStats) {
                     let (fp, bytes) = fresh_body(&sim.name, sim.family, sim.wire, &insts, &mut rng);
                     io.write(&sim.path, bytes.clone());
                     sim.target = Some((fp, bytes));
+                    stats.note(|| format!("step {step}: good rewrite of `{}` -> {fp:016x}", sim.name));
                 }
                 1 => {
                     let (fp, bytes) = fresh_body(&sim.name, sim.family, sim.wire, &insts, &mut rng);
@@ -443,6 +465,12 @@ fn run_schedule(case: u32, stats: &mut ScheduleStats) {
                         SidecarState::Unsigned(fp)
                     };
                     write_sidecar_state(&io, sim, key.as_deref());
+                    stats.note(|| {
+                        format!(
+                            "step {step}: rewrite of `{}` -> {fp:016x} with sidecar {:?}",
+                            sim.name, sim.sidecar
+                        )
+                    });
                 }
                 2 => {
                     // A sidecar that cannot verify: wrong fingerprint, or a
@@ -456,6 +484,12 @@ fn run_schedule(case: u32, stats: &mut ScheduleStats) {
                             SidecarState::Unsigned(fp ^ 0xbad_c0de)
                         };
                         write_sidecar_state(&io, sim, key.as_deref());
+                        stats.note(|| {
+                            format!(
+                                "step {step}: inadmissible sidecar {:?} for `{}`",
+                                sim.sidecar, sim.name
+                            )
+                        });
                     }
                 }
                 3 => {
@@ -466,20 +500,32 @@ fn run_schedule(case: u32, stats: &mut ScheduleStats) {
                             let torn = bytes[..(bytes.len() / 2).max(1)].to_vec();
                             io.write(&sim.path, torn);
                             sim.target = None;
+                            stats.note(|| format!("step {step}: truncate `{}` mid-file", sim.name));
                         }
                         _ => {}
                     }
                 }
                 4 => {
                     let (fp, bytes) = fresh_body(&sim.name, sim.family, sim.wire, &insts, &mut rng);
-                    io.write_torn(&sim.path, bytes.clone(), rng.usize_in(1, 4) as u32);
+                    let polls = rng.usize_in(1, 4) as u32;
+                    io.write_torn(&sim.path, bytes.clone(), polls);
                     sim.target = Some((fp, bytes));
+                    stats.note(|| {
+                        format!(
+                            "step {step}: torn rewrite of `{}` -> {fp:016x} ({polls} settle polls)",
+                            sim.name
+                        )
+                    });
                 }
                 5 => {
                     io.remove(&sim.path);
                     sim.target = None;
+                    stats.note(|| format!("step {step}: delete `{}`", sim.name));
                 }
-                6 => io.flap_mtime(&sim.path),
+                6 => {
+                    io.flap_mtime(&sim.path);
+                    stats.note(|| format!("step {step}: mtime flap on `{}`", sim.name));
+                }
                 7 => {
                     let fault = match rng.usize_in(0, 3) {
                         0 => Fault::StatError,
@@ -488,19 +534,42 @@ fn run_schedule(case: u32, stats: &mut ScheduleStats) {
                         _ => Fault::MtimeFlap,
                     };
                     io.arm(&sim.path, fault);
+                    stats.note(|| format!("step {step}: arm {fault:?} on `{}`", sim.name));
                 }
                 8 => {
                     let ok = registry.readmit(&sim.name).is_ok();
+                    stats.note(|| {
+                        format!(
+                            "step {step}: readmit `{}` -> {}",
+                            sim.name,
+                            if ok { "ok" } else { "rejected" }
+                        )
+                    });
                     note_forced_reload(sim, ok, "readmit", keyed, stats);
                 }
                 _ => {
                     let ok = registry.reload_file(&sim.name).is_ok();
+                    stats.note(|| {
+                        format!(
+                            "step {step}: reload_file `{}` -> {}",
+                            sim.name,
+                            if ok { "ok" } else { "rejected" }
+                        )
+                    });
                     note_forced_reload(sim, ok, "reload_file", keyed, stats);
                 }
             }
         }
         stats.steps += 1;
         let outcome = registry.refresh();
+        stats.note(|| {
+            format!(
+                "step {step}: refresh -> {} reloaded, {} errors, {} quarantined",
+                outcome.reloaded.len(),
+                outcome.errors.len(),
+                outcome.quarantined.len()
+            )
+        });
         let before = stats.violations.len();
         check_step(&registry, &mut entries, &outcome, keyed, stats);
         for violation in &mut stats.violations[before..] {
@@ -544,6 +613,36 @@ pub fn run_schedules(n: u32, seed: u32) -> RegistryFuzzSummary {
     summary
 }
 
+/// Re-runs one deterministic fault schedule verbosely — the triage view
+/// behind `fuzz_registry --replay <case>`: every seeded entry, every
+/// scripted filesystem op and every refresh outcome is rendered in order,
+/// followed by any invariant violations.
+pub fn replay_schedule(case: u32) -> String {
+    use std::fmt::Write;
+    let mut stats = ScheduleStats { trace: Some(Vec::new()), ..ScheduleStats::default() };
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_schedule(case, &mut stats)));
+    let mut out = String::new();
+    let _ = writeln!(out, "replay registry schedule case {case}");
+    for line in stats.trace.as_deref().unwrap_or_default() {
+        let _ = writeln!(out, "  {line}");
+    }
+    let _ = writeln!(
+        out,
+        "  {} steps, {} reloads, {} reload errors, {} quarantines, {} faults injected",
+        stats.steps, stats.reloads, stats.reload_errors, stats.quarantines, stats.injected
+    );
+    for violation in &stats.violations {
+        let _ = writeln!(out, "  VIOLATION {violation}");
+    }
+    if outcome.is_err() {
+        let _ = writeln!(out, "  VIOLATION panic during schedule");
+    }
+    if stats.violations.is_empty() && outcome.is_ok() {
+        let _ = writeln!(out, "  OK");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,6 +670,15 @@ mod tests {
         assert_eq!(first.reload_errors, second.reload_errors);
         assert_eq!(first.quarantines, second.quarantines);
         assert_eq!(first.injected_faults, second.injected_faults);
+    }
+
+    #[test]
+    fn replaying_a_schedule_traces_its_history() {
+        let out = replay_schedule(42);
+        assert!(out.contains("replay registry schedule case 42"), "{out}");
+        assert!(out.contains("schedule:"), "the setup line must render: {out}");
+        assert!(out.contains("refresh ->"), "refresh outcomes must render: {out}");
+        assert!(out.contains("OK") || out.contains("VIOLATION"), "{out}");
     }
 
     #[test]

@@ -74,6 +74,15 @@
 //! | `serve.registry.refresh.backed_off` | C | polls skipped inside backoff |
 //! | `serve.registry.refresh.quarantined` | C | polls skipped while quarantined |
 //! | `serve.registry.entries` | G | entries in the current snapshot |
+//! | `wire.connections` | C | wire connections opened |
+//! | `wire.requests` | C | request/admin frames accepted in-flight |
+//! | `wire.responses` | C | response/admin-response frames written |
+//! | `wire.errors` | C | structured error frames written |
+//! | `wire.shed.busy` | C | frames shed with `server-busy` at the in-flight cap |
+//! | `wire.poisoned` | C | connections poisoned by a malformed frame |
+//! | `wire.timeouts.deadline` | C | partial frames that hit the receive deadline |
+//! | `wire.timeouts.idle` | C | connections closed by the idle timeout |
+//! | `wire.request_ns` | H | wall time from accepted request to queued reply |
 //! | `eval.machines` | C | campaign machines evaluated |
 //! | `eval.suites` | C | benchmark suites scored |
 //! | `eval.blocks` | C | basic blocks scored across suites |

@@ -9,8 +9,12 @@
 //! buffer ([`ModelKind::sniff`]) keys on the magic first bytes, with the v1
 //! text form as the magic-less fallback.
 //!
-//! Every binary codec shares the same skeleton, factored here (the helpers
-//! are crate-internal; only the kind tag and migration are public API):
+//! Every binary codec shares the same skeleton, factored here.  The framing
+//! primitives — [`finish_trailer`]/[`verify_trailer`], the `push_*` writers
+//! and the [`Cursor`] validate-pass reader — are public so out-of-crate
+//! binary formats (notably the `palmed-wire` network frames) get the exact
+//! same discipline; the family-specific section readers stay
+//! crate-internal:
 //!
 //! * a magic line, then length-prefixed little-endian sections;
 //! * an FNV-1a-64 trailer over 8-byte words ([`crate::checksum`]), appended
@@ -122,7 +126,7 @@ pub(crate) fn verify_for<C: ArtifactCodec>(bytes: &[u8]) -> Result<&[u8], Artifa
 }
 
 /// Appends the strided-word FNV trailer to a finished binary body.
-pub(crate) fn finish_trailer(mut body: Vec<u8>) -> Vec<u8> {
+pub fn finish_trailer(mut body: Vec<u8>) -> Vec<u8> {
     let checksum = fnv1a64_words(&body);
     body.extend_from_slice(&checksum.to_le_bytes());
     body
@@ -133,7 +137,7 @@ pub(crate) fn finish_trailer(mut body: Vec<u8>) -> Vec<u8> {
 ///
 /// This is the first step of every binary validate pass, shared so
 /// corruption and truncation are rejected identically across codecs.
-pub(crate) fn verify_trailer<'a>(
+pub fn verify_trailer<'a>(
     bytes: &'a [u8],
     magic: &[u8],
 ) -> Result<&'a [u8], ArtifactError> {
@@ -153,18 +157,18 @@ pub(crate) fn verify_trailer<'a>(
 }
 
 /// Appends a little-endian `u32`.
-pub(crate) fn push_u32(out: &mut Vec<u8>, v: u32) {
+pub fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Appends a length-prefixed UTF-8 string (`u32` byte length + bytes).
-pub(crate) fn push_str(out: &mut Vec<u8>, s: &str) {
+pub fn push_str(out: &mut Vec<u8>, s: &str) {
     push_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
 /// Appends an `f64` as its raw little-endian bit pattern.
-pub(crate) fn push_f64(out: &mut Vec<u8>, v: f64) {
+pub fn push_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
@@ -261,24 +265,24 @@ pub(crate) fn f64_at(bytes: &[u8], range: &Range<usize>, i: usize) -> f64 {
 /// validate-pass workhorse of every binary codec.  Lengths are checked
 /// against the remaining byte budget *before* the allocation they would
 /// drive, because the trailer is integrity, not authentication.
-pub(crate) struct Cursor<'a> {
+pub struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
     /// Starts a cursor over `bytes` just past the magic prefix.
-    pub(crate) fn after_magic(bytes: &'a [u8], magic: &[u8]) -> Self {
+    pub fn after_magic(bytes: &'a [u8], magic: &[u8]) -> Self {
         Cursor { bytes, pos: magic.len() }
     }
 
     /// An offset-tagged malformed-binary error at the current position.
-    pub(crate) fn bad(&self, reason: impl Into<String>) -> ArtifactError {
+    pub fn bad(&self, reason: impl Into<String>) -> ArtifactError {
         ArtifactError::MalformedBinary { offset: self.pos, reason: reason.into() }
     }
 
     /// Takes the next `n` bytes, or errors with what was being read.
-    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ArtifactError> {
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ArtifactError> {
         if n > self.bytes.len() - self.pos {
             return Err(self.bad(format!(
                 "{what} needs {n} bytes but only {} remain",
@@ -292,19 +296,19 @@ impl<'a> Cursor<'a> {
 
     /// Like [`Cursor::take`], but returns the byte range instead of the
     /// slice — what a zero-copy index stores.
-    pub(crate) fn take_range(&mut self, n: usize, what: &str) -> Result<Range<usize>, ArtifactError> {
+    pub fn take_range(&mut self, n: usize, what: &str) -> Result<Range<usize>, ArtifactError> {
         let start = self.pos;
         self.take(n, what)?;
         Ok(start..start + n)
     }
 
     /// Reads a little-endian `u32`.
-    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, ArtifactError> {
+    pub fn u32(&mut self, what: &str) -> Result<u32, ArtifactError> {
         Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
     }
 
     /// Reads a length-prefixed UTF-8 string.
-    pub(crate) fn str(&mut self, what: &str) -> Result<&'a str, ArtifactError> {
+    pub fn str(&mut self, what: &str) -> Result<&'a str, ArtifactError> {
         let len = self.u32(what)? as usize;
         let start = self.pos;
         let bytes = self.take(len, what)?;
@@ -318,7 +322,7 @@ impl<'a> Cursor<'a> {
     /// encoders write (non-empty, no whitespace).  Accepting anything looser
     /// would let a crafted binary load names that cannot re-render into the
     /// text grammar, breaking the documented cross-format round trips.
-    pub(crate) fn token(&mut self, what: &str) -> Result<&'a str, ArtifactError> {
+    pub fn token(&mut self, what: &str) -> Result<&'a str, ArtifactError> {
         let at = self.pos;
         let name = self.str(what)?;
         if name.is_empty() || name.chars().any(char::is_whitespace) {
@@ -333,14 +337,14 @@ impl<'a> Cursor<'a> {
     }
 
     /// [`Cursor::token`] plus the byte range the name occupies.
-    pub(crate) fn token_range(&mut self, what: &str) -> Result<Range<usize>, ArtifactError> {
+    pub fn token_range(&mut self, what: &str) -> Result<Range<usize>, ArtifactError> {
         let start = self.pos + 4;
         let name = self.token(what)?;
         Ok(start..start + name.len())
     }
 
     /// True when every byte has been consumed.
-    pub(crate) fn done(&self) -> bool {
+    pub fn done(&self) -> bool {
         self.pos == self.bytes.len()
     }
 }

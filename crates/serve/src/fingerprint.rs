@@ -204,6 +204,33 @@ impl Sidecar {
         }
         Ok(())
     }
+
+    /// Verifies this sidecar against a rotation set of trusted keys: it
+    /// admits if *any* key verifies.  An empty slice means unkeyed
+    /// operation (identical to [`Sidecar::verify`] with `None`).  On
+    /// failure the reported mismatch is the one computed under the
+    /// *primary* (first) key, so operators diff against the tag new
+    /// sidecars would carry.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::SignatureMismatch`] when a v2 tag verifies under
+    /// none of `keys`.
+    pub fn verify_any(&self, keys: &[Vec<u8>]) -> Result<(), ArtifactError> {
+        if keys.is_empty() {
+            return self.verify(None);
+        }
+        let mut primary_err = None;
+        for key in keys {
+            match self.verify(Some(key)) {
+                Ok(()) => return Ok(()),
+                Err(e) => primary_err.get_or_insert(e),
+            };
+        }
+        // With ≥ 1 key every iteration yields Ok (returned above) or Err
+        // (recorded), so the first — primary-key — error is always here.
+        Err(primary_err.expect("non-empty key set produced no verdict"))
+    }
 }
 
 /// Parses a sidecar file's text, accepting both formats.

@@ -213,6 +213,17 @@
 //!   the `fuzz_registry` harness in `crates/fuzz` replays thousands of
 //!   scripted fault schedules against it and asserts the last good
 //!   generation serves bit-identically after every step.
+//! * **The wire inherits this stance.**  The `palmed-wire` crate puts this
+//!   plane behind a UNIX socket speaking length-prefixed `PALMED-WIRE v1`
+//!   frames built from the same [`codec`] cursor/trailer primitives, and
+//!   the same rules carry over: frames are untrusted input, every
+//!   rejection is a structured error with a class and byte offset (never a
+//!   panic), and a frame's FNV trailer is integrity, not provenance — a
+//!   decodable frame is well-formed, not authenticated.  Authenticity
+//!   stays with the signed sidecars here on the artifact side; a malformed
+//!   frame poisons one connection, never the process.  The `fuzz_wire`
+//!   harness replays hostile connection schedules against that server the
+//!   way `fuzz_registry` does against the refresh loop.
 //!
 //! # Observability
 //!

@@ -535,9 +535,12 @@ pub struct ModelRegistry {
     /// seam — [`RealIo`] in production, a scripted fault injector under
     /// test (see [`ModelRegistry::with_io`]).
     io: Arc<dyn ArtifactIo>,
-    /// HMAC key for `PALMED-FPRINT v2` sidecar verification, when
-    /// configured ([`ModelRegistry::set_signing_key`]).
-    signing_key: Mutex<Option<Vec<u8>>>,
+    /// Trusted HMAC keys for `PALMED-FPRINT v2` sidecar verification, when
+    /// configured ([`ModelRegistry::set_signing_keys`]).  The first key is
+    /// the *primary* (the one new sidecars are signed with); the rest are
+    /// still-trusted older keys kept through a rotation window.  Empty
+    /// means unkeyed.
+    signing_keys: Mutex<Vec<Vec<u8>>>,
 }
 
 impl Default for ModelRegistry {
@@ -558,7 +561,7 @@ impl Clone for ModelRegistry {
             })),
             health: Mutex::new(self.health.lock().expect("health lock").clone()),
             io: Arc::clone(&self.io),
-            signing_key: Mutex::new(self.signing_key.lock().expect("signing key lock").clone()),
+            signing_keys: Mutex::new(self.signing_keys.lock().expect("signing key lock").clone()),
         }
     }
 }
@@ -578,7 +581,7 @@ impl ModelRegistry {
             shared: RwLock::new(Arc::new(RegistrySnapshot::default())),
             health: Mutex::new(BTreeMap::new()),
             io,
-            signing_key: Mutex::new(None),
+            signing_keys: Mutex::new(Vec::new()),
         }
     }
 
@@ -590,9 +593,24 @@ impl ModelRegistry {
     /// failure).  Unkeyed v1 sidecars remain accepted either way, and
     /// without a key a v2 sidecar degrades to fingerprint-only
     /// verification.  Takes effect on the next load; already-installed
-    /// entries are not re-verified.
+    /// entries are not re-verified.  One-key convenience wrapper around
+    /// [`ModelRegistry::set_signing_keys`].
     pub fn set_signing_key(&self, key: Option<Vec<u8>>) {
-        *self.signing_key.lock().expect("signing key lock") = key;
+        self.set_signing_keys(key.into_iter().collect());
+    }
+
+    /// Configures the full *rotation set* of trusted sidecar keys.  The
+    /// first key is the primary — the one new sidecars are signed with and
+    /// the one whose mismatch is reported when nothing verifies — while
+    /// the rest are still-trusted older keys kept through a rotation
+    /// window, so artifacts signed before a key roll keep admitting until
+    /// they are re-signed.  Dropping a key from the set retires it:
+    /// sidecars signed only with a retired key reject as
+    /// [`ArtifactError::SignatureMismatch`] on their next load.  An empty
+    /// vector clears keyed verification entirely.  Takes effect on the
+    /// next load; already-installed entries are not re-verified.
+    pub fn set_signing_keys(&self, keys: Vec<Vec<u8>>) {
+        *self.signing_keys.lock().expect("signing key lock") = keys;
     }
 
     /// The current immutable snapshot.  Taking it holds the lock only for
@@ -797,8 +815,8 @@ impl ModelRegistry {
         };
         let fingerprint = entry_fingerprint(&model);
         if let Some(sidecar) = crate::fingerprint::read_sidecar_with(io, path)? {
-            let key = self.signing_key.lock().expect("signing key lock").clone();
-            sidecar.verify(key.as_deref())?;
+            let keys = self.signing_keys.lock().expect("signing key lock").clone();
+            sidecar.verify_any(&keys)?;
             if sidecar.fingerprint != fingerprint {
                 return Err(ArtifactError::FingerprintMismatch {
                     expected: sidecar.fingerprint,

@@ -1,0 +1,518 @@
+//! Per-connection state machine and the serving engine behind it.
+//!
+//! This is the robustness core of the wire plane: everything a hostile,
+//! broken or merely slow peer can do to a connection is handled *here*,
+//! deterministically, against any [`WireStream`] — the production UNIX
+//! socket and the fuzzer's scripted fault transport drive the identical
+//! code.
+//!
+//! # Connection fault model
+//!
+//! The state machine makes these guarantees, each of which the
+//! `fuzz_wire` schedule fuzzer asserts after every step:
+//!
+//! * **Partial reads and writes resume.**  Frames may arrive one byte at
+//!   a time or many coalesced into one chunk; responses may be written a
+//!   few bytes per pump.  Progress is buffered and resumed — byte
+//!   boundaries never change what is served.
+//! * **Malformed frames poison the connection, never the process.**  The
+//!   first undecodable byte turns into one structured [`Frame::Error`]
+//!   (class + byte offset), the connection stops reading and drains its
+//!   write buffer, and no panic escapes.
+//! * **Load is shed structurally.**  More than [`Limits::max_in_flight`]
+//!   queued requests answer `server-busy` error frames; a frame larger
+//!   than [`Limits::max_payload`] is rejected at its length field; a
+//!   write backlog past [`Limits::max_write_backlog`] pauses reading
+//!   (backpressure) instead of buffering without bound.
+//! * **Time is bounded.**  A partial frame older than
+//!   [`Limits::frame_deadline_ticks`] is a `deadline-exceeded` error (the
+//!   slow-loris defence); a fully quiescent connection past
+//!   [`Limits::idle_timeout_ticks`] closes cleanly.
+//! * **Shutdown drains.**  [`Connection::begin_drain`] stops reading but
+//!   serves every already-received request and flushes every buffered
+//!   byte before closing.
+//! * **Responses are pinned.**  A request resolves its model once, to an
+//!   immutable registry entry `Arc`; a concurrent
+//!   [`ModelRegistry::refresh`](palmed_serve::ModelRegistry::refresh) or
+//!   swap never changes an already-started response.
+//!
+//! Ticks are a logical clock (the socket server feeds milliseconds, the
+//! fuzzer feeds scripted integers), so every timeout decision is
+//! reproducible from a schedule.
+
+use crate::frame::{decode_frame, Decoded, Frame, WireError, HEADER_LEN, TRAILER_LEN};
+use palmed_serve::corpus::Corpus;
+use palmed_serve::registry::{EntryHealth, ModelEntry};
+use palmed_serve::ModelRegistry;
+use std::collections::VecDeque;
+use std::io;
+use std::sync::Arc;
+
+/// Resource and timing caps for one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Largest accepted frame payload, in bytes (the max-frame cap).
+    pub max_payload: u32,
+    /// Most requests queued awaiting service before `server-busy` shedding.
+    pub max_in_flight: usize,
+    /// Unflushed response bytes above which reading pauses (backpressure).
+    pub max_write_backlog: usize,
+    /// Ticks a quiescent connection may stay open.
+    pub idle_timeout_ticks: u64,
+    /// Ticks a partial frame may take to finish arriving.
+    pub frame_deadline_ticks: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_payload: 1 << 20,
+            max_in_flight: 16,
+            max_write_backlog: 4 << 20,
+            idle_timeout_ticks: 10_000,
+            frame_deadline_ticks: 1_000,
+        }
+    }
+}
+
+/// A byte stream the connection pumps: the UNIX socket in production, a
+/// scripted fault transport under test.  Both directions are explicitly
+/// partial: `read` may return any number of bytes (0 = peer closed) and
+/// `write` may accept fewer bytes than offered;
+/// [`io::ErrorKind::WouldBlock`] means "nothing now, try next pump".
+pub trait WireStream {
+    /// Reads available bytes into `buf`.  `Ok(0)` is end-of-stream.
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+    /// Writes a prefix of `buf`, returning how much was accepted.
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize>;
+}
+
+/// Connection lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Reading, serving and writing normally.
+    Open,
+    /// No longer reading; serving queued requests and flushing.
+    Draining,
+    /// Protocol violation observed; flushing the error frame, then closing.
+    Poisoned,
+    /// Finished.  The connection does nothing further.
+    Closed,
+}
+
+/// One wire connection: buffers, queue, state and its logical clock.
+#[derive(Debug)]
+pub struct Connection {
+    state: ConnState,
+    limits: Limits,
+    /// Partially received bytes (at most one frame prefix after each pump).
+    read_buf: Vec<u8>,
+    /// Encoded but not yet fully written response bytes.
+    write_buf: Vec<u8>,
+    /// How much of `write_buf` has been accepted by the stream.
+    write_pos: usize,
+    /// Decoded requests awaiting service, FIFO.
+    pending: VecDeque<Frame>,
+    /// Tick of the last byte-level progress in either direction.
+    last_activity: u64,
+    /// Tick the current partial frame started arriving, if one is pending.
+    partial_since: Option<u64>,
+}
+
+impl Connection {
+    /// A fresh open connection.
+    pub fn new(limits: Limits) -> Connection {
+        palmed_obs::counter!("wire.connections").inc();
+        Connection {
+            state: ConnState::Open,
+            limits,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            pending: VecDeque::new(),
+            last_activity: 0,
+            partial_since: None,
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// True once the connection has fully finished.
+    pub fn is_closed(&self) -> bool {
+        self.state == ConnState::Closed
+    }
+
+    /// Requests decoded but not yet served.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Encoded response bytes not yet accepted by the stream.
+    pub fn write_backlog(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Begins a graceful shutdown: stop reading, serve what was already
+    /// received, flush, close.  Subsequent pumps complete the drain.
+    pub fn begin_drain(&mut self) {
+        if matches!(self.state, ConnState::Open) {
+            self.state = ConnState::Draining;
+            // A half-received frame can never complete; drop it.
+            self.read_buf.clear();
+            self.partial_since = None;
+        }
+    }
+
+    /// One service round at logical time `now`: flush pending writes, check
+    /// timeouts, read and decode what the stream has, serve queued
+    /// requests, flush again.  Safe to call in any state (a closed
+    /// connection ignores it) and after any stream error — failures shrink
+    /// the state machine toward [`ConnState::Closed`], never panic.
+    pub fn pump(&mut self, now: u64, stream: &mut dyn WireStream, engine: &Engine) {
+        if self.is_closed() {
+            return;
+        }
+        self.flush(stream);
+        self.check_timeouts(now);
+        if self.state == ConnState::Open && self.write_backlog() <= self.limits.max_write_backlog {
+            self.fill(now, stream);
+        }
+        self.serve(engine);
+        self.flush(stream);
+        self.finish_if_drained();
+    }
+
+    /// Applies deadline and idle policies at tick `now`.
+    fn check_timeouts(&mut self, now: u64) {
+        if self.state != ConnState::Open {
+            return;
+        }
+        if let Some(since) = self.partial_since {
+            if now.saturating_sub(since) > self.limits.frame_deadline_ticks {
+                palmed_obs::counter!("wire.timeouts.deadline").inc();
+                let err = WireError {
+                    class: "deadline-exceeded".to_string(),
+                    offset: self.read_buf.len(),
+                    reason: format!(
+                        "frame incomplete after {} ticks ({} bytes received)",
+                        now.saturating_sub(since),
+                        self.read_buf.len()
+                    ),
+                };
+                self.poison(err);
+                return;
+            }
+        }
+        let quiescent = self.read_buf.is_empty()
+            && self.pending.is_empty()
+            && self.write_backlog() == 0;
+        if quiescent && now.saturating_sub(self.last_activity) > self.limits.idle_timeout_ticks {
+            palmed_obs::counter!("wire.timeouts.idle").inc();
+            self.state = ConnState::Closed;
+        }
+    }
+
+    /// Reads until the stream has nothing more, decoding as frames
+    /// complete.
+    fn fill(&mut self, now: u64, stream: &mut dyn WireStream) {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed its side: what arrived is all there is.
+                    self.begin_drain();
+                    return;
+                }
+                Ok(n) => {
+                    self.last_activity = now;
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    if self.partial_since.is_none() {
+                        self.partial_since = Some(now);
+                    }
+                    self.drain_frames(now);
+                    if self.state != ConnState::Open
+                        || self.write_backlog() > self.limits.max_write_backlog
+                    {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // The transport is gone; nothing to flush it through.
+                    self.state = ConnState::Closed;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decodes every complete frame at the front of the read buffer.
+    fn drain_frames(&mut self, now: u64) {
+        loop {
+            match decode_frame(&self.read_buf, self.limits.max_payload) {
+                Ok(Decoded::NeedMore) => {
+                    if self.read_buf.is_empty() {
+                        self.partial_since = None;
+                    }
+                    return;
+                }
+                Ok(Decoded::Frame { consumed, frame }) => {
+                    self.read_buf.drain(..consumed);
+                    self.partial_since =
+                        if self.read_buf.is_empty() { None } else { Some(now) };
+                    self.accept(frame);
+                    if self.state != ConnState::Open {
+                        return;
+                    }
+                }
+                Err(err) => {
+                    self.poison(err);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Routes one well-formed inbound frame.
+    fn accept(&mut self, frame: Frame) {
+        match &frame {
+            Frame::Request { req_id, .. } | Frame::AdminRequest { req_id, .. } => {
+                if self.pending.len() >= self.limits.max_in_flight {
+                    palmed_obs::counter!("wire.shed.busy").inc();
+                    self.send(Frame::Error {
+                        req_id: *req_id,
+                        class: "server-busy".to_string(),
+                        offset: None,
+                        message: format!(
+                            "in-flight cap of {} requests reached; retry later",
+                            self.limits.max_in_flight
+                        ),
+                    });
+                } else {
+                    palmed_obs::counter!("wire.requests").inc();
+                    self.pending.push_back(frame);
+                }
+            }
+            // Only clients receive these kinds; a peer sending one is not
+            // speaking the client half of the protocol.
+            Frame::Response { req_id, .. }
+            | Frame::Error { req_id, .. }
+            | Frame::AdminResponse { req_id, .. } => {
+                let req_id = *req_id;
+                self.poison(WireError {
+                    class: "unexpected-kind".to_string(),
+                    offset: crate::frame::MAGIC.len(),
+                    reason: format!(
+                        "frame kind {} is server-to-client only (req_id {req_id})",
+                        frame.kind()
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Serves every queued request through the engine, in order.
+    fn serve(&mut self, engine: &Engine) {
+        if self.state == ConnState::Poisoned {
+            // A poisoned connection answers nothing further: the peer's
+            // framing is untrusted from the violation on.
+            self.pending.clear();
+            return;
+        }
+        while let Some(request) = self.pending.pop_front() {
+            let timer = palmed_obs::start_timer();
+            let reply = match request {
+                Frame::Request { req_id, model, corpus } => {
+                    engine.execute(req_id, &model, &corpus)
+                }
+                Frame::AdminRequest { req_id, what } => engine.admin(req_id, &what),
+                other => unreachable!("only requests are queued, got kind {}", other.kind()),
+            };
+            palmed_obs::histogram!("wire.request_ns").record_elapsed(timer);
+            self.send(reply);
+        }
+    }
+
+    /// Queues one outbound frame and accounts for it.
+    fn send(&mut self, frame: Frame) {
+        match &frame {
+            Frame::Error { .. } => palmed_obs::counter!("wire.errors").inc(),
+            _ => palmed_obs::counter!("wire.responses").inc(),
+        }
+        self.write_buf.extend_from_slice(&frame.encode());
+    }
+
+    /// Emits the structured rejection and poisons the connection.
+    fn poison(&mut self, err: WireError) {
+        palmed_obs::counter!("wire.poisoned").inc();
+        let frame = err.to_frame(0);
+        self.send(frame);
+        self.read_buf.clear();
+        self.partial_since = None;
+        self.pending.clear();
+        self.state = ConnState::Poisoned;
+    }
+
+    /// Writes as much buffered output as the stream accepts.
+    fn flush(&mut self, stream: &mut dyn WireStream) {
+        while self.write_pos < self.write_buf.len() {
+            match stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => break,
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.state = ConnState::Closed;
+                    return;
+                }
+            }
+        }
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+    }
+
+    /// Closes once a draining or poisoned connection has nothing left.
+    fn finish_if_drained(&mut self) {
+        if matches!(self.state, ConnState::Draining | ConnState::Poisoned)
+            && self.pending.is_empty()
+            && self.write_backlog() == 0
+        {
+            self.state = ConnState::Closed;
+        }
+    }
+
+    /// A conservative upper bound on bytes one frame may occupy under
+    /// these limits — what a transport may size its buffers by.
+    pub fn max_frame_len(&self) -> usize {
+        HEADER_LEN + self.limits.max_payload as usize + TRAILER_LEN
+    }
+}
+
+/// The serving engine: resolves requests against a shared
+/// [`ModelRegistry`] and renders admin queries.  Stateless between calls —
+/// every request pins the registry entry `Arc` it serves from, so registry
+/// swaps and refreshes concurrent with a request never mix generations
+/// within one response.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    registry: Arc<ModelRegistry>,
+}
+
+impl Engine {
+    /// An engine over `registry`.
+    pub fn new(registry: Arc<ModelRegistry>) -> Engine {
+        Engine { registry }
+    }
+
+    /// The registry this engine serves from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Serves one prediction request, returning the response or a
+    /// structured error frame.  Never panics on untrusted input: the
+    /// corpus text goes through the strict [`Corpus::parse`] validate pass
+    /// and every rejection keeps its kebab-case class.
+    pub fn execute(&self, req_id: u32, model: &str, corpus_text: &str) -> Frame {
+        let Some(entry) = self.registry.get(model) else {
+            return Frame::Error {
+                req_id,
+                class: "unknown-model".to_string(),
+                offset: None,
+                message: format!("no model registered under `{model}`"),
+            };
+        };
+        // `entry` is an immutable Arc: the instruction set the corpus is
+        // resolved against and the model the batch serves from are the
+        // same generation, regardless of concurrent registry writes.
+        let rows = match entry.model() {
+            ModelEntry::Conjunctive(m) => Corpus::parse(corpus_text, &m.artifact.instructions)
+                .map(|c| m.batch().predict_corpus(&c).ipcs),
+            ModelEntry::ConjunctiveServing(m) => {
+                Corpus::parse(corpus_text, &m.artifact.instructions)
+                    .map(|c| m.batch().predict_corpus(&c).ipcs)
+            }
+            ModelEntry::Disjunctive(m) => Corpus::parse(corpus_text, &m.artifact.instructions)
+                .map(|c| m.batch().predict_corpus(&c).ipcs),
+        };
+        match rows {
+            Ok(rows) => Frame::Response { req_id, rows },
+            Err(e) => Frame::Error {
+                req_id,
+                class: e.class().to_string(),
+                offset: None,
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// Serves one admin query: `"health"` renders
+    /// [`ModelRegistry::health`] as JSON, `"obs"` renders the
+    /// [`palmed_obs::snapshot`].
+    pub fn admin(&self, req_id: u32, what: &str) -> Frame {
+        match what {
+            "health" => Frame::AdminResponse { req_id, body: render_health(&self.registry.health()) },
+            "obs" => Frame::AdminResponse { req_id, body: palmed_obs::snapshot().render_json() },
+            other => Frame::Error {
+                req_id,
+                class: "unknown-admin".to_string(),
+                offset: None,
+                message: format!("unknown admin query `{other}` (expected `health` or `obs`)"),
+            },
+        }
+    }
+}
+
+/// Renders registry health as a JSON array (fingerprints in the sidecar's
+/// 16-digit hex form, so operators can diff them against `PALMED-FPRINT`
+/// files directly).
+fn render_health(entries: &[EntryHealth]) -> String {
+    let mut out = String::from("[");
+    for (i, h) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"kind\":{},\"generation\":{},\"fingerprint\":\"{:016x}\",\
+             \"watched\":{},\"status\":{},\"consecutive_failures\":{},\
+             \"backoff_remaining\":{},\"quarantined\":{},\"last_error\":{}}}",
+            json_str(&h.name),
+            json_str(&h.kind.to_string()),
+            h.generation,
+            h.fingerprint,
+            h.watched,
+            json_str(&format!("{:?}", h.status)),
+            h.consecutive_failures,
+            h.backoff_remaining,
+            h.quarantined,
+            h.last_error.as_deref().map_or_else(|| "null".to_string(), json_str),
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

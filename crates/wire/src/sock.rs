@@ -1,0 +1,413 @@
+//! Blocking single-threaded `PALMED-WIRE v1` server (and test client) over
+//! UNIX-domain sockets.
+//!
+//! Like the serve crate's `mmap` shim, the socket layer binds the handful
+//! of syscalls it needs directly (`socket`/`bind`/`listen`/`accept`/
+//! `recv`/`send`/`poll`/…) instead of pulling in a crate — the workspace
+//! builds offline.  The raw binding is gated to Linux, where the
+//! `sockaddr_un` layout below is ABI-correct; every other target simply
+//! lacks this module (the frame codec and connection state machine are
+//! platform-independent and fully exercised through in-memory streams).
+//!
+//! The server is deliberately single-threaded and `poll(2)`-driven: one
+//! accept loop, one [`Connection`] per client, each pumped with
+//! non-blocking reads/writes.  Robustness comes from the state machine,
+//! not from threads — a stalled, hostile or half-closed peer costs one
+//! poisoned or timed-out connection, never the process.  Cross-connection
+//! batching and an epoll front-end are explicitly later perf work.
+
+#![cfg(target_os = "linux")]
+
+use crate::conn::{Connection, Engine, Limits, WireStream};
+use crate::frame::{decode_frame, Decoded, Frame, WireError};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Raw Linux syscall bindings: AF_UNIX stream sockets plus `poll(2)`.
+mod sys {
+    use std::ffi::c_void;
+    use std::io;
+
+    pub(super) const AF_UNIX: i32 = 1;
+    pub(super) const SOCK_STREAM: i32 = 1;
+    pub(super) const POLLIN: i16 = 0x001;
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0o4000;
+    /// Suppresses `SIGPIPE` on writes to a half-closed peer — the error
+    /// comes back as `EPIPE` and shrinks one connection, not the process.
+    const MSG_NOSIGNAL: i32 = 0x4000;
+
+    /// `struct sockaddr_un` as Linux lays it out.
+    #[repr(C)]
+    pub(super) struct SockaddrUn {
+        pub(super) sun_family: u16,
+        pub(super) sun_path: [u8; 108],
+    }
+
+    /// `struct pollfd`.
+    #[repr(C)]
+    pub(super) struct PollFd {
+        pub(super) fd: i32,
+        pub(super) events: i16,
+        pub(super) revents: i16,
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrUn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn accept(fd: i32, addr: *mut SockaddrUn, len: *mut u32) -> i32;
+        fn connect(fd: i32, addr: *const SockaddrUn, len: u32) -> i32;
+        fn recv(fd: i32, buf: *mut c_void, len: usize, flags: i32) -> isize;
+        fn send(fd: i32, buf: *const c_void, len: usize, flags: i32) -> isize;
+        fn close(fd: i32) -> i32;
+        fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn unlink(path: *const u8) -> i32;
+    }
+
+    /// An owned file descriptor, closed on drop.
+    #[derive(Debug)]
+    pub(super) struct Fd(pub(super) i32);
+
+    impl Drop for Fd {
+        fn drop(&mut self) {
+            // SAFETY: `self.0` is a descriptor this process opened and
+            // owns exclusively; double closes are prevented by ownership.
+            unsafe {
+                close(self.0);
+            }
+        }
+    }
+
+    fn check(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// Encodes `path` into a `sockaddr_un` (NUL-terminated, 107-byte max).
+    pub(super) fn addr_for(path: &[u8]) -> io::Result<SockaddrUn> {
+        let mut addr = SockaddrUn { sun_family: AF_UNIX as u16, sun_path: [0; 108] };
+        if path.is_empty() || path.len() >= addr.sun_path.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "socket path must be 1..=107 bytes",
+            ));
+        }
+        addr.sun_path[..path.len()].copy_from_slice(path);
+        Ok(addr)
+    }
+
+    /// A new non-blocking AF_UNIX stream socket.
+    pub(super) fn stream_socket() -> io::Result<Fd> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = check(unsafe { socket(AF_UNIX, SOCK_STREAM, 0) })?;
+        let fd = Fd(fd);
+        set_nonblocking(&fd)?;
+        Ok(fd)
+    }
+
+    pub(super) fn set_nonblocking(fd: &Fd) -> io::Result<()> {
+        // SAFETY: plain syscall on an owned descriptor.
+        check(unsafe { fcntl(fd.0, F_SETFL, O_NONBLOCK) })?;
+        Ok(())
+    }
+
+    pub(super) fn bind_listen(fd: &Fd, path: &[u8]) -> io::Result<()> {
+        let addr = addr_for(path)?;
+        let len = (2 + path.len() + 1) as u32;
+        // SAFETY: `addr` is a valid SockaddrUn and `len` covers the family
+        // field plus the NUL-terminated path actually written into it.
+        check(unsafe { bind(fd.0, &addr, len) })?;
+        // SAFETY: plain syscall on the bound descriptor.
+        check(unsafe { listen(fd.0, 64) })?;
+        Ok(())
+    }
+
+    pub(super) fn connect_to(fd: &Fd, path: &[u8]) -> io::Result<()> {
+        let addr = addr_for(path)?;
+        let len = (2 + path.len() + 1) as u32;
+        // SAFETY: as for `bind` above.
+        check(unsafe { connect(fd.0, &addr, len) })?;
+        Ok(())
+    }
+
+    /// Accepts one pending client, `Ok(None)` when none is waiting.
+    pub(super) fn accept_one(fd: &Fd) -> io::Result<Option<Fd>> {
+        // SAFETY: null address out-parameters are allowed by accept(2).
+        let ret = unsafe { accept(fd.0, std::ptr::null_mut(), std::ptr::null_mut()) };
+        if ret < 0 {
+            let err = io::Error::last_os_error();
+            return match err.kind() {
+                io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted => Ok(None),
+                _ => Err(err),
+            };
+        }
+        let client = Fd(ret);
+        set_nonblocking(&client)?;
+        Ok(Some(client))
+    }
+
+    pub(super) fn recv_bytes(fd: &Fd, buf: &mut [u8]) -> io::Result<usize> {
+        // SAFETY: `buf` is a live, writable slice of exactly `buf.len()`
+        // bytes for the duration of the call.
+        let ret = unsafe { recv(fd.0, buf.as_mut_ptr() as *mut c_void, buf.len(), 0) };
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    pub(super) fn send_bytes(fd: &Fd, buf: &[u8]) -> io::Result<usize> {
+        // SAFETY: `buf` is a live, readable slice; MSG_NOSIGNAL keeps a
+        // dead peer from raising SIGPIPE.
+        let ret =
+            unsafe { send(fd.0, buf.as_ptr() as *const c_void, buf.len(), MSG_NOSIGNAL) };
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// Polls `fds` for up to `timeout_ms`; readiness lands in `revents`.
+    pub(super) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `fds` is a live mutable slice of PollFd of exactly
+        // `fds.len()` entries.
+        let ret = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if ret < 0 {
+            let err = io::Error::last_os_error();
+            return match err.kind() {
+                io::ErrorKind::Interrupted => Ok(0),
+                _ => Err(err),
+            };
+        }
+        Ok(ret as usize)
+    }
+
+    pub(super) fn unlink_path(path: &[u8]) {
+        let mut nul = Vec::with_capacity(path.len() + 1);
+        nul.extend_from_slice(path);
+        nul.push(0);
+        // SAFETY: `nul` is a NUL-terminated byte string; failure (e.g. the
+        // file is already gone) is intentionally ignored.
+        unsafe {
+            unlink(nul.as_ptr());
+        }
+    }
+}
+
+/// [`WireStream`] over a non-blocking socket descriptor.
+struct SocketStream<'a>(&'a sys::Fd);
+
+impl WireStream for SocketStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        sys::recv_bytes(self.0, buf)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        sys::send_bytes(self.0, buf)
+    }
+}
+
+/// A bound, not-yet-running wire server.
+pub struct WireServer {
+    path: PathBuf,
+    listener: sys::Fd,
+    engine: Engine,
+    limits: Limits,
+    stop: Arc<AtomicBool>,
+}
+
+impl WireServer {
+    /// Binds a UNIX socket at `path` (unlinking any stale socket file
+    /// first) and prepares to serve `engine` under `limits`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/bind/listen failures and over-long paths.
+    pub fn bind(path: impl AsRef<Path>, engine: Engine, limits: Limits) -> io::Result<WireServer> {
+        let path = path.as_ref().to_path_buf();
+        let raw = path_bytes(&path)?;
+        sys::unlink_path(&raw);
+        let listener = sys::stream_socket()?;
+        sys::bind_listen(&listener, &raw)?;
+        Ok(WireServer { path, listener, engine, limits, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// A handle that stops the serve loop: set it to `true` and
+    /// [`WireServer::run`] drains every live connection and returns.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// The socket path this server is bound at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Runs the blocking serve loop until the stop handle is raised, then
+    /// gracefully drains: accepting stops, every connection serves its
+    /// already-received requests and flushes before the loop exits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `poll(2)` failures; per-connection failures never
+    /// surface here (they shrink that connection's state machine).
+    pub fn run(self) -> io::Result<()> {
+        let WireServer { path, listener, engine, limits, stop } = self;
+        let started = Instant::now();
+        let mut conns: Vec<(sys::Fd, Connection)> = Vec::new();
+        let mut draining = false;
+        loop {
+            if !draining && stop.load(Ordering::SeqCst) {
+                draining = true;
+                for (_, conn) in &mut conns {
+                    conn.begin_drain();
+                }
+            }
+            if draining && conns.is_empty() {
+                break;
+            }
+
+            // One pollfd per connection plus (while accepting) the listener.
+            let mut fds: Vec<sys::PollFd> = conns
+                .iter()
+                .map(|(fd, _)| sys::PollFd { fd: fd.0, events: sys::POLLIN, revents: 0 })
+                .collect();
+            if !draining {
+                fds.push(sys::PollFd { fd: listener.0, events: sys::POLLIN, revents: 0 });
+            }
+            sys::poll_fds(&mut fds, 10)?;
+
+            if !draining {
+                while let Some(client) = sys::accept_one(&listener)? {
+                    conns.push((client, Connection::new(limits)));
+                }
+            }
+
+            // Ticks are wall milliseconds since the server started; every
+            // timeout below is a deterministic function of them.
+            let now = started.elapsed().as_millis() as u64;
+            for (fd, conn) in &mut conns {
+                conn.pump(now, &mut SocketStream(fd), &engine);
+            }
+            conns.retain(|(_, conn)| !conn.is_closed());
+        }
+        if let Ok(raw) = path_bytes(&path) {
+            sys::unlink_path(&raw);
+        }
+        Ok(())
+    }
+}
+
+/// A blocking test/client endpoint: one frame out, one frame back.
+pub struct WireClient {
+    fd: sys::Fd,
+    /// Bytes received past the last decoded frame.
+    buf: Vec<u8>,
+}
+
+impl WireClient {
+    /// Connects to the server socket at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (including a not-yet-listening
+    /// server — callers retry).
+    pub fn connect(path: impl AsRef<Path>) -> io::Result<WireClient> {
+        let raw = path_bytes(path.as_ref())?;
+        let fd = sys::stream_socket()?;
+        match sys::connect_to(&fd, &raw) {
+            Ok(()) => {}
+            // Non-blocking connect on AF_UNIX either completes or fails
+            // immediately; EAGAIN means the backlog is full — report it.
+            Err(e) => return Err(e),
+        }
+        Ok(WireClient { fd, buf: Vec::new() })
+    }
+
+    /// Sends `frame` and blocks until one frame comes back.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a server-side disconnect, or a malformed reply (the
+    /// decode rejection is surfaced as [`io::ErrorKind::InvalidData`]).
+    pub fn call(&mut self, frame: &Frame) -> io::Result<Frame> {
+        self.send(frame)?;
+        self.recv()
+    }
+
+    /// Sends one frame, spinning through partial non-blocking writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        let bytes = frame.encode();
+        let mut at = 0;
+        while at < bytes.len() {
+            match sys::send_bytes(&self.fd, &bytes[at..]) {
+                Ok(n) => at += n,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::Interrupted =>
+                {
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks until one full frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// As for [`WireClient::call`].
+    pub fn recv(&mut self) -> io::Result<Frame> {
+        loop {
+            match decode_frame(&self.buf, u32::MAX).map_err(invalid_reply)? {
+                Decoded::Frame { consumed, frame } => {
+                    self.buf.drain(..consumed);
+                    return Ok(frame);
+                }
+                Decoded::NeedMore => {}
+            }
+            let mut chunk = [0u8; 4096];
+            match sys::recv_bytes(&self.fd, &mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-reply",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::Interrupted =>
+                {
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn invalid_reply(err: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, err)
+}
+
+fn path_bytes(path: &Path) -> io::Result<Vec<u8>> {
+    use std::os::unix::ffi::OsStrExt;
+    Ok(path.as_os_str().as_bytes().to_vec())
+}

@@ -100,6 +100,43 @@ fn a_forged_redeploy_feeds_the_backoff_and_quarantine_ladder() {
 }
 
 #[test]
+fn key_rotation_admits_old_key_sidecars_until_the_key_is_retired() {
+    const NEW_KEY: &[u8] = b"palmed-integration-rotated-key";
+
+    // An artifact signed under the *old* key, deployed before the roll.
+    let watched = signed_watched("signed-rotate", "palmed-it-signed-rotate.palmed2", KEY);
+
+    // During the rotation window the registry trusts both keys — new
+    // primary first, the outgoing key kept for not-yet-re-signed
+    // artifacts — so the old-key sidecar still admits.
+    let registry = ModelRegistry::new();
+    registry.set_signing_keys(vec![NEW_KEY.to_vec(), KEY.to_vec()]);
+    let entry = registry.load_file_serving(&watched.path).unwrap();
+    assert_eq!(
+        entry.fingerprint(),
+        watched.recorded_fp,
+        "an old-key sidecar admits while the old key is still in the rotation set"
+    );
+
+    // Once the old key is retired the same sidecar is a provenance
+    // failure, classified exactly like a forged tag.
+    let strict = ModelRegistry::new();
+    strict.set_signing_keys(vec![NEW_KEY.to_vec()]);
+    let error = strict.load_file_serving(&watched.path).unwrap_err();
+    assert_eq!(
+        error.class(),
+        "signature-mismatch",
+        "a retired-key sidecar rejects as a signature mismatch"
+    );
+    assert!(strict.is_empty(), "nothing installs on a retired-key sidecar");
+
+    // Re-signing under the new primary closes the rotation.
+    write_signed_sidecar(&watched.path, watched.recorded_fp, NEW_KEY).unwrap();
+    let entry = strict.load_file_serving(&watched.path).unwrap();
+    assert_eq!(entry.fingerprint(), watched.recorded_fp);
+}
+
+#[test]
 fn a_keyed_registry_still_accepts_an_unkeyed_v1_sidecar() {
     // The helper writes the plain v1 sidecar — the pre-signing format.
     let watched = WatchedArtifact::save("signed-v1", "palmed-it-signed-v1.palmed2", 0.5);

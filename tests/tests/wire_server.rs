@@ -1,0 +1,222 @@
+//! The wire front-end under load and shutdown: flooding one connection
+//! past its in-flight cap must shed exactly the over-cap requests with
+//! structured `server-busy` errors — counted exactly by the obs plane —
+//! and a graceful shutdown must drain every already-received request
+//! before the connection closes.
+//!
+//! These tests arm the global obs flag, so they live in their own
+//! integration-test binary (each test file is a separate process); the
+//! tests within it assert *deltas* of distinct counters so parallel test
+//! threads cannot perturb each other.  Only the flood test sheds, so its
+//! `wire.shed.busy` delta is exact.
+
+use palmed_core::ConjunctiveMapping;
+use palmed_isa::{InstId, InstructionSet};
+use palmed_serve::{BatchPredictor, Corpus, ModelArtifact, ModelRegistry};
+use palmed_wire::{decode_frame, ConnState, Connection, Decoded, Engine, Frame, Limits, WireStream};
+use std::io;
+use std::sync::Arc;
+
+const CORPUS: &str = "PALMED-CORPUS v1\nb0 1 DIVPS×1\nb1 2 ADDSS×3 DIVPS×1\nb2 1 JNLE×1\n";
+
+fn artifact(machine: &str, usage: f64) -> ModelArtifact {
+    let mut mapping = ConjunctiveMapping::with_resources(1);
+    mapping.set_usage(InstId(0), vec![usage]);
+    mapping.set_usage(InstId(2), vec![usage * 2.0]);
+    ModelArtifact::new(machine, "wire-it", InstructionSet::paper_example(), mapping)
+}
+
+fn engine() -> Engine {
+    let registry = ModelRegistry::new();
+    registry.register(artifact("skl", 0.5));
+    Engine::new(Arc::new(registry))
+}
+
+fn request(req_id: u32) -> Frame {
+    Frame::Request { req_id, model: "skl".to_string(), corpus: CORPUS.to_string() }
+}
+
+fn expected_rows() -> Vec<Option<f64>> {
+    let art = artifact("skl", 0.5);
+    let corpus = Corpus::parse(CORPUS, &art.instructions).unwrap();
+    BatchPredictor::new(art.compile()).predict_corpus(&corpus).ipcs
+}
+
+fn shed_counter() -> u64 {
+    palmed_obs::snapshot().counter("wire.shed.busy").unwrap_or(0)
+}
+
+/// An in-memory loopback: reads from `inbox`, writes to `outbox`.
+#[derive(Default)]
+struct Loopback {
+    inbox: Vec<u8>,
+    outbox: Vec<u8>,
+}
+
+impl WireStream for Loopback {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.inbox.is_empty() {
+            return Err(io::ErrorKind::WouldBlock.into());
+        }
+        let n = buf.len().min(self.inbox.len());
+        buf[..n].copy_from_slice(&self.inbox[..n]);
+        self.inbox.drain(..n);
+        Ok(n)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.outbox.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+}
+
+fn decode_all(bytes: &[u8]) -> Vec<Frame> {
+    let mut rest = bytes.to_vec();
+    let mut frames = Vec::new();
+    while !rest.is_empty() {
+        match decode_frame(&rest, u32::MAX).unwrap() {
+            Decoded::Frame { consumed, frame } => {
+                frames.push(frame);
+                rest.drain(..consumed);
+            }
+            Decoded::NeedMore => panic!("truncated server output"),
+        }
+    }
+    frames
+}
+
+#[test]
+fn flooding_past_the_cap_sheds_exactly_and_counts_exactly() {
+    palmed_obs::set_enabled(true);
+    const CAP: usize = 2;
+    const FLOOD: u32 = 10;
+    let engine = engine();
+    let mut conn = Connection::new(Limits { max_in_flight: CAP, ..Limits::default() });
+    let mut stream = Loopback::default();
+    for req_id in 0..FLOOD {
+        stream.inbox.extend_from_slice(&request(req_id).encode());
+    }
+
+    let shed_before = shed_counter();
+    conn.pump(0, &mut stream, &engine);
+    let shed_after = shed_counter();
+
+    let frames = decode_all(&stream.outbox);
+    assert_eq!(frames.len(), FLOOD as usize, "every request answered, one way or the other");
+    let shed: Vec<u32> = frames
+        .iter()
+        .filter_map(|f| match f {
+            Frame::Error { req_id, class, .. } if class == "server-busy" => Some(*req_id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(shed, (CAP as u32..FLOOD).collect::<Vec<u32>>(), "exactly the over-cap ids shed");
+
+    // The accepted head of the flood serves bit-identically in order.
+    let want = expected_rows();
+    let served: Vec<u32> = frames
+        .iter()
+        .filter_map(|f| match f {
+            Frame::Response { req_id, rows } => {
+                assert_eq!(
+                    rows.iter().map(|r| r.map(f64::to_bits)).collect::<Vec<_>>(),
+                    want.iter().map(|r| r.map(f64::to_bits)).collect::<Vec<_>>(),
+                    "served rows must be bit-identical to the in-process predictor"
+                );
+                Some(*req_id)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(served, (0..CAP as u32).collect::<Vec<u32>>());
+
+    // The obs counter agrees with the wire, exactly: this is the only
+    // test in this binary that sheds.
+    assert_eq!(shed_after - shed_before, (FLOOD as u64) - (CAP as u64));
+    assert_eq!(conn.state(), ConnState::Open, "shedding is backpressure, not failure");
+}
+
+#[test]
+fn shutdown_drains_every_received_request_before_closing() {
+    palmed_obs::set_enabled(true);
+    const IN_FLIGHT: u32 = 4;
+    let engine = engine();
+    let mut conn = Connection::new(Limits { max_in_flight: 8, ..Limits::default() });
+    let mut stream = Loopback::default();
+    for req_id in 0..IN_FLIGHT {
+        stream.inbox.extend_from_slice(&request(req_id).encode());
+    }
+
+    conn.pump(0, &mut stream, &engine);
+    conn.begin_drain();
+    // New bytes after the drain began must not be accepted.
+    stream.inbox.extend_from_slice(&request(99).encode());
+    conn.pump(1, &mut stream, &engine);
+
+    let frames = decode_all(&stream.outbox);
+    assert_eq!(frames.len(), IN_FLIGHT as usize, "drain answers exactly what was received");
+    let want = expected_rows();
+    for (i, frame) in frames.iter().enumerate() {
+        match frame {
+            Frame::Response { req_id, rows } => {
+                assert_eq!(*req_id, i as u32, "responses drain in arrival order");
+                assert_eq!(
+                    rows.iter().map(|r| r.map(f64::to_bits)).collect::<Vec<_>>(),
+                    want.iter().map(|r| r.map(f64::to_bits)).collect::<Vec<_>>(),
+                );
+            }
+            other => panic!("expected a response, got {other:?}"),
+        }
+    }
+    assert!(conn.is_closed(), "a drained connection closes");
+}
+
+/// End-to-end over a real UNIX socket: a spawned [`palmed_wire::WireServer`]
+/// must serve bit-identically to the in-process predictor, answer admin
+/// health with the registry fingerprint, and drain on stop.
+#[cfg(target_os = "linux")]
+#[test]
+fn a_real_socket_round_trip_is_bit_identical_and_stops_cleanly() {
+    use palmed_wire::{WireClient, WireServer};
+
+    palmed_obs::set_enabled(true);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(artifact("skl", 0.5));
+    let fp = registry.get("skl").unwrap().fingerprint();
+    let engine = Engine::new(Arc::clone(&registry));
+
+    let path = std::env::temp_dir().join(format!("palmed-wire-it-{}.sock", std::process::id()));
+    let server = WireServer::bind(&path, engine, Limits::default()).expect("bind");
+    let stop = server.stop_handle();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = loop {
+        match WireClient::connect(&path) {
+            Ok(client) => break client,
+            Err(_) => std::thread::yield_now(),
+        }
+    };
+
+    match client.call(&request(1)).expect("round trip") {
+        Frame::Response { req_id, rows } => {
+            assert_eq!(req_id, 1);
+            assert_eq!(
+                rows.iter().map(|r| r.map(f64::to_bits)).collect::<Vec<_>>(),
+                expected_rows().iter().map(|r| r.map(f64::to_bits)).collect::<Vec<_>>(),
+                "socket rows must be bit-identical to in-process predictions"
+            );
+        }
+        other => panic!("expected a response, got {other:?}"),
+    }
+    match client.call(&Frame::AdminRequest { req_id: 2, what: "health".to_string() }).unwrap() {
+        Frame::AdminResponse { req_id, body } => {
+            assert_eq!(req_id, 2);
+            assert!(body.contains(&format!("\"fingerprint\":\"{fp:016x}\"")), "health: {body}");
+        }
+        other => panic!("expected an admin response, got {other:?}"),
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().expect("server thread").expect("serve loop");
+    assert!(!path.exists(), "the server unlinks its socket on exit");
+}
