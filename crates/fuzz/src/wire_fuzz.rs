@@ -188,12 +188,17 @@ impl<'a> Sched<'a> {
             idle_timeout_ticks: 10_000,
             frame_deadline_ticks: 200,
         };
+        // Connections are accepted at an arbitrary point of the server's
+        // clock — idle/deadline policies must be relative to the accept
+        // tick, so schedules start anywhere in the first ~day of ticks.
+        let start = rng.usize_in(0, 100_000_000) as u64;
         stats.note(|| {
             format!(
-                "schedule: {} models, max_in_flight {}, frame_deadline {} ticks",
+                "schedule: {} models, max_in_flight {}, frame_deadline {} ticks, accept tick {}",
                 models.len(),
                 limits.max_in_flight,
-                limits.frame_deadline_ticks
+                limits.frame_deadline_ticks,
+                start
             )
         });
         Sched {
@@ -203,9 +208,9 @@ impl<'a> Sched<'a> {
             registry,
             models,
             limits,
-            conn: Connection::new(limits),
+            conn: Connection::new(limits, start),
             stream: FaultyConn::new(),
-            now: 0,
+            now: start,
             next_req: 1,
             expects: Vec::new(),
             received: Vec::new(),

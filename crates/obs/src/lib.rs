@@ -82,6 +82,7 @@
 //! | `wire.poisoned` | C | connections poisoned by a malformed frame |
 //! | `wire.timeouts.deadline` | C | partial frames that hit the receive deadline |
 //! | `wire.timeouts.idle` | C | connections closed by the idle timeout |
+//! | `wire.timeouts.write_stall` | C | connections closed because their write backlog made no progress |
 //! | `wire.request_ns` | H | wall time from accepted request to queued reply |
 //! | `eval.machines` | C | campaign machines evaluated |
 //! | `eval.suites` | C | benchmark suites scored |

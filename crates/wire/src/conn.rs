@@ -27,7 +27,10 @@
 //! * **Time is bounded.**  A partial frame older than
 //!   [`Limits::frame_deadline_ticks`] is a `deadline-exceeded` error (the
 //!   slow-loris defence); a fully quiescent connection past
-//!   [`Limits::idle_timeout_ticks`] closes cleanly.
+//!   [`Limits::idle_timeout_ticks`] closes cleanly; and a peer that stops
+//!   *reading* is bounded too — a write backlog that makes no byte
+//!   progress for [`Limits::idle_timeout_ticks`] closes the connection in
+//!   any state, so a full-backlog peer cannot hold a connection forever.
 //! * **Shutdown drains.**  [`Connection::begin_drain`] stops reading but
 //!   serves every already-received request and flushes every buffered
 //!   byte before closing.
@@ -120,8 +123,10 @@ pub struct Connection {
 }
 
 impl Connection {
-    /// A fresh open connection.
-    pub fn new(limits: Limits) -> Connection {
+    /// A fresh open connection accepted at tick `now` — its idle clock
+    /// starts there, not at 0, so a server whose clock is long past the
+    /// idle window does not judge new connections idle on their first pump.
+    pub fn new(limits: Limits, now: u64) -> Connection {
         palmed_obs::counter!("wire.connections").inc();
         Connection {
             state: ConnState::Open,
@@ -130,7 +135,7 @@ impl Connection {
             write_buf: Vec::new(),
             write_pos: 0,
             pending: VecDeque::new(),
-            last_activity: 0,
+            last_activity: now,
             partial_since: None,
         }
     }
@@ -175,18 +180,32 @@ impl Connection {
         if self.is_closed() {
             return;
         }
-        self.flush(stream);
+        self.flush(now, stream);
         self.check_timeouts(now);
         if self.state == ConnState::Open && self.write_backlog() <= self.limits.max_write_backlog {
             self.fill(now, stream);
         }
         self.serve(engine);
-        self.flush(stream);
+        self.flush(now, stream);
         self.finish_if_drained();
     }
 
-    /// Applies deadline and idle policies at tick `now`.
+    /// Applies write-stall, deadline and idle policies at tick `now`.
     fn check_timeouts(&mut self, now: u64) {
+        if self.state == ConnState::Closed {
+            return;
+        }
+        // A backlog making no byte progress for the idle window means the
+        // peer stopped reading; its bytes can never be delivered.  This
+        // applies while draining or poisoned too — a stalled reader must
+        // not hold the connection (and its buffers) open forever.
+        if self.write_backlog() > 0
+            && now.saturating_sub(self.last_activity) > self.limits.idle_timeout_ticks
+        {
+            palmed_obs::counter!("wire.timeouts.write_stall").inc();
+            self.state = ConnState::Closed;
+            return;
+        }
         if self.state != ConnState::Open {
             return;
         }
@@ -358,11 +377,14 @@ impl Connection {
     }
 
     /// Writes as much buffered output as the stream accepts.
-    fn flush(&mut self, stream: &mut dyn WireStream) {
+    fn flush(&mut self, now: u64, stream: &mut dyn WireStream) {
         while self.write_pos < self.write_buf.len() {
             match stream.write(&self.write_buf[self.write_pos..]) {
                 Ok(0) => break,
-                Ok(n) => self.write_pos += n,
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.last_activity = now;
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -390,7 +412,7 @@ impl Connection {
     /// A conservative upper bound on bytes one frame may occupy under
     /// these limits — what a transport may size its buffers by.
     pub fn max_frame_len(&self) -> usize {
-        HEADER_LEN + self.limits.max_payload as usize + TRAILER_LEN
+        (self.limits.max_payload as usize).saturating_add(HEADER_LEN + TRAILER_LEN)
     }
 }
 

@@ -300,10 +300,13 @@ pub fn decode_frame(buf: &[u8], max_payload: u32) -> Result<Decoded, WireError> 
             format!("declared payload of {declared} bytes exceeds the {max_payload}-byte cap"),
         ));
     }
-    let total = HEADER_LEN + declared as usize + TRAILER_LEN;
-    if buf.len() < total {
+    // Widened to u64: header + declared + trailer can overflow a 32-bit
+    // usize when a permissive `max_payload` admits lengths near u32::MAX.
+    let total64 = HEADER_LEN as u64 + u64::from(declared) + TRAILER_LEN as u64;
+    if (buf.len() as u64) < total64 {
         return Ok(Decoded::NeedMore);
     }
+    let total = total64 as usize;
     let body = &buf[..total - TRAILER_LEN];
     let stored = u64::from_le_bytes(buf[total - TRAILER_LEN..total].try_into().expect("8 bytes"));
     let computed = fnv1a64_words(body);
@@ -536,6 +539,19 @@ mod tests {
         body.extend_from_slice(&payload);
         let err = decode_frame(&finish_trailer(body), 1 << 20).unwrap_err();
         assert_eq!(err.class, "malformed-binary");
+    }
+
+    #[test]
+    fn a_near_max_declared_length_asks_for_more_instead_of_misframing() {
+        // With a permissive cap the total frame length exceeds u32::MAX;
+        // the decoder must ask for more bytes, never wrap and mis-frame
+        // (the wrap is only reachable on 32-bit targets, but the intent is
+        // pinned here either way).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        push_u32(&mut buf, KIND_REQUEST);
+        push_u32(&mut buf, u32::MAX);
+        assert_eq!(decode_frame(&buf, u32::MAX), Ok(Decoded::NeedMore));
     }
 
     #[test]

@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn a_request_serves_bit_identically_to_the_in_process_predictor() {
         let engine = engine();
-        let mut conn = Connection::new(Limits::default());
+        let mut conn = Connection::new(Limits::default(), 0);
         let inbox = Frame::Request {
             req_id: 42,
             model: "skl".to_string(),
@@ -184,7 +184,7 @@ mod tests {
         let bytes = request.encode();
 
         // One byte per pump: the ultimate split-frame schedule.
-        let mut conn = Connection::new(Limits::default());
+        let mut conn = Connection::new(Limits::default(), 0);
         let mut stream = Loopback::default();
         for (tick, byte) in bytes.iter().enumerate() {
             stream.inbox.push(*byte);
@@ -193,7 +193,7 @@ mod tests {
         let split_out = stream.outbox.clone();
 
         // Everything at once, twice over (two coalesced requests).
-        let mut conn = Connection::new(Limits::default());
+        let mut conn = Connection::new(Limits::default(), 0);
         let mut stream = Loopback::default();
         stream.inbox.extend_from_slice(&bytes);
         stream.inbox.extend_from_slice(&bytes);
@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn unknown_models_and_bad_corpora_answer_structured_errors() {
         let engine = engine();
-        let mut conn = Connection::new(Limits::default());
+        let mut conn = Connection::new(Limits::default(), 0);
         let mut stream = Loopback::default();
         stream.inbox.extend_from_slice(
             &Frame::Request {
@@ -249,7 +249,7 @@ mod tests {
     #[test]
     fn a_malformed_frame_poisons_the_connection_with_an_offset() {
         let engine = engine();
-        let mut conn = Connection::new(Limits::default());
+        let mut conn = Connection::new(Limits::default(), 0);
         let mut stream = Loopback::default();
         let mut bytes = Frame::AdminRequest { req_id: 1, what: "health".to_string() }.encode();
         let last = bytes.len() - 1;
@@ -278,7 +278,7 @@ mod tests {
     fn flooding_past_the_in_flight_cap_sheds_with_server_busy() {
         let engine = engine();
         let limits = Limits { max_in_flight: 3, ..Limits::default() };
-        let mut conn = Connection::new(limits);
+        let mut conn = Connection::new(limits, 0);
         let mut stream = Loopback::default();
         for req_id in 0..8u32 {
             stream.inbox.extend_from_slice(
@@ -305,7 +305,7 @@ mod tests {
     fn oversized_frames_reject_at_the_length_field() {
         let engine = engine();
         let limits = Limits { max_payload: 64, ..Limits::default() };
-        let mut conn = Connection::new(limits);
+        let mut conn = Connection::new(limits, 0);
         let inbox = Frame::Request {
             req_id: 9,
             model: "skl".to_string(),
@@ -330,7 +330,7 @@ mod tests {
     fn partial_frames_hit_the_receive_deadline() {
         let engine = engine();
         let limits = Limits { frame_deadline_ticks: 10, ..Limits::default() };
-        let mut conn = Connection::new(limits);
+        let mut conn = Connection::new(limits, 0);
         let mut stream = Loopback::default();
         let bytes = Frame::AdminRequest { req_id: 1, what: "obs".to_string() }.encode();
         stream.inbox = bytes[..5].to_vec(); // slow loris: a few bytes, then silence
@@ -352,7 +352,7 @@ mod tests {
     fn idle_connections_close_cleanly() {
         let engine = engine();
         let limits = Limits { idle_timeout_ticks: 100, ..Limits::default() };
-        let mut conn = Connection::new(limits);
+        let mut conn = Connection::new(limits, 0);
         let mut stream = Loopback::default();
         conn.pump(0, &mut stream, &engine);
         conn.pump(100, &mut stream, &engine);
@@ -363,9 +363,63 @@ mod tests {
     }
 
     #[test]
+    fn connections_accepted_late_are_not_born_idle() {
+        // Regression: the idle clock must start at the accept tick — a
+        // server up longer than the idle window accepts at a large tick,
+        // and its first pump must not judge the new connection idle.
+        let engine = engine();
+        let limits = Limits { idle_timeout_ticks: 100, ..Limits::default() };
+        let mut conn = Connection::new(limits, 50_000);
+        let inbox = Frame::AdminRequest { req_id: 1, what: "health".to_string() }.encode();
+        let mut stream = Loopback { inbox, ..Loopback::default() };
+        conn.pump(50_001, &mut stream, &engine);
+        assert_eq!(conn.state(), ConnState::Open, "a fresh connection is not idle");
+        assert_eq!(decode_all(&stream.outbox).len(), 1, "its first request is served");
+    }
+
+    /// A peer that sends but never reads: every write is `WouldBlock`.
+    struct DeafStream {
+        inbox: Vec<u8>,
+    }
+
+    impl WireStream for DeafStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.inbox.is_empty() {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.inbox.len());
+            buf[..n].copy_from_slice(&self.inbox[..n]);
+            self.inbox.drain(..n);
+            Ok(n)
+        }
+
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::ErrorKind::WouldBlock.into())
+        }
+    }
+
+    #[test]
+    fn a_peer_that_never_reads_its_responses_is_closed() {
+        // A full write backlog with no progress must not hold the
+        // connection open forever — the stall is bounded by the idle
+        // window, measured from the last byte-level progress.
+        let engine = engine();
+        let limits = Limits { idle_timeout_ticks: 100, ..Limits::default() };
+        let mut conn = Connection::new(limits, 0);
+        let inbox = Frame::AdminRequest { req_id: 1, what: "health".to_string() }.encode();
+        let mut stream = DeafStream { inbox };
+        conn.pump(0, &mut stream, &engine);
+        assert!(conn.write_backlog() > 0, "the response is stuck in the backlog");
+        conn.pump(100, &mut stream, &engine);
+        assert_eq!(conn.state(), ConnState::Open, "stall window not yet passed");
+        conn.pump(101, &mut stream, &engine);
+        assert!(conn.is_closed(), "a stalled reader must not hold the connection");
+    }
+
+    #[test]
     fn shutdown_drains_in_flight_requests() {
         let engine = engine();
-        let mut conn = Connection::new(Limits::default());
+        let mut conn = Connection::new(Limits::default(), 0);
         let mut stream = Loopback::default();
         for req_id in 0..3u32 {
             stream.inbox.extend_from_slice(
@@ -399,7 +453,7 @@ mod tests {
     fn admin_health_reports_fingerprints() {
         let engine = engine();
         let fp = engine.registry().get("skl").unwrap().fingerprint();
-        let mut conn = Connection::new(Limits::default());
+        let mut conn = Connection::new(Limits::default(), 0);
         let inbox = Frame::AdminRequest { req_id: 5, what: "health".to_string() }.encode();
         let mut stream = Loopback { inbox, ..Loopback::default() };
         conn.pump(0, &mut stream, &engine);
@@ -425,7 +479,7 @@ mod tests {
         let registry = Arc::new(ModelRegistry::new());
         registry.register(artifact("skl", 0.5));
         let engine = Engine::new(Arc::clone(&registry));
-        let mut conn = Connection::new(Limits::default());
+        let mut conn = Connection::new(Limits::default(), 0);
         let mut stream = Loopback::default();
         let request = |req_id| Frame::Request {
             req_id,

@@ -64,7 +64,8 @@ mod sys {
         fn recv(fd: i32, buf: *mut c_void, len: usize, flags: i32) -> isize;
         fn send(fd: i32, buf: *const c_void, len: usize, flags: i32) -> isize;
         fn close(fd: i32) -> i32;
-        fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+        // `nfds_t` is C `unsigned long` — 32 bits on 32-bit targets.
+        fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout_ms: i32) -> i32;
         fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
         fn unlink(path: *const u8) -> i32;
     }
@@ -181,7 +182,8 @@ mod sys {
     pub(super) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
         // SAFETY: `fds` is a live mutable slice of PollFd of exactly
         // `fds.len()` entries.
-        let ret = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        let ret =
+            unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms) };
         if ret < 0 {
             let err = io::Error::last_os_error();
             return match err.kind() {
@@ -227,16 +229,32 @@ pub struct WireServer {
 }
 
 impl WireServer {
-    /// Binds a UNIX socket at `path` (unlinking any stale socket file
+    /// Binds a UNIX socket at `path` (unlinking any stale *socket* file
     /// first) and prepares to serve `engine` under `limits`.
     ///
     /// # Errors
     ///
-    /// Propagates socket/bind/listen failures and over-long paths.
+    /// Propagates socket/bind/listen failures and over-long paths, and
+    /// refuses (with [`io::ErrorKind::AlreadyExists`]) to replace an
+    /// existing path that is not a socket — a mistyped path must not
+    /// silently delete an operator's file.
     pub fn bind(path: impl AsRef<Path>, engine: Engine, limits: Limits) -> io::Result<WireServer> {
+        use std::os::unix::fs::FileTypeExt;
         let path = path.as_ref().to_path_buf();
         let raw = path_bytes(&path)?;
-        sys::unlink_path(&raw);
+        match std::fs::symlink_metadata(&path) {
+            Ok(meta) if meta.file_type().is_socket() => sys::unlink_path(&raw),
+            Ok(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!(
+                        "refusing to bind at `{}`: the path exists and is not a socket",
+                        path.display()
+                    ),
+                ));
+            }
+            Err(_) => {}
+        }
         let listener = sys::stream_socket()?;
         sys::bind_listen(&listener, &raw)?;
         Ok(WireServer { path, listener, engine, limits, stop: Arc::new(AtomicBool::new(false)) })
@@ -287,15 +305,17 @@ impl WireServer {
             }
             sys::poll_fds(&mut fds, 10)?;
 
+            // Ticks are wall milliseconds since the server started; every
+            // timeout below is a deterministic function of them.  New
+            // connections are born at the current tick, so their idle
+            // clocks start at accept, not at server start.
+            let now = started.elapsed().as_millis() as u64;
             if !draining {
                 while let Some(client) = sys::accept_one(&listener)? {
-                    conns.push((client, Connection::new(limits)));
+                    conns.push((client, Connection::new(limits, now)));
                 }
             }
 
-            // Ticks are wall milliseconds since the server started; every
-            // timeout below is a deterministic function of them.
-            let now = started.elapsed().as_millis() as u64;
             for (fd, conn) in &mut conns {
                 conn.pump(now, &mut SocketStream(fd), &engine);
             }

@@ -91,7 +91,7 @@ fn flooding_past_the_cap_sheds_exactly_and_counts_exactly() {
     const CAP: usize = 2;
     const FLOOD: u32 = 10;
     let engine = engine();
-    let mut conn = Connection::new(Limits { max_in_flight: CAP, ..Limits::default() });
+    let mut conn = Connection::new(Limits { max_in_flight: CAP, ..Limits::default() }, 0);
     let mut stream = Loopback::default();
     for req_id in 0..FLOOD {
         stream.inbox.extend_from_slice(&request(req_id).encode());
@@ -141,7 +141,7 @@ fn shutdown_drains_every_received_request_before_closing() {
     palmed_obs::set_enabled(true);
     const IN_FLIGHT: u32 = 4;
     let engine = engine();
-    let mut conn = Connection::new(Limits { max_in_flight: 8, ..Limits::default() });
+    let mut conn = Connection::new(Limits { max_in_flight: 8, ..Limits::default() }, 0);
     let mut stream = Loopback::default();
     for req_id in 0..IN_FLIGHT {
         stream.inbox.extend_from_slice(&request(req_id).encode());
@@ -219,4 +219,22 @@ fn a_real_socket_round_trip_is_bit_identical_and_stops_cleanly() {
     stop.store(true, std::sync::atomic::Ordering::SeqCst);
     handle.join().expect("server thread").expect("serve loop");
     assert!(!path.exists(), "the server unlinks its socket on exit");
+}
+
+/// A mistyped socket path pointing at a real file must not delete it.
+#[cfg(target_os = "linux")]
+#[test]
+fn bind_refuses_to_replace_a_regular_file() {
+    use palmed_wire::WireServer;
+
+    let path =
+        std::env::temp_dir().join(format!("palmed-wire-notsock-{}.txt", std::process::id()));
+    std::fs::write(&path, b"operator data").unwrap();
+    let err = match WireServer::bind(&path, engine(), Limits::default()) {
+        Ok(_) => panic!("bind must refuse a path that is not a socket"),
+        Err(err) => err,
+    };
+    assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+    assert_eq!(std::fs::read(&path).unwrap(), b"operator data", "the file survives");
+    std::fs::remove_file(&path).unwrap();
 }
