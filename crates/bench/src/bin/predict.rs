@@ -35,7 +35,10 @@
 //!    [`palmed_wire::WireServer`] on a UNIX socket, serve the probe corpus
 //!    through a `PALMED-WIRE v1` request frame, and require bit-identity
 //!    with the in-process predictions plus fingerprint equality through
-//!    the admin health frame.
+//!    the admin health frame — then the same frame again over a loopback
+//!    TCP listener running the epoll front-end with cross-connection
+//!    batching, so every transport × front-end × serve-core combination is
+//!    smoke-proven bit-identical.
 //!
 //! Usage: `cargo run --release -p palmed-bench --bin predict -- \
 //!     [--full] [--blocks N] [--out DIR]`
@@ -491,7 +494,7 @@ fn wire_round_trip(
     let corpus_text = std::fs::read_to_string(corpus_path).expect("corpus rereads");
     let start = Instant::now();
     let reply = client
-        .call(&Frame::Request { req_id: 1, model: model.to_string(), corpus: corpus_text })
+        .call(&Frame::Request { req_id: 1, model: model.to_string(), corpus: corpus_text.clone() })
         .expect("wire round trip");
     let wire_in = start.elapsed();
     let rows = match reply {
@@ -540,10 +543,62 @@ fn wire_round_trip(
         eprintln!("FATAL: wire server left its socket file behind");
         std::process::exit(1);
     }
+
+    // The same request again over loopback TCP, through the epoll
+    // readiness front-end and the cross-connection shared batcher — the
+    // performance configuration must be bit-identical to the portable one.
+    use palmed_wire::FrontEnd;
+    let tcp_server = WireServer::bind_tcp(
+        std::net::SocketAddrV4::new(std::net::Ipv4Addr::LOCALHOST, 0),
+        Engine::new(Arc::clone(&registry)),
+        limits,
+    )
+    .expect("wire server binds a loopback TCP listener")
+    .with_front_end(FrontEnd::Epoll)
+    .with_batching(true);
+    let tcp_addr = tcp_server.tcp_addr().expect("TCP transport reports its bound address");
+    let tcp_stop = tcp_server.stop_handle();
+    let tcp_handle = std::thread::spawn(move || tcp_server.run());
+    let mut tcp_client = loop {
+        match WireClient::connect_tcp(tcp_addr) {
+            Ok(client) => break client,
+            Err(_) => std::thread::yield_now(),
+        }
+    };
+    let start = Instant::now();
+    let tcp_reply = tcp_client
+        .call(&Frame::Request { req_id: 3, model: model.to_string(), corpus: corpus_text })
+        .expect("TCP wire round trip");
+    let tcp_in = start.elapsed();
+    let tcp_rows = match tcp_reply {
+        Frame::Response { req_id: 3, rows } => rows,
+        other => {
+            eprintln!("FATAL: TCP wire reply was not the response to request 3: {other:?}");
+            std::process::exit(1);
+        }
+    };
+    let tcp_mismatches = in_process
+        .iter()
+        .zip(&tcp_rows)
+        .filter(|(a, b)| a.map(f64::to_bits) != b.map(f64::to_bits))
+        .count();
+    if tcp_rows.len() != in_process.len() || tcp_mismatches > 0 {
+        eprintln!(
+            "FATAL: TCP/epoll/batched wire served {} rows with {tcp_mismatches} mismatches \
+             against {} in-process predictions",
+            tcp_rows.len(),
+            in_process.len()
+        );
+        std::process::exit(1);
+    }
+    tcp_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    tcp_handle.join().expect("TCP wire server thread").expect("TCP wire serve loop");
+
     println!(
         "[9/9] wire round trip over {}: {} blocks served in {wire_in:.2?}, bit-identical \
          to the in-process predictions; admin health fingerprint {reference:016x}; \
-         server drained and unlinked its socket",
+         server drained and unlinked its socket; TCP {tcp_addr} (epoll front-end, shared \
+         batching) re-served the corpus bit-identically in {tcp_in:.2?}",
         socket.display(),
         rows.len()
     );

@@ -1,0 +1,502 @@
+//! Wire-plane throughput bench: req/sec and latency quantiles for every
+//! transport-independent serve configuration, recorded as
+//! `BENCH_wire.json`.
+//!
+//! The matrix is serve core × front-end × concurrency over a loopback UNIX
+//! socket: {isolated, shared-batcher} × {poll, epoll} × {1, 4, 16}
+//! clients, each client synchronously round-tripping the same
+//! `PALMED-CORPUS v1` request.  Two in-process rows pin the floor the wire
+//! numbers are judged against: `parse_and_predict` (what one isolated
+//! request costs without any socket) and `predict_prepared` (the
+//! steady-state predictor alone).  A final pair of scenarios holds 32
+//! *idle* connections open next to one active client and reports
+//! connection pumps per wakeup for poll vs epoll — the poll front-end
+//! re-walks the full fd set every tick, the epoll front-end pumps only
+//! ready connections, and the ratio is the receipt.
+//!
+//! Every scenario's first reply is checked bit-identical to the in-process
+//! predictions, so the numbers can never come from serving wrong rows.
+//!
+//! Output rows (`{"bench", "ns_per_iter"}`, flat like the other
+//! `BENCH_*.json` files):
+//!
+//! * `wire_throughput/<core>_<frontend>/c<N>` — aggregate wall time per
+//!   request at N concurrent clients;
+//! * `wire_latency/<core>_<frontend>/c<N>/p50|p99` — per-request latency
+//!   quantile bounds from the `wire.request_ns` histogram delta;
+//! * `wire_throughput/inprocess/...` — the no-socket floors;
+//! * `wire_frontend/pumps_per_wakeup/poll|epoll` — idle-connection scan
+//!   cost (a ratio, not nanoseconds: connections pumped per wakeup).
+//!
+//! Usage: `cargo run --release -p palmed-bench --bin wire_throughput -- \
+//!     [--smoke] [--out FILE]`
+//!
+//! `--smoke` runs a reduced matrix in well under a second, asserts the
+//! shared batcher beats isolated serving at 4 clients and that epoll pumps
+//! fewer connections per wakeup than poll under idle load, and writes no
+//! file — it is the CI gate.  The default (full) run writes
+//! `BENCH_wire.json` to the working directory (or `--out`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_wire.json".to_string());
+    run(smoke, &out)
+}
+
+#[cfg(target_os = "linux")]
+fn run(smoke: bool, out: &str) -> ExitCode {
+    use linux::Params;
+    let params = if smoke { Params::smoke() } else { Params::full() };
+    linux::run(params, smoke, out)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn run(_smoke: bool, _out: &str) -> ExitCode {
+    println!("wire_throughput: skipped (the UNIX-socket wire plane is Linux-only)");
+    ExitCode::SUCCESS
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use palmed_core::ConjunctiveMapping;
+    use palmed_isa::{InstId, InstructionSet};
+    use palmed_serve::{
+        BatchPredictor, Corpus, ModelArtifact, ModelRegistry, PreparedBatch,
+    };
+    use palmed_wire::{Engine, Frame, FrontEnd, Limits, WireClient, WireServer};
+    use std::process::ExitCode;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// Workload sizes for one run.
+    pub struct Params {
+        /// Corpus blocks per request (parse cost scales with this).
+        blocks: usize,
+        /// Synchronous round trips per client.
+        iters: usize,
+        /// Concurrency points of the wire matrix.
+        clients: &'static [usize],
+        /// Idle connections held open in the front-end scan scenarios.
+        idle_conns: usize,
+        /// Round trips the active client makes in the scan scenarios.
+        idle_iters: usize,
+    }
+
+    impl Params {
+        pub fn full() -> Params {
+            Params { blocks: 2000, iters: 30, clients: &[1, 4, 16], idle_conns: 32, idle_iters: 50 }
+        }
+
+        pub fn smoke() -> Params {
+            Params { blocks: 300, iters: 5, clients: &[1, 4], idle_conns: 32, idle_iters: 10 }
+        }
+    }
+
+    const MODEL: &str = "wire-bench";
+
+    /// A mapping covering all six paper-inventory mnemonics, so every
+    /// served row is `Some`.
+    fn bench_artifact() -> ModelArtifact {
+        let mut mapping = ConjunctiveMapping::with_resources(2);
+        for (id, usage) in
+            [(0, 0.5), (1, 0.2), (2, 0.25), (3, 0.4), (4, 0.1), (5, 0.125)]
+        {
+            mapping.set_usage(InstId(id), vec![usage, usage / 2.0]);
+        }
+        ModelArtifact::new(MODEL, "wire-bench", InstructionSet::paper_example(), mapping)
+    }
+
+    /// A redundant corpus: `blocks` token-heavy lines cycling through ~96
+    /// distinct kernels, so request cost is parse-dominated — exactly the
+    /// regime the shared batcher's corpus cache and single-predict round
+    /// target.
+    fn corpus_text(blocks: usize) -> String {
+        let mut text = String::from("PALMED-CORPUS v1\n");
+        for i in 0..blocks {
+            let a = i % 4 + 1;
+            let d = (i / 4) % 4 + 1;
+            let j = (i / 16) % 3 + 2;
+            let v = (i / 48) % 2 + 1;
+            text.push_str(&format!(
+                "b{i} 1 ADDSS×{a} DIVPS×{d} JNLE×{j} VCVTT×{v} BSR×{a} JMP×{d}\n"
+            ));
+        }
+        text
+    }
+
+    /// One recorded row of the flat `BENCH_*.json` format.
+    struct Row {
+        bench: String,
+        ns_per_iter: f64,
+    }
+
+    fn render_rows(rows: &[Row]) -> String {
+        let mut json = String::from("[\n");
+        for (i, row) in rows.iter().enumerate() {
+            let sep = if i + 1 == rows.len() { "" } else { "," };
+            json.push_str(&format!(
+                "  {{\"bench\": \"{}\", \"ns_per_iter\": {:.1}}}{sep}\n",
+                row.bench, row.ns_per_iter
+            ));
+        }
+        json.push(']');
+        json.push('\n');
+        json
+    }
+
+    struct Scenario {
+        core: &'static str,
+        batching: bool,
+        frontend: &'static str,
+        front_end: FrontEnd,
+        clients: usize,
+    }
+
+    struct Measured {
+        ns_per_request: f64,
+        p50_ns: u64,
+        p99_ns: u64,
+    }
+
+    /// The `wire.request_ns` delta between two snapshots, as a quantile
+    /// source (bucket-wise subtraction; the quantile walk only reads
+    /// `count` and `buckets`).
+    fn histogram_delta(
+        before: &palmed_obs::HistogramSnapshot,
+        after: &palmed_obs::HistogramSnapshot,
+    ) -> palmed_obs::HistogramSnapshot {
+        palmed_obs::HistogramSnapshot {
+            count: after.count - before.count,
+            sum: after.sum - before.sum,
+            max: after.max,
+            buckets: after
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| b - before.buckets.get(i).copied().unwrap_or(0))
+                .collect(),
+        }
+    }
+
+    fn request_histogram() -> palmed_obs::HistogramSnapshot {
+        palmed_obs::snapshot()
+            .histogram("wire.request_ns")
+            .cloned()
+            .unwrap_or(palmed_obs::HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                max: 0,
+                buckets: Vec::new(),
+            })
+    }
+
+    /// Runs one wire scenario: a fresh server on a fresh socket, `clients`
+    /// synchronous clients each round-tripping `iters` requests.
+    fn run_scenario(
+        scenario: &Scenario,
+        registry: &Arc<ModelRegistry>,
+        corpus: &str,
+        iters: usize,
+        reference: &Arc<Vec<Option<f64>>>,
+    ) -> Measured {
+        let socket = std::env::temp_dir().join(format!(
+            "palmed-wire-bench-{}-{}-{}.sock",
+            scenario.core,
+            scenario.frontend,
+            scenario.clients
+        ));
+        std::fs::remove_file(&socket).ok();
+        let limits = Limits { max_payload: 16 << 20, ..Limits::default() };
+        let server = WireServer::bind(&socket, Engine::new(Arc::clone(registry)), limits)
+            .expect("bench server binds")
+            .with_front_end(scenario.front_end)
+            .with_batching(scenario.batching);
+        let stop = server.stop_handle();
+        let server_thread = std::thread::spawn(move || server.run());
+
+        let before = request_histogram();
+        let start = Instant::now();
+        let mut workers = Vec::new();
+        for worker in 0..scenario.clients {
+            let socket = socket.clone();
+            let corpus = corpus.to_string();
+            let reference = Arc::clone(reference);
+            workers.push(std::thread::spawn(move || {
+                let mut client = loop {
+                    match WireClient::connect(&socket) {
+                        Ok(client) => break client,
+                        Err(_) => std::thread::yield_now(),
+                    }
+                };
+                for i in 0..iters {
+                    let req_id = (worker * iters + i) as u32 + 1;
+                    let reply = client
+                        .call(&Frame::Request {
+                            req_id,
+                            model: MODEL.to_string(),
+                            corpus: corpus.clone(),
+                        })
+                        .expect("bench round trip");
+                    match reply {
+                        Frame::Response { req_id: got, rows } => {
+                            assert_eq!(got, req_id, "replies stay in request order");
+                            if i == 0 {
+                                let mismatches = reference
+                                    .iter()
+                                    .zip(&rows)
+                                    .filter(|(a, b)| a.map(f64::to_bits) != b.map(f64::to_bits))
+                                    .count();
+                                assert!(
+                                    rows.len() == reference.len() && mismatches == 0,
+                                    "wire rows must be bit-identical to the in-process floor"
+                                );
+                            }
+                        }
+                        other => panic!("bench reply was not a response: {other:?}"),
+                    }
+                }
+            }));
+        }
+        for worker in workers {
+            worker.join().expect("bench client thread");
+        }
+        let elapsed = start.elapsed();
+        let after = request_histogram();
+
+        stop.store(true, Ordering::SeqCst);
+        server_thread.join().expect("bench server thread").expect("bench serve loop");
+
+        let total = (scenario.clients * iters) as f64;
+        let delta = histogram_delta(&before, &after);
+        assert_eq!(delta.count, total as u64, "every request lands in wire.request_ns");
+        Measured {
+            ns_per_request: elapsed.as_nanos() as f64 / total,
+            p50_ns: delta.quantile_bound(0.50),
+            p99_ns: delta.quantile_bound(0.99),
+        }
+    }
+
+    /// Front-end scan cost: `idle_conns` silent connections plus one
+    /// active client; returns connections pumped per wakeup.
+    fn run_idle_scan(
+        front_end: FrontEnd,
+        frontend: &'static str,
+        registry: &Arc<ModelRegistry>,
+        corpus: &str,
+        idle_conns: usize,
+        iters: usize,
+    ) -> f64 {
+        let socket = std::env::temp_dir().join(format!("palmed-wire-bench-idle-{frontend}.sock"));
+        std::fs::remove_file(&socket).ok();
+        let limits = Limits { max_payload: 16 << 20, ..Limits::default() };
+        let server = WireServer::bind(&socket, Engine::new(Arc::clone(registry)), limits)
+            .expect("bench server binds")
+            .with_front_end(front_end);
+        let stop = server.stop_handle();
+        let server_thread = std::thread::spawn(move || server.run());
+
+        let mut client = loop {
+            match WireClient::connect(&socket) {
+                Ok(client) => break client,
+                Err(_) => std::thread::yield_now(),
+            }
+        };
+        let idle: Vec<WireClient> = (0..idle_conns)
+            .map(|_| loop {
+                match WireClient::connect(&socket) {
+                    Ok(client) => break client,
+                    Err(_) => std::thread::yield_now(),
+                }
+            })
+            .collect();
+        // One round trip makes sure every idle connection is accepted and
+        // registered before the measured window opens.
+        let _ = client
+            .call(&Frame::AdminRequest { req_id: 1, what: "health".to_string() })
+            .expect("warm-up round trip");
+
+        let snapshot = palmed_obs::snapshot();
+        let pumps_before = snapshot.counter("wire.frontend.pumps").unwrap_or(0);
+        let wakeups_before = snapshot.counter("wire.frontend.wakeups").unwrap_or(0);
+        for i in 0..iters {
+            let reply = client
+                .call(&Frame::Request {
+                    req_id: i as u32 + 2,
+                    model: MODEL.to_string(),
+                    corpus: corpus.to_string(),
+                })
+                .expect("idle-scan round trip");
+            assert!(matches!(reply, Frame::Response { .. }));
+        }
+        let snapshot = palmed_obs::snapshot();
+        let pumps = snapshot.counter("wire.frontend.pumps").unwrap_or(0) - pumps_before;
+        let wakeups = snapshot.counter("wire.frontend.wakeups").unwrap_or(0) - wakeups_before;
+
+        drop(idle);
+        drop(client);
+        stop.store(true, Ordering::SeqCst);
+        server_thread.join().expect("bench server thread").expect("bench serve loop");
+        pumps as f64 / wakeups.max(1) as f64
+    }
+
+    pub fn run(params: Params, smoke: bool, out: &str) -> ExitCode {
+        palmed_obs::set_enabled(true);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register(bench_artifact());
+        let corpus = corpus_text(params.blocks);
+
+        // The in-process floors — and the reference rows every wire reply
+        // is checked against.
+        let entry = registry.get(MODEL).expect("bench model registered");
+        let served = entry.served().expect("register installs a full entry");
+        let instructions = &served.artifact.instructions;
+        let batch = BatchPredictor::new(&served.compiled);
+        let parsed = Corpus::parse(&corpus, instructions).expect("bench corpus parses");
+        let prepared = PreparedBatch::from_corpus(&parsed);
+        let reference = Arc::new(batch.predict_prepared(&prepared).ipcs);
+
+        let floor_iters = if smoke { 5 } else { 50 };
+        let start = Instant::now();
+        for _ in 0..floor_iters {
+            let parsed = Corpus::parse(&corpus, instructions).expect("bench corpus parses");
+            let prepared = PreparedBatch::from_corpus(&parsed);
+            let _ = batch.predict_prepared(&prepared);
+        }
+        let parse_and_predict_ns = start.elapsed().as_nanos() as f64 / floor_iters as f64;
+        let start = Instant::now();
+        for _ in 0..floor_iters {
+            let _ = batch.predict_prepared(&prepared);
+        }
+        let predict_prepared_ns = start.elapsed().as_nanos() as f64 / floor_iters as f64;
+
+        let mut rows = vec![
+            Row {
+                bench: "wire_throughput/inprocess/parse_and_predict".to_string(),
+                ns_per_iter: parse_and_predict_ns,
+            },
+            Row {
+                bench: "wire_throughput/inprocess/predict_prepared".to_string(),
+                ns_per_iter: predict_prepared_ns,
+            },
+        ];
+        println!(
+            "wire_throughput: in-process floor {:.0}µs parse+predict, {:.1}µs predict_prepared \
+             ({} blocks)",
+            parse_and_predict_ns / 1e3,
+            predict_prepared_ns / 1e3,
+            params.blocks
+        );
+
+        // The wire matrix.
+        let mut shared_at_4 = None;
+        let mut isolated_at_4 = None;
+        for &clients in params.clients {
+            for (core, batching) in [("isolated", false), ("shared", true)] {
+                for (frontend, front_end) in [("poll", FrontEnd::Poll), ("epoll", FrontEnd::Epoll)]
+                {
+                    let scenario = Scenario { core, batching, frontend, front_end, clients };
+                    let measured =
+                        run_scenario(&scenario, &registry, &corpus, params.iters, &reference);
+                    println!(
+                        "wire_throughput: {core}/{frontend} c{clients}: {:.0} req/s, \
+                         p50 {:.0}µs, p99 {:.0}µs",
+                        1e9 / measured.ns_per_request,
+                        measured.p50_ns as f64 / 1e3,
+                        measured.p99_ns as f64 / 1e3
+                    );
+                    if clients == 4 && frontend == "epoll" {
+                        if batching {
+                            shared_at_4 = Some(measured.ns_per_request);
+                        } else {
+                            isolated_at_4 = Some(measured.ns_per_request);
+                        }
+                    }
+                    rows.push(Row {
+                        bench: format!("wire_throughput/{core}_{frontend}/c{clients}"),
+                        ns_per_iter: measured.ns_per_request,
+                    });
+                    rows.push(Row {
+                        bench: format!("wire_latency/{core}_{frontend}/c{clients}/p50"),
+                        ns_per_iter: measured.p50_ns as f64,
+                    });
+                    rows.push(Row {
+                        bench: format!("wire_latency/{core}_{frontend}/c{clients}/p99"),
+                        ns_per_iter: measured.p99_ns as f64,
+                    });
+                }
+            }
+        }
+
+        // Idle-connection scan cost, poll vs epoll.
+        let poll_scan = run_idle_scan(
+            FrontEnd::Poll,
+            "poll",
+            &registry,
+            &corpus,
+            params.idle_conns,
+            params.idle_iters,
+        );
+        let epoll_scan = run_idle_scan(
+            FrontEnd::Epoll,
+            "epoll",
+            &registry,
+            &corpus,
+            params.idle_conns,
+            params.idle_iters,
+        );
+        println!(
+            "wire_throughput: idle scan ({} idle conns): poll pumps {poll_scan:.1} conns/wakeup, \
+             epoll {epoll_scan:.1}",
+            params.idle_conns
+        );
+        rows.push(Row {
+            bench: "wire_frontend/pumps_per_wakeup/poll".to_string(),
+            ns_per_iter: poll_scan,
+        });
+        rows.push(Row {
+            bench: "wire_frontend/pumps_per_wakeup/epoll".to_string(),
+            ns_per_iter: epoll_scan,
+        });
+
+        if smoke {
+            let (isolated, shared) = (
+                isolated_at_4.expect("isolated c4 ran"),
+                shared_at_4.expect("shared c4 ran"),
+            );
+            if shared >= isolated {
+                eprintln!(
+                    "wire_throughput: FAIL: shared batching ({shared:.0} ns/req) did not beat \
+                     isolated serving ({isolated:.0} ns/req) at 4 clients"
+                );
+                return ExitCode::FAILURE;
+            }
+            if epoll_scan >= poll_scan {
+                eprintln!(
+                    "wire_throughput: FAIL: epoll pumped {epoll_scan:.1} conns/wakeup under idle \
+                     load, poll {poll_scan:.1} — the ready-list front-end must not re-walk the \
+                     full set"
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wire_throughput: OK (smoke): shared {:.1}x isolated at c4; epoll scans \
+                 {:.1}x fewer conns/wakeup than poll",
+                isolated / shared,
+                poll_scan / epoll_scan
+            );
+        } else {
+            std::fs::write(out, render_rows(&rows)).expect("bench output writes");
+            println!("wire_throughput: wrote {} rows to {out}", rows.len());
+        }
+        ExitCode::SUCCESS
+    }
+}

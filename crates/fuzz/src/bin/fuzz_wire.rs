@@ -12,9 +12,14 @@
 //! shedding is exact, accepted requests serve bit-identically to the
 //! in-process predictor, and the connection always drains.
 //!
-//! It then runs `--decoder-iters` (default 2000) coverage-guided mutation
-//! cases against [`palmed_wire::decode_frame`] itself.  Exits non-zero on
-//! any violation.  CI runs this on every push.
+//! It then runs `--multi` interleaved multi-connection schedules (default
+//! 200): 2–4 faulty connections behind one engine and one
+//! [`palmed_wire::SharedBatcher`], asserting that shared-batch serving
+//! stays bit-identical to per-connection serving and that a poisoned or
+//! shed connection never corrupts or stalls another connection's batch
+//! slots — and finally `--decoder-iters` (default 2000) coverage-guided
+//! mutation cases against [`palmed_wire::decode_frame`] itself.  Exits
+//! non-zero on any violation.  CI runs this on every push.
 //!
 //! `--replay <case>` re-executes one deterministic connection schedule
 //! verbosely and exits — the one-liner printed alongside any violation.
@@ -35,8 +40,12 @@ fn parse_flag(args: &[String], flag: &str, default: u32) -> Result<u32, String> 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: fuzz_wire [--schedules N] [--seed S] [--decoder-iters M] [--replay C]");
+        println!(
+            "usage: fuzz_wire [--schedules N] [--multi K] [--seed S] [--decoder-iters M] \
+             [--replay C]"
+        );
         println!("  --schedules N      connection schedules to run (default 500)");
+        println!("  --multi K          multi-connection shared-batcher schedules (default 200)");
         println!("  --seed S           first deterministic case number (default 1)");
         println!("  --decoder-iters M  guided frame-decoder mutation cases (default 2000)");
         println!("  --replay C         verbosely re-run one deterministic schedule and exit");
@@ -58,12 +67,15 @@ fn main() -> ExitCode {
     }
     let parsed = (
         parse_flag(&args, "--schedules", 500),
+        parse_flag(&args, "--multi", 200),
         parse_flag(&args, "--seed", 1),
         parse_flag(&args, "--decoder-iters", 2000),
     );
-    let (schedules, seed, decoder_iters) = match parsed {
-        (Ok(schedules), Ok(seed), Ok(decoder_iters)) => (schedules, seed, decoder_iters),
-        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+    let (schedules, multi, seed, decoder_iters) = match parsed {
+        (Ok(schedules), Ok(multi), Ok(seed), Ok(decoder_iters)) => {
+            (schedules, multi, seed, decoder_iters)
+        }
+        (Err(e), _, _, _) | (_, Err(e), _, _) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
             eprintln!("fuzz_wire: {e}");
             return ExitCode::FAILURE;
         }
@@ -73,12 +85,17 @@ fn main() -> ExitCode {
     // output readable.
     std::panic::set_hook(Box::new(|_| {}));
     let summary = palmed_fuzz::wire_fuzz::run_schedules(schedules, seed);
+    let multi_summary = palmed_fuzz::wire_fuzz::run_multi_schedules(multi, seed);
     let decoder = palmed_fuzz::wire_fuzz::run_decoder_guided(decoder_iters, seed);
     let _ = std::panic::take_hook();
 
     println!("fuzz_wire: {summary}");
+    println!("fuzz_wire (multi): {multi_summary}");
     println!("fuzz_wire: {decoder}");
-    if summary.violations.is_empty() && decoder.violations.is_empty() {
+    if summary.violations.is_empty()
+        && multi_summary.violations.is_empty()
+        && decoder.violations.is_empty()
+    {
         println!("fuzz_wire: OK");
         ExitCode::SUCCESS
     } else {
@@ -89,6 +106,9 @@ fn main() -> ExitCode {
                  --bin fuzz_wire -- --replay {}",
                 violation.case
             );
+        }
+        for violation in &multi_summary.violations {
+            eprintln!("fuzz_wire: VIOLATION (multi) {violation}");
         }
         for violation in &decoder.violations {
             eprintln!("fuzz_wire: VIOLATION (decoder) {violation}");

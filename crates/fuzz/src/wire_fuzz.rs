@@ -34,6 +34,15 @@
 //! Schedules are pure functions of their case number; re-run one verbosely
 //! with `fuzz_wire --replay <case>`.
 //!
+//! [`run_multi_schedules`] lifts the same invariants to the shared serve
+//! core: 2–4 connections behind one engine and one
+//! [`palmed_wire::SharedBatcher`], pumped in gather → batch-serve →
+//! scatter rounds.  The mirror expectations are still computed with the
+//! *isolated* in-process predictor, so its drain check is literally
+//! "cross-connection batching is bit-identical to per-connection serving"
+//! — plus isolation: a poisoned or shed member never corrupts or stalls
+//! another member's batch slots.
+//!
 //! [`run_decoder_guided`] additionally turns the coverage-guided scheduler
 //! idea of [`crate::guided`] on [`palmed_wire::decode_frame`]: a seed
 //! queue starts from one valid frame of every kind, mutants that reach a
@@ -319,11 +328,7 @@ impl<'a> Sched<'a> {
 
     /// The bit-identical in-process reference for one request.
     fn expected_response(&self, at: usize, req_id: u32, corpus_text: &str) -> Vec<u8> {
-        let artifact = &self.models[at].artifact;
-        let corpus = Corpus::parse(corpus_text, &artifact.instructions)
-            .expect("fuzzer-rendered corpora re-parse");
-        let rows = BatchPredictor::new(artifact.compile()).predict_corpus(&corpus).ipcs;
-        Frame::Response { req_id, rows }.encode()
+        expected_response_for(&self.models[at].artifact, req_id, corpus_text)
     }
 
     /// A complete request split across chunks and stalls.
@@ -607,63 +612,70 @@ impl<'a> Sched<'a> {
             format!("drain: {} frames against {} expectations", self.received.len(),
                 self.expects.len())
         });
-        if self.received.len() != self.expects.len() {
-            self.violation(format!(
-                "{} frames received, {} expected",
-                self.received.len(),
-                self.expects.len()
+        check_positional("", &self.expects, &self.received, &mut self.stats.violations);
+    }
+}
+
+/// Matches a connection's received frames against its mirror expectations,
+/// positionally — the shared drain check of the single-connection and
+/// multi-connection harnesses.  `label` prefixes each violation (empty for
+/// the single-connection harness, `conn N ` for a batch member).
+fn check_positional(
+    label: &str,
+    expects: &[(u32, Expect)],
+    received: &[Frame],
+    violations: &mut Vec<String>,
+) {
+    if received.len() != expects.len() {
+        violations
+            .push(format!("{label}{} frames received, {} expected", received.len(), expects.len()));
+        return;
+    }
+    for (i, ((req_id, expect), frame)) in expects.iter().zip(received).enumerate() {
+        if frame.req_id() != *req_id {
+            violations.push(format!(
+                "{label}reply {i} answers req {} where req {req_id} was expected",
+                frame.req_id()
             ));
-            return;
+            continue;
         }
-        for (i, ((req_id, expect), frame)) in
-            self.expects.iter().zip(&self.received).enumerate()
-        {
-            if frame.req_id() != *req_id {
-                self.stats.violations.push(format!(
-                    "reply {i} answers req {} where req {req_id} was expected",
-                    frame.req_id()
-                ));
-                continue;
+        match expect {
+            Expect::Bytes(want) => {
+                if &frame.encode() != want {
+                    violations.push(format!(
+                        "{label}req {req_id} reply is not bit-identical to the in-process \
+                         prediction: {frame:?}"
+                    ));
+                }
             }
-            match expect {
-                Expect::Bytes(want) => {
-                    if &frame.encode() != want {
-                        self.stats.violations.push(format!(
-                            "req {req_id} reply is not bit-identical to the in-process \
-                             prediction: {frame:?}"
+            Expect::Error { class, offset_required } => match frame {
+                Frame::Error { class: got, offset, .. } => {
+                    if got != class {
+                        violations.push(format!(
+                            "{label}req {req_id} rejected with class `{got}`, expected `{class}`"
+                        ));
+                    }
+                    if *offset_required && offset.is_none() {
+                        violations.push(format!(
+                            "{label}req {req_id} framing rejection `{got}` carries no byte offset"
                         ));
                     }
                 }
-                Expect::Error { class, offset_required } => match frame {
-                    Frame::Error { class: got, offset, .. } => {
-                        if got != class {
-                            self.stats.violations.push(format!(
-                                "req {req_id} rejected with class `{got}`, expected `{class}`"
-                            ));
-                        }
-                        if *offset_required && offset.is_none() {
-                            self.stats.violations.push(format!(
-                                "req {req_id} framing rejection `{got}` carries no byte offset"
-                            ));
-                        }
+                other => violations
+                    .push(format!("{label}req {req_id} expected a `{class}` error, got {other:?}")),
+            },
+            Expect::AdminContains(needle) => match frame {
+                Frame::AdminResponse { body, .. } => {
+                    if !body.contains(needle) {
+                        violations.push(format!(
+                            "{label}admin req {req_id} body lacks `{needle}`: {body}"
+                        ));
                     }
-                    other => self.stats.violations.push(format!(
-                        "req {req_id} expected a `{class}` error, got {other:?}"
-                    )),
-                },
-                Expect::AdminContains(needle) => match frame {
-                    Frame::AdminResponse { body, .. } => {
-                        if !body.contains(needle) {
-                            self.stats.violations.push(format!(
-                                "admin req {req_id} body lacks `{needle}`: {body}"
-                            ));
-                        }
-                    }
-                    other => self.stats.violations.push(format!(
-                        "req {req_id} expected an admin response, got {other:?}"
-                    )),
-                },
-            }
+                }
+                other => violations.push(format!(
+                    "{label}req {req_id} expected an admin response, got {other:?}"
+                )),
+            },
         }
     }
 }
@@ -785,6 +797,463 @@ pub fn replay_schedule(case: u32) -> String {
         let _ = writeln!(out, "  OK");
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Multi-connection schedules: several FaultyConns sharing one SharedBatcher.
+// ---------------------------------------------------------------------------
+
+/// The in-process reference bytes for one request against one artifact.
+fn expected_response_for(artifact: &ModelArtifact, req_id: u32, corpus_text: &str) -> Vec<u8> {
+    let corpus = Corpus::parse(corpus_text, &artifact.instructions)
+        .expect("fuzzer-rendered corpora re-parse");
+    let rows = BatchPredictor::new(artifact.compile()).predict_corpus(&corpus).ipcs;
+    Frame::Response { req_id, rows }.encode()
+}
+
+/// One connection of a multi-connection schedule: its own transport faults,
+/// its own mirror expectations, its own received stream.
+struct Member {
+    conn: Connection,
+    stream: FaultyConn,
+    expects: Vec<(u32, Expect)>,
+    received: Vec<Frame>,
+    /// Bytes of `outgoing` already re-decoded.
+    cursor: usize,
+    /// Poisoned, timed out, or transport-dead — no further feeding.
+    dead: bool,
+}
+
+/// One live multi-connection schedule: 2–4 members behind a single
+/// [`SharedBatcher`], each round driving the same gather → batch-serve →
+/// scatter → flush protocol the batching [`palmed_wire::sock::WireServer`]
+/// runs.  The mirror expectations are computed with the *isolated*
+/// in-process predictor, so the drain check is literally "shared-batch
+/// serving is bit-identical to per-connection serving".
+struct MultiSched<'a> {
+    insts: InstructionSet,
+    rng: TestRng,
+    registry: Arc<ModelRegistry>,
+    batcher: palmed_wire::SharedBatcher,
+    models: Vec<SimModel>,
+    limits: Limits,
+    members: Vec<Member>,
+    now: u64,
+    next_req: u32,
+    stats: &'a mut ScheduleStats,
+}
+
+impl<'a> MultiSched<'a> {
+    fn new(case: u32, stats: &'a mut ScheduleStats) -> MultiSched<'a> {
+        let insts = inventory();
+        let mut rng = TestRng::for_case(case);
+        let registry = Arc::new(ModelRegistry::new());
+        let mut models = Vec::new();
+        for i in 0..rng.usize_in(1, 2) {
+            let name = format!("wm-{i}");
+            let mut artifact = crate::seed_model(&insts, &mut rng);
+            artifact.machine = name.clone();
+            registry.register(artifact.clone());
+            models.push(SimModel { name, artifact });
+        }
+        let limits = Limits {
+            max_payload: 1 << 16,
+            max_in_flight: rng.usize_in(2, 4),
+            max_write_backlog: 1 << 20,
+            idle_timeout_ticks: 10_000,
+            frame_deadline_ticks: 200,
+        };
+        let start = rng.usize_in(0, 100_000_000) as u64;
+        let count = rng.usize_in(2, 4);
+        let members = (0..count)
+            .map(|_| Member {
+                conn: Connection::new(limits, start),
+                stream: FaultyConn::new(),
+                expects: Vec::new(),
+                received: Vec::new(),
+                cursor: 0,
+                dead: false,
+            })
+            .collect();
+        stats.note(|| {
+            format!(
+                "multi schedule: {count} connections, {} models, max_in_flight {}, accept tick {}",
+                models.len(),
+                limits.max_in_flight,
+                start
+            )
+        });
+        MultiSched {
+            insts,
+            batcher: palmed_wire::SharedBatcher::new(Engine::new(Arc::clone(&registry))),
+            rng,
+            registry,
+            models,
+            limits,
+            members,
+            now: start,
+            next_req: 1,
+            stats,
+        }
+    }
+
+    /// One shared round over every member: gather, batch-serve, flush,
+    /// then re-decode whatever each member's server side flushed.
+    fn round(&mut self) {
+        self.now += 1;
+        for member in &mut self.members {
+            member.conn.pump_gather(self.now, &mut member.stream);
+        }
+        self.batcher.serve_round(self.members.iter_mut().map(|m| &mut m.conn));
+        for member in &mut self.members {
+            member.conn.pump_flush(self.now, &mut member.stream);
+        }
+        for (i, member) in self.members.iter_mut().enumerate() {
+            loop {
+                match decode_frame(&member.stream.outgoing[member.cursor..], u32::MAX) {
+                    Ok(Decoded::NeedMore) => break,
+                    Ok(Decoded::Frame { consumed, frame }) => {
+                        member.cursor += consumed;
+                        match &frame {
+                            Frame::Request { .. } | Frame::AdminRequest { .. } => {
+                                self.stats.violations.push(format!(
+                                    "conn {i} received a client-side frame kind: {frame:?}"
+                                ));
+                            }
+                            Frame::Error { class, .. } if class.is_empty() => {
+                                self.stats.violations.push(format!(
+                                    "conn {i} received an error frame with an empty class"
+                                ));
+                            }
+                            _ => {}
+                        }
+                        member.received.push(frame);
+                    }
+                    Err(e) => {
+                        self.stats.violations.push(format!(
+                            "conn {i} output undecodable at byte {}: {} ({})",
+                            member.cursor + e.offset,
+                            e.reason,
+                            e.class
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feeds chunks to member `at`, then rounds until its read script is
+    /// fully delivered and served — every other member keeps being pumped
+    /// through the same rounds, so interleaving comes for free.
+    fn feed_and_settle(&mut self, at: usize, chunks: Vec<Vec<u8>>) {
+        for chunk in chunks {
+            if self.rng.next_f64() < 0.3 {
+                let stalls = self.rng.usize_in(1, 2) as u32;
+                self.members[at].stream.push_stall(stalls);
+            }
+            self.members[at].stream.push_chunk(chunk);
+            self.round();
+        }
+        for _ in 0..16 {
+            if self.members[at].stream.read_pending() == 0 || self.members[at].conn.is_closed() {
+                break;
+            }
+            self.round();
+        }
+        // One settling round: requests decoded on the last delivery round
+        // are taken and answered by the next serve.
+        self.round();
+    }
+
+    /// Splits `bytes` into 1–3 random chunks.
+    fn split(&mut self, bytes: Vec<u8>) -> Vec<Vec<u8>> {
+        let pieces = self.rng.usize_in(1, 3).min(bytes.len().max(1));
+        let mut cuts: Vec<usize> =
+            (1..pieces).map(|_| self.rng.usize_in(1, bytes.len() - 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut chunks = Vec::new();
+        let mut start = 0;
+        for cut in cuts {
+            chunks.push(bytes[start..cut].to_vec());
+            start = cut;
+        }
+        chunks.push(bytes[start..].to_vec());
+        chunks
+    }
+
+    /// A complete request on member `at`, mirrored by the isolated
+    /// in-process predictor.
+    fn op_request(&mut self, at: usize) {
+        let model = self.rng.usize_in(0, self.models.len() - 1);
+        let corpus_text = crate::seed_corpus(&self.insts, &mut self.rng).render(&self.insts);
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let expected = expected_response_for(&self.models[model].artifact, req_id, &corpus_text);
+        let bytes = Frame::Request {
+            req_id,
+            model: self.models[model].name.clone(),
+            corpus: corpus_text,
+        }
+        .encode();
+        let chunks = self.split(bytes);
+        self.stats.requests += 1;
+        self.stats.note(|| format!("conn {at}: request req {req_id} -> wm-{model}"));
+        self.members[at].expects.push((req_id, Expect::Bytes(expected)));
+        self.feed_and_settle(at, chunks);
+    }
+
+    /// A coalesced burst past the cap on member `at`: sheds must be exact
+    /// and must not consume any *other* member's batch slots.
+    fn op_burst(&mut self, at: usize) {
+        let model = self.rng.usize_in(0, self.models.len() - 1);
+        let corpus_text = crate::seed_corpus(&self.insts, &mut self.rng).render(&self.insts);
+        let cap = self.limits.max_in_flight;
+        let total = cap + self.rng.usize_in(1, 3);
+        let mut chunk = Vec::new();
+        let ids: Vec<u32> = (0..total)
+            .map(|_| {
+                let req_id = self.next_req;
+                self.next_req += 1;
+                chunk.extend_from_slice(
+                    &Frame::Request {
+                        req_id,
+                        model: self.models[model].name.clone(),
+                        corpus: corpus_text.clone(),
+                    }
+                    .encode(),
+                );
+                req_id
+            })
+            .collect();
+        for &req_id in &ids[cap..] {
+            self.stats.sheds += 1;
+            self.members[at].expects.push((
+                req_id,
+                Expect::Error { class: "server-busy".to_string(), offset_required: false },
+            ));
+        }
+        for &req_id in &ids[..cap] {
+            let expected =
+                expected_response_for(&self.models[model].artifact, req_id, &corpus_text);
+            self.members[at].expects.push((req_id, Expect::Bytes(expected)));
+        }
+        self.stats.requests += total as u64;
+        self.stats.note(|| format!("conn {at}: burst of {total} (cap {cap})"));
+        self.feed_and_settle(at, vec![chunk]);
+    }
+
+    /// An admin query on member `at`.
+    fn op_admin(&mut self, at: usize) {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let (what, expect) = match self.rng.usize_in(0, 2) {
+            0 => (
+                "health",
+                Expect::AdminContains(format!("\"name\":\"{}\"", self.models[0].name)),
+            ),
+            1 => ("obs", Expect::AdminContains("{".to_string())),
+            _ => (
+                "bogus",
+                Expect::Error { class: "unknown-admin".to_string(), offset_required: false },
+            ),
+        };
+        self.stats.requests += 1;
+        self.stats.note(|| format!("conn {at}: admin req {req_id} `{what}`"));
+        self.members[at].expects.push((req_id, expect));
+        let bytes = Frame::AdminRequest { req_id, what: what.to_string() }.encode();
+        let chunks = self.split(bytes);
+        self.feed_and_settle(at, chunks);
+    }
+
+    /// A guaranteed-undecodable frame on member `at`: that member must
+    /// poison; nobody else may notice.
+    fn op_garbage(&mut self, at: usize) {
+        let mut bytes = Frame::AdminRequest { req_id: 0, what: "health".to_string() }.encode();
+        let (class, what) = match self.rng.usize_in(0, 2) {
+            0 => {
+                let i = self.rng.usize_in(0, MAGIC.len() - 1);
+                bytes[i] ^= 0x40;
+                ("missing-header", "corrupt magic byte")
+            }
+            1 => {
+                bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&99u32.to_le_bytes());
+                ("unknown-kind", "out-of-range kind")
+            }
+            _ => {
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x01;
+                ("checksum-mismatch", "corrupt trailer")
+            }
+        };
+        self.stats.poisons += 1;
+        self.stats.note(|| format!("conn {at}: garbage ({what}), expect poison `{class}`"));
+        self.members[at]
+            .expects
+            .push((0, Expect::Error { class: class.to_string(), offset_required: true }));
+        let chunks = self.split(bytes);
+        self.feed_and_settle(at, chunks);
+        if matches!(self.members[at].conn.state(), ConnState::Open | ConnState::Draining) {
+            self.stats.violations.push(format!("conn {at}: a {what} did not poison"));
+        }
+        self.members[at].dead = true;
+    }
+
+    /// A registry refresh or hot swap between settled rounds — snapshot
+    /// pinning means only *later* requests see the new entry.
+    fn op_swap_or_refresh(&mut self) {
+        if self.rng.next_f64() < 0.4 {
+            self.stats.note(|| "registry refresh between rounds".to_string());
+            let _ = self.registry.refresh();
+        } else {
+            let at = self.rng.usize_in(0, self.models.len() - 1);
+            let name = self.models[at].name.clone();
+            let mut artifact = crate::seed_model(&self.insts, &mut self.rng);
+            artifact.machine = name;
+            self.stats.note(|| format!("hot swap of wm-{at} between rounds"));
+            self.registry.register(artifact.clone());
+            self.models[at].artifact = artifact;
+        }
+    }
+
+    /// Short/stalled writes on member `at` from here on (cleared at drain).
+    fn op_write_faults(&mut self, at: usize) {
+        let cap = self.rng.usize_in(1, 16);
+        let stalls = self.rng.usize_in(0, 3) as u32;
+        self.members[at].stream.write_cap = Some(cap);
+        self.members[at].stream.write_stalls = stalls;
+        self.stats.note(|| format!("conn {at}: write faults, cap {cap} bytes, {stalls} stalls"));
+    }
+
+    /// A hard disconnect or clean half-close on member `at`.
+    fn op_hangup(&mut self, at: usize) {
+        self.members[at].stream.clear_write_faults();
+        for _ in 0..8 {
+            if self.members[at].conn.write_backlog() == 0 || self.members[at].conn.is_closed() {
+                break;
+            }
+            self.round();
+        }
+        if self.rng.next_f64() < 0.5 {
+            self.stats.note(|| format!("conn {at}: hard disconnect"));
+            self.members[at].stream.push_disconnect();
+        } else {
+            self.stats.note(|| format!("conn {at}: half-close (EOF)"));
+            self.members[at].stream.push_eof();
+        }
+        self.round();
+        self.round();
+        self.members[at].dead = true;
+    }
+
+    /// Drains every member and runs the per-member positional check.
+    fn finale(&mut self) {
+        for member in &mut self.members {
+            member.stream.clear_write_faults();
+            if !member.conn.is_closed() {
+                member.conn.begin_drain();
+            }
+        }
+        for _ in 0..60 {
+            if self
+                .members
+                .iter()
+                .all(|m| m.conn.is_closed() || m.stream.is_disconnected())
+            {
+                break;
+            }
+            self.round();
+        }
+        for (i, member) in self.members.iter().enumerate() {
+            if !member.conn.is_closed() && !member.stream.is_disconnected() {
+                self.stats.violations.push(format!(
+                    "conn {i} failed to drain (state {:?}, backlog {} bytes, {} pending)",
+                    member.conn.state(),
+                    member.conn.write_backlog(),
+                    member.conn.pending_len()
+                ));
+            }
+            if member.stream.is_disconnected() {
+                continue; // form-only, as in the single-connection harness
+            }
+            check_positional(
+                &format!("conn {i}: "),
+                &member.expects,
+                &member.received,
+                &mut self.stats.violations,
+            );
+        }
+        self.stats.note(|| {
+            let checked: usize = self.members.iter().map(|m| m.received.len()).sum();
+            format!("drain: {checked} frames checked across {} members", self.members.len())
+        });
+    }
+}
+
+/// Runs one multi-connection schedule.  Deterministic in `case`.
+fn run_multi_schedule(case: u32, stats: &mut ScheduleStats) {
+    let mut s = MultiSched::new(case, stats);
+    for step in 0..s.rng.usize_in(8, 24) as u32 {
+        let live: Vec<usize> =
+            (0..s.members.len()).filter(|&i| !s.members[i].dead && !s.members[i].conn.is_closed()).collect();
+        let Some(&at) = live.get(s.rng.usize_in(0, live.len().max(1) - 1)) else { break };
+        let before = s.stats.violations.len();
+        match s.rng.usize_in(0, 9) {
+            0..=3 => s.op_request(at),
+            4 => s.op_burst(at),
+            5 => s.op_admin(at),
+            6 => s.op_swap_or_refresh(),
+            7 => s.op_write_faults(at),
+            8 => s.op_garbage(at),
+            _ => s.op_hangup(at),
+        }
+        s.stats.steps += 1;
+        for violation in &mut s.stats.violations[before..] {
+            *violation = format!("step {step}: {violation}");
+        }
+    }
+    let before = s.stats.violations.len();
+    s.finale();
+    for violation in &mut s.stats.violations[before..] {
+        *violation = format!("drain: {violation}");
+    }
+    s.stats.injected = s.members.iter().map(|m| m.stream.injected).sum();
+}
+
+/// Runs `n` seeded multi-connection schedules starting at case `seed`:
+/// 2–4 [`FaultyConn`]s behind one engine and one [`palmed_wire::SharedBatcher`],
+/// asserting that shared-batch serving stays bit-identical to isolated
+/// per-connection serving and that a poisoned or shed connection never
+/// corrupts or stalls another connection's batch slots.
+pub fn run_multi_schedules(n: u32, seed: u32) -> WireFuzzSummary {
+    let mut summary = WireFuzzSummary::default();
+    for i in 0..n {
+        let case = seed.wrapping_add(i);
+        let mut stats = ScheduleStats::default();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_multi_schedule(case, &mut stats)));
+        summary.schedules += 1;
+        summary.steps += stats.steps;
+        summary.requests += stats.requests;
+        summary.sheds += stats.sheds;
+        summary.poisons += stats.poisons;
+        summary.injected_faults += stats.injected;
+        for detail in stats.violations {
+            summary.violations.push(WireViolation { case, detail });
+        }
+        if let Err(panic) = outcome {
+            let detail = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            summary.violations.push(WireViolation {
+                case,
+                detail: format!("panic during multi schedule: {detail}"),
+            });
+        }
+    }
+    summary
 }
 
 // ---------------------------------------------------------------------------
@@ -996,6 +1465,36 @@ mod tests {
         assert!(summary.sheds > 0, "schedules must flood past the in-flight cap");
         assert!(summary.poisons > 0, "schedules must exercise malformed frames");
         assert!(summary.injected_faults > 0, "schedules must inject transport faults");
+    }
+
+    #[test]
+    fn multi_connection_schedules_hold_every_invariant() {
+        let summary = run_multi_schedules(40, 1);
+        assert_eq!(summary.schedules, 40);
+        for violation in &summary.violations {
+            eprintln!("{violation}");
+        }
+        assert!(
+            summary.violations.is_empty(),
+            "{} violations — shared-batch serving must stay bit-identical to isolated \
+             serving and members must stay isolated",
+            summary.violations.len()
+        );
+        assert!(summary.requests > 0, "schedules must feed requests");
+        assert!(summary.sheds > 0, "schedules must flood members past the in-flight cap");
+        assert!(summary.poisons > 0, "schedules must poison members mid-round");
+        assert!(summary.injected_faults > 0, "schedules must inject transport faults");
+    }
+
+    #[test]
+    fn multi_connection_schedules_are_deterministic() {
+        let first = run_multi_schedules(6, 42);
+        let second = run_multi_schedules(6, 42);
+        assert_eq!(first.steps, second.steps);
+        assert_eq!(first.requests, second.requests);
+        assert_eq!(first.sheds, second.sheds);
+        assert_eq!(first.poisons, second.poisons);
+        assert_eq!(first.violations.len(), second.violations.len());
     }
 
     #[test]

@@ -226,6 +226,15 @@ pub enum ArtifactError {
         /// Hex rendering of the tag recomputed under the configured key.
         computed: String,
     },
+    /// The registry requires signed sidecars
+    /// ([`ModelRegistry::require_signed`](crate::ModelRegistry::require_signed))
+    /// but the artifact's sidecar is missing or is an unkeyed
+    /// `PALMED-FPRINT v1` — nothing ties the bytes to a key holder, so the
+    /// load is refused before the model is even decoded for provenance.
+    UnsignedArtifact {
+        /// The artifact file whose sidecar is missing or unsigned.
+        path: PathBuf,
+    },
 }
 
 impl ArtifactError {
@@ -257,6 +266,7 @@ impl ArtifactError {
             ArtifactError::TornRead { .. } => "torn-read",
             ArtifactError::FingerprintMismatch { .. } => "fingerprint-mismatch",
             ArtifactError::SignatureMismatch { .. } => "signature-mismatch",
+            ArtifactError::UnsignedArtifact { .. } => "unsigned-artifact",
         }
     }
 }
@@ -294,6 +304,11 @@ impl fmt::Display for ArtifactError {
             ArtifactError::SignatureMismatch { stored, computed } => write!(
                 f,
                 "sidecar signature mismatch: stored tag {stored} does not verify (key computes {computed})"
+            ),
+            ArtifactError::UnsignedArtifact { path } => write!(
+                f,
+                "unsigned artifact: `{}` has no signed PALMED-FPRINT v2 sidecar but the registry requires one",
+                path.display()
             ),
         }
     }

@@ -113,6 +113,116 @@ impl PreparedBatch {
     pub fn shared_kernels(&self) -> &Arc<KernelSet> {
         &self.kernels
     }
+
+    /// Assembles a batch from an already-interned kernel set and a slot
+    /// table (the inverse of taking [`PreparedBatch::shared_kernels`] and
+    /// the slots apart) — how [`BatchMerge`] hands over a merged workload.
+    ///
+    /// # Panics
+    ///
+    /// If any slot indexes past `kernels` — a malformed slot table would
+    /// otherwise panic deep inside the serve scatter.
+    pub fn from_parts(kernels: Arc<KernelSet>, slots: Vec<u32>) -> Self {
+        let len = kernels.len();
+        assert!(
+            slots.iter().all(|&s| (s as usize) < len),
+            "slot table indexes past the kernel set ({len} distinct kernels)"
+        );
+        palmed_obs::counter!("serve.ingest.prepared_batches").inc();
+        PreparedBatch { kernels, slots }
+    }
+}
+
+/// Accumulates several corpora into **one** deduplicated batch, remembering
+/// which slot range each member occupies so its rows can be scattered back
+/// out after a single serve.
+///
+/// This is the cross-workload analogue of [`PreparedBatch::from_corpus`]:
+/// a wire server coalescing requests from many connections merges their
+/// corpora here, serves the union once via
+/// [`BatchPredictor::predict_prepared`] — distinct kernels shared *between*
+/// members are predicted once — and hands each member exactly the rows its
+/// own blocks produced, in its own order.  Per-kernel predictions are
+/// independent of batch composition and shard boundaries (each distinct
+/// kernel is evaluated in isolation against the model), so a member's rows
+/// are bit-identical to what serving it alone would have produced.
+#[derive(Debug, Default)]
+pub struct BatchMerge {
+    set: KernelSet,
+    slots: Vec<u32>,
+    /// Half-open `(start, end)` slot range per member, in push order.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl BatchMerge {
+    /// An empty merge.
+    pub fn new() -> Self {
+        BatchMerge::default()
+    }
+
+    /// Appends one corpus as the next member, interning its blocks into the
+    /// merged set; returns the member index to scatter by.
+    pub fn push_corpus(&mut self, corpus: &Corpus) -> usize {
+        let start = self.slots.len();
+        for (_, kernel) in corpus.iter() {
+            self.slots.push(self.set.intern(kernel).0);
+        }
+        self.ranges.push((start, self.slots.len()));
+        self.ranges.len() - 1
+    }
+
+    /// Members merged so far.
+    pub fn members(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total input slots across all members.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing has been merged.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Distinct kernels across all members so far.
+    pub fn distinct(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Finishes into a servable batch plus the scatter map that routes the
+    /// result rows back to each member.
+    pub fn finish(self) -> (PreparedBatch, BatchScatter) {
+        palmed_obs::counter!("serve.ingest.prepared_batches").inc();
+        let batch = PreparedBatch { kernels: Arc::new(self.set), slots: self.slots };
+        (batch, BatchScatter { ranges: self.ranges })
+    }
+}
+
+/// The scatter half of a [`BatchMerge`]: maps each member back to its slice
+/// of the merged [`BatchResult`].
+#[derive(Debug, Clone)]
+pub struct BatchScatter {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl BatchScatter {
+    /// Members the merged batch was built from.
+    pub fn members(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The rows belonging to `member`, in that member's own input order.
+    ///
+    /// # Panics
+    ///
+    /// If `member` is out of range or `result` is not the output of serving
+    /// the merged batch (too few rows).
+    pub fn member_rows<'r>(&self, result: &'r BatchResult, member: usize) -> &'r [Option<f64>] {
+        let (start, end) = self.ranges[member];
+        &result.ipcs[start..end]
+    }
 }
 
 /// A sharded batch front-end over any [`KernelLoad`] model — owned,
@@ -315,6 +425,76 @@ mod tests {
         assert!(batch.ipcs.is_empty());
         assert_eq!(batch.distinct, 0);
         assert!(PreparedBatch::default().is_empty());
+    }
+
+    #[test]
+    fn merged_corpora_serve_bit_identically_to_separate_serves() {
+        let model = model();
+        let insts = palmed_isa::InstructionSet::paper_example();
+        let addss = insts.find("ADDSS").unwrap();
+        let bsr = insts.find("BSR").unwrap();
+        let corpora: Vec<Corpus> = vec![
+            [
+                ("a", 1.0, Microkernel::pair(addss, 2, bsr, 1)),
+                ("b", 2.0, Microkernel::single(bsr)),
+            ]
+            .into_iter()
+            .collect(),
+            [
+                // Shares a kernel with the first member: predicted once.
+                ("c", 1.0, Microkernel::single(bsr)),
+                ("d", 1.0, Microkernel::single(addss)),
+            ]
+            .into_iter()
+            .collect(),
+            [("e", 1.0, Microkernel::pair(addss, 1, bsr, 3))].into_iter().collect(),
+        ];
+
+        let mut merge = BatchMerge::new();
+        let members: Vec<usize> = corpora.iter().map(|c| merge.push_corpus(c)).collect();
+        assert_eq!(members, vec![0, 1, 2]);
+        assert_eq!(merge.members(), 3);
+        assert_eq!(merge.len(), 5);
+        assert_eq!(merge.distinct(), 4, "the shared kernel merged onto one id");
+        let (batch, scatter) = merge.finish();
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.distinct(), 4);
+        assert_eq!(scatter.members(), 3);
+
+        let predictor = BatchPredictor::new(&model);
+        let merged = predictor.predict_prepared(&batch);
+        for (i, corpus) in corpora.iter().enumerate() {
+            let alone = predictor.predict_corpus(corpus);
+            assert_eq!(
+                scatter
+                    .member_rows(&merged, i)
+                    .iter()
+                    .map(|r| r.map(f64::to_bits))
+                    .collect::<Vec<_>>(),
+                alone.ipcs.iter().map(|r| r.map(f64::to_bits)).collect::<Vec<_>>(),
+                "member {i} must get exactly the rows serving it alone produces"
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_batch_and_rejects_bad_slots() {
+        let model = model();
+        let kernels: Vec<Microkernel> =
+            (0..8).map(|i| Microkernel::pair(InstId(0), 1 + i % 2, InstId(1), 1)).collect();
+        let prepared = PreparedBatch::from_kernels(kernels.iter());
+        let rebuilt = PreparedBatch::from_parts(
+            Arc::clone(prepared.shared_kernels()),
+            prepared.slots.clone(),
+        );
+        assert!(Arc::ptr_eq(rebuilt.shared_kernels(), prepared.shared_kernels()));
+        let predictor = BatchPredictor::new(&model);
+        assert_eq!(predictor.predict_prepared(&rebuilt), predictor.predict_prepared(&prepared));
+
+        let result = std::panic::catch_unwind(|| {
+            PreparedBatch::from_parts(Arc::clone(prepared.shared_kernels()), vec![99])
+        });
+        assert!(result.is_err(), "an out-of-range slot must be rejected at ingest");
     }
 
     #[test]

@@ -53,6 +53,7 @@ use crate::io::{ArtifactIo, RealIo};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::SystemTime;
 
@@ -541,6 +542,10 @@ pub struct ModelRegistry {
     /// still-trusted older keys kept through a rotation window.  Empty
     /// means unkeyed.
     signing_keys: Mutex<Vec<Vec<u8>>>,
+    /// Strict provenance policy ([`ModelRegistry::require_signed`]): with
+    /// signing keys configured, refuse file loads whose sidecar is missing
+    /// or unsigned instead of degrading to fingerprint-only verification.
+    require_signed: AtomicBool,
 }
 
 impl Default for ModelRegistry {
@@ -562,6 +567,7 @@ impl Clone for ModelRegistry {
             health: Mutex::new(self.health.lock().expect("health lock").clone()),
             io: Arc::clone(&self.io),
             signing_keys: Mutex::new(self.signing_keys.lock().expect("signing key lock").clone()),
+            require_signed: AtomicBool::new(self.require_signed.load(Ordering::Relaxed)),
         }
     }
 }
@@ -582,6 +588,7 @@ impl ModelRegistry {
             health: Mutex::new(BTreeMap::new()),
             io,
             signing_keys: Mutex::new(Vec::new()),
+            require_signed: AtomicBool::new(false),
         }
     }
 
@@ -611,6 +618,22 @@ impl ModelRegistry {
     /// next load; already-installed entries are not re-verified.
     pub fn set_signing_keys(&self, keys: Vec<Vec<u8>>) {
         *self.signing_keys.lock().expect("signing key lock") = keys;
+    }
+
+    /// Turns the strict provenance policy on (or back off): while enabled
+    /// *and* signing keys are configured, every file load and refresh
+    /// reload whose sidecar is missing or is an unkeyed `PALMED-FPRINT v1`
+    /// is refused with [`ArtifactError::UnsignedArtifact`] (class
+    /// `unsigned-artifact`) — a structured rejection that feeds the normal
+    /// refresh backoff/quarantine ladder like any other reload failure.
+    ///
+    /// Without keys the policy is inert: there is nothing to verify a
+    /// signature against, so requiring one would brick every load.  Takes
+    /// effect on the next load; already-installed entries are not
+    /// re-verified.  In-memory installs ([`ModelRegistry::register`]) are
+    /// unaffected — the policy governs *file* provenance.
+    pub fn require_signed(&self, on: bool) {
+        self.require_signed.store(on, Ordering::Relaxed);
     }
 
     /// The current immutable snapshot.  Taking it holds the lock only for
@@ -814,8 +837,17 @@ impl ModelRegistry {
             }
         };
         let fingerprint = entry_fingerprint(&model);
-        if let Some(sidecar) = crate::fingerprint::read_sidecar_with(io, path)? {
-            let keys = self.signing_keys.lock().expect("signing key lock").clone();
+        let sidecar = crate::fingerprint::read_sidecar_with(io, path)?;
+        let keys = self.signing_keys.lock().expect("signing key lock").clone();
+        if self.require_signed.load(Ordering::Relaxed)
+            && !keys.is_empty()
+            && sidecar.as_ref().is_none_or(|s| s.version() < 2)
+        {
+            // Strict provenance: with keys configured, a missing sidecar or
+            // an unkeyed v1 one proves nothing about who deployed the bytes.
+            return Err(ArtifactError::UnsignedArtifact { path: path.to_path_buf() });
+        }
+        if let Some(sidecar) = sidecar {
             sidecar.verify_any(&keys)?;
             if sidecar.fingerprint != fingerprint {
                 return Err(ArtifactError::FingerprintMismatch {

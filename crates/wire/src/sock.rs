@@ -1,23 +1,33 @@
 //! Blocking single-threaded `PALMED-WIRE v1` server (and test client) over
-//! UNIX-domain sockets.
+//! UNIX-domain or TCP sockets.
 //!
 //! Like the serve crate's `mmap` shim, the socket layer binds the handful
 //! of syscalls it needs directly (`socket`/`bind`/`listen`/`accept`/
 //! `recv`/`send`/`poll`/…) instead of pulling in a crate — the workspace
 //! builds offline.  The raw binding is gated to Linux, where the
-//! `sockaddr_un` layout below is ABI-correct; every other target simply
-//! lacks this module (the frame codec and connection state machine are
-//! platform-independent and fully exercised through in-memory streams).
+//! `sockaddr_un`/`sockaddr_in` layouts below are ABI-correct; every other
+//! target simply lacks this module (the frame codec and connection state
+//! machine are platform-independent and fully exercised through in-memory
+//! streams).
 //!
-//! The server is deliberately single-threaded and `poll(2)`-driven: one
-//! accept loop, one [`Connection`] per client, each pumped with
-//! non-blocking reads/writes.  Robustness comes from the state machine,
-//! not from threads — a stalled, hostile or half-closed peer costs one
-//! poisoned or timed-out connection, never the process.  Cross-connection
-//! batching and an epoll front-end are explicitly later perf work.
+//! The server is deliberately single-threaded: one accept loop, one
+//! [`Connection`] per client, each pumped with non-blocking reads/writes.
+//! Robustness comes from the state machine, not from threads — a stalled,
+//! hostile or half-closed peer costs one poisoned or timed-out connection,
+//! never the process.  Two orthogonal axes are chosen at bind time:
+//!
+//! - **Front-end** ([`FrontEnd`]): `poll(2)` re-walks the full fd set
+//!   every tick (portable fallback and differential reference); `epoll(7)`
+//!   keeps the interest list kernel-side and pumps only ready connections
+//!   (see [`crate::epoll`]).
+//! - **Serve core** ([`WireServer::with_batching`]): isolated
+//!   per-connection serving through the [`Engine`], or cross-connection
+//!   coalescing through one [`SharedBatcher`] round per tick (see
+//!   [`crate::batcher`] for the bit-identity and fairness contract).
 
 #![cfg(target_os = "linux")]
 
+use crate::batcher::SharedBatcher;
 use crate::conn::{Connection, Engine, Limits, WireStream};
 use crate::frame::{decode_frame, Decoded, Frame, WireError};
 use std::io;
@@ -26,16 +36,23 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Raw Linux syscall bindings: AF_UNIX stream sockets plus `poll(2)`.
+/// Raw Linux syscall bindings: AF_UNIX and AF_INET stream sockets plus
+/// `poll(2)`.
 mod sys {
     use std::ffi::c_void;
     use std::io;
+    use std::net::{Ipv4Addr, SocketAddrV4};
 
     pub(super) const AF_UNIX: i32 = 1;
+    pub(super) const AF_INET: i32 = 2;
     pub(super) const SOCK_STREAM: i32 = 1;
     pub(super) const POLLIN: i16 = 0x001;
     const F_SETFL: i32 = 4;
     const O_NONBLOCK: i32 = 0o4000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const IPPROTO_TCP: i32 = 6;
+    const TCP_NODELAY: i32 = 1;
     /// Suppresses `SIGPIPE` on writes to a half-closed peer — the error
     /// comes back as `EPIPE` and shrinks one connection, not the process.
     const MSG_NOSIGNAL: i32 = 0x4000;
@@ -45,6 +62,16 @@ mod sys {
     pub(super) struct SockaddrUn {
         pub(super) sun_family: u16,
         pub(super) sun_path: [u8; 108],
+    }
+
+    /// `struct sockaddr_in` as Linux lays it out (port and address stored
+    /// big-endian).
+    #[repr(C)]
+    pub(super) struct SockaddrIn {
+        pub(super) sin_family: u16,
+        pub(super) sin_port: u16,
+        pub(super) sin_addr: u32,
+        pub(super) sin_zero: [u8; 8],
     }
 
     /// `struct pollfd`.
@@ -57,10 +84,15 @@ mod sys {
 
     extern "C" {
         fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
-        fn bind(fd: i32, addr: *const SockaddrUn, len: u32) -> i32;
+        // Address pointers are `*const c_void`: C's `struct sockaddr *`
+        // erases the per-family layout anyway, and one erased declaration
+        // serves both the AF_UNIX and AF_INET call sites without clashing.
+        fn bind(fd: i32, addr: *const c_void, len: u32) -> i32;
         fn listen(fd: i32, backlog: i32) -> i32;
-        fn accept(fd: i32, addr: *mut SockaddrUn, len: *mut u32) -> i32;
-        fn connect(fd: i32, addr: *const SockaddrUn, len: u32) -> i32;
+        fn accept(fd: i32, addr: *mut c_void, len: *mut u32) -> i32;
+        fn connect(fd: i32, addr: *const c_void, len: u32) -> i32;
+        fn getsockname(fd: i32, addr: *mut c_void, len: *mut u32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const c_void, len: u32) -> i32;
         fn recv(fd: i32, buf: *mut c_void, len: usize, flags: i32) -> isize;
         fn send(fd: i32, buf: *const c_void, len: usize, flags: i32) -> isize;
         fn close(fd: i32) -> i32;
@@ -114,10 +146,38 @@ mod sys {
         Ok(fd)
     }
 
+    /// A new AF_INET stream socket — blocking when asked (a TCP client's
+    /// `connect` would otherwise return `EINPROGRESS`; AF_UNIX connects
+    /// complete immediately and never need this).
+    pub(super) fn tcp_socket(nonblocking: bool) -> io::Result<Fd> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = check(unsafe { socket(AF_INET, SOCK_STREAM, 0) })?;
+        let fd = Fd(fd);
+        if nonblocking {
+            set_nonblocking(&fd)?;
+        }
+        Ok(fd)
+    }
+
     pub(super) fn set_nonblocking(fd: &Fd) -> io::Result<()> {
         // SAFETY: plain syscall on an owned descriptor.
         check(unsafe { fcntl(fd.0, F_SETFL, O_NONBLOCK) })?;
         Ok(())
+    }
+
+    fn set_opt(fd: &Fd, level: i32, name: i32, value: i32) -> io::Result<()> {
+        // SAFETY: `value` is a live i32 for the duration of the call and
+        // `len` states its exact size.
+        check(unsafe {
+            setsockopt(fd.0, level, name, &value as *const i32 as *const c_void, 4)
+        })?;
+        Ok(())
+    }
+
+    /// Disables Nagle batching: request/response frames should leave as
+    /// soon as they are written, not wait out a delayed-ACK window.
+    pub(super) fn set_nodelay(fd: &Fd) -> io::Result<()> {
+        set_opt(fd, IPPROTO_TCP, TCP_NODELAY, 1)
     }
 
     pub(super) fn bind_listen(fd: &Fd, path: &[u8]) -> io::Result<()> {
@@ -125,17 +185,56 @@ mod sys {
         let len = (2 + path.len() + 1) as u32;
         // SAFETY: `addr` is a valid SockaddrUn and `len` covers the family
         // field plus the NUL-terminated path actually written into it.
-        check(unsafe { bind(fd.0, &addr, len) })?;
+        check(unsafe { bind(fd.0, &addr as *const SockaddrUn as *const c_void, len) })?;
         // SAFETY: plain syscall on the bound descriptor.
         check(unsafe { listen(fd.0, 64) })?;
         Ok(())
+    }
+
+    fn addr_in(addr: SocketAddrV4) -> SockaddrIn {
+        SockaddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: addr.port().to_be(),
+            sin_addr: u32::from(*addr.ip()).to_be(),
+            sin_zero: [0; 8],
+        }
+    }
+
+    pub(super) fn bind_listen_tcp(fd: &Fd, addr: SocketAddrV4) -> io::Result<()> {
+        // Reusable address: a stopped server's TIME_WAIT remnant must not
+        // block the next bind at the same port.
+        set_opt(fd, SOL_SOCKET, SO_REUSEADDR, 1)?;
+        let raw = addr_in(addr);
+        let len = std::mem::size_of::<SockaddrIn>() as u32;
+        // SAFETY: `raw` is a valid SockaddrIn and `len` its exact size.
+        check(unsafe { bind(fd.0, &raw as *const SockaddrIn as *const c_void, len) })?;
+        // SAFETY: plain syscall on the bound descriptor.
+        check(unsafe { listen(fd.0, 64) })?;
+        Ok(())
+    }
+
+    /// The locally bound TCP address — how a port-0 bind learns its port.
+    pub(super) fn local_addr_tcp(fd: &Fd) -> io::Result<SocketAddrV4> {
+        let mut raw = addr_in(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0));
+        let mut len = std::mem::size_of::<SockaddrIn>() as u32;
+        // SAFETY: `raw`/`len` are live out-parameters sized to SockaddrIn.
+        check(unsafe { getsockname(fd.0, &mut raw as *mut SockaddrIn as *mut c_void, &mut len) })?;
+        Ok(SocketAddrV4::new(Ipv4Addr::from(u32::from_be(raw.sin_addr)), u16::from_be(raw.sin_port)))
     }
 
     pub(super) fn connect_to(fd: &Fd, path: &[u8]) -> io::Result<()> {
         let addr = addr_for(path)?;
         let len = (2 + path.len() + 1) as u32;
         // SAFETY: as for `bind` above.
-        check(unsafe { connect(fd.0, &addr, len) })?;
+        check(unsafe { connect(fd.0, &addr as *const SockaddrUn as *const c_void, len) })?;
+        Ok(())
+    }
+
+    pub(super) fn connect_tcp(fd: &Fd, addr: SocketAddrV4) -> io::Result<()> {
+        let raw = addr_in(addr);
+        let len = std::mem::size_of::<SockaddrIn>() as u32;
+        // SAFETY: as for `bind_listen_tcp` above.
+        check(unsafe { connect(fd.0, &raw as *const SockaddrIn as *const c_void, len) })?;
         Ok(())
     }
 
@@ -219,18 +318,154 @@ impl WireStream for SocketStream<'_> {
     }
 }
 
+/// Which readiness mechanism drives the serve loop (selected at bind time
+/// via [`WireServer::with_front_end`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontEnd {
+    /// `poll(2)`: the full fd set is rebuilt and re-walked every tick.
+    /// The portable fallback, kept as the differential reference for the
+    /// epoll path.
+    #[default]
+    Poll,
+    /// `epoll(7)`: the interest list lives in the kernel and each wakeup
+    /// pumps only the connections that are actually ready (plus a periodic
+    /// all-connections timeout sweep) — no per-tick full-fd re-walk.
+    Epoll,
+}
+
+/// What the server listens on.
+enum Transport {
+    Unix { path: PathBuf },
+    Tcp { addr: std::net::SocketAddrV4 },
+}
+
+impl Transport {
+    /// Per-transport client setup at accept time.
+    fn prepare_client(&self, client: &sys::Fd) {
+        if let Transport::Tcp { .. } = self {
+            // Nagle off: a request/response protocol must not wait out
+            // delayed ACKs.  Failure is harmless (the frame still flows).
+            let _ = sys::set_nodelay(client);
+        }
+    }
+
+    /// Post-loop teardown (the UNIX socket file is unlinked).
+    fn cleanup(&self) {
+        if let Transport::Unix { path } = self {
+            if let Ok(raw) = path_bytes(path) {
+                sys::unlink_path(&raw);
+            }
+        }
+    }
+}
+
+/// How connections are served each tick: each on its own through the
+/// [`Engine`] (the isolated baseline), or coalesced through one
+/// [`SharedBatcher`] round (see the [`crate::batcher`] docs).
+enum ServeCore {
+    Isolated(Engine),
+    Shared(Box<SharedBatcher>),
+}
+
+impl ServeCore {
+    fn new(engine: Engine, batching: bool) -> ServeCore {
+        if batching {
+            ServeCore::Shared(Box::new(SharedBatcher::new(engine)))
+        } else {
+            ServeCore::Isolated(engine)
+        }
+    }
+
+    /// Serves one tick over `conns` (the poll front-end's whole table; the
+    /// epoll front-end passes just the ready subset through
+    /// [`ServeCore::pump_tokens`]).
+    fn pump_all(&mut self, now: u64, conns: &mut [(sys::Fd, Connection)]) {
+        match self {
+            ServeCore::Isolated(engine) => {
+                for (fd, conn) in conns.iter_mut() {
+                    conn.pump(now, &mut SocketStream(fd), engine);
+                }
+            }
+            ServeCore::Shared(batcher) => {
+                for (fd, conn) in conns.iter_mut() {
+                    conn.pump_gather(now, &mut SocketStream(fd));
+                }
+                batcher.serve_round(conns.iter_mut().map(|(_, conn)| conn));
+                for (fd, conn) in conns.iter_mut() {
+                    conn.pump_flush(now, &mut SocketStream(fd));
+                }
+            }
+        }
+    }
+
+    /// Serves one tick over the connections named by `tokens` (sorted) in
+    /// an epoll connection table.
+    fn pump_tokens(
+        &mut self,
+        now: u64,
+        conns: &mut std::collections::BTreeMap<u64, EpollSlot>,
+        tokens: &[u64],
+    ) {
+        match self {
+            ServeCore::Isolated(engine) => {
+                for token in tokens {
+                    if let Some(slot) = conns.get_mut(token) {
+                        slot.conn.pump(now, &mut SocketStream(&slot.fd), engine);
+                    }
+                }
+            }
+            ServeCore::Shared(batcher) => {
+                for token in tokens {
+                    if let Some(slot) = conns.get_mut(token) {
+                        slot.conn.pump_gather(now, &mut SocketStream(&slot.fd));
+                    }
+                }
+                batcher.serve_round(
+                    conns
+                        .iter_mut()
+                        .filter(|(token, _)| tokens.binary_search(token).is_ok())
+                        .map(|(_, slot)| &mut slot.conn),
+                );
+                for token in tokens {
+                    if let Some(slot) = conns.get_mut(token) {
+                        slot.conn.pump_flush(now, &mut SocketStream(&slot.fd));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One connection in the epoll table.
+struct EpollSlot {
+    fd: sys::Fd,
+    conn: Connection,
+    /// Whether `EPOLLOUT` interest is currently registered (kept in
+    /// lockstep with `conn.write_backlog() > 0`).
+    write_interest: bool,
+}
+
+/// Ticks between full-table timeout sweeps on the epoll front-end.  Ready
+/// connections are pumped immediately; this only bounds how stale an
+/// *idle* connection's deadline/idle checks can get, so it just needs to
+/// be well under the smallest production timeout window.
+const EPOLL_SWEEP_TICKS: u64 = 25;
+
 /// A bound, not-yet-running wire server.
 pub struct WireServer {
-    path: PathBuf,
+    transport: Transport,
     listener: sys::Fd,
     engine: Engine,
     limits: Limits,
     stop: Arc<AtomicBool>,
+    front_end: FrontEnd,
+    batching: bool,
 }
 
 impl WireServer {
     /// Binds a UNIX socket at `path` (unlinking any stale *socket* file
-    /// first) and prepares to serve `engine` under `limits`.
+    /// first) and prepares to serve `engine` under `limits`, with the
+    /// defaults: `poll(2)` front-end, isolated per-connection serving.
     ///
     /// # Errors
     ///
@@ -257,7 +492,65 @@ impl WireServer {
         }
         let listener = sys::stream_socket()?;
         sys::bind_listen(&listener, &raw)?;
-        Ok(WireServer { path, listener, engine, limits, stop: Arc::new(AtomicBool::new(false)) })
+        Ok(WireServer {
+            transport: Transport::Unix { path },
+            listener,
+            engine,
+            limits,
+            stop: Arc::new(AtomicBool::new(false)),
+            front_end: FrontEnd::Poll,
+            batching: false,
+        })
+    }
+
+    /// Binds a TCP listener at `addr` (port 0 picks a free port — read it
+    /// back with [`WireServer::tcp_addr`]) behind the *same* connection
+    /// state machine and limits as the UNIX-socket server.  `TCP_NODELAY`
+    /// is set on every accepted connection.
+    ///
+    /// Note the threat-model shift: a UNIX socket is gated by filesystem
+    /// permissions, a TCP port by whatever can reach it.  The frame layer
+    /// treats every peer as hostile either way (see the crate docs), but
+    /// transport authentication remains out of scope — bind loopback or
+    /// firewall accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/bind/listen failures.
+    pub fn bind_tcp(
+        addr: std::net::SocketAddrV4,
+        engine: Engine,
+        limits: Limits,
+    ) -> io::Result<WireServer> {
+        let listener = sys::tcp_socket(true)?;
+        sys::bind_listen_tcp(&listener, addr)?;
+        let addr = sys::local_addr_tcp(&listener)?;
+        Ok(WireServer {
+            transport: Transport::Tcp { addr },
+            listener,
+            engine,
+            limits,
+            stop: Arc::new(AtomicBool::new(false)),
+            front_end: FrontEnd::Poll,
+            batching: false,
+        })
+    }
+
+    /// Selects the readiness front-end (default [`FrontEnd::Poll`]).
+    #[must_use]
+    pub fn with_front_end(mut self, front_end: FrontEnd) -> WireServer {
+        self.front_end = front_end;
+        self
+    }
+
+    /// Enables (or disables) cross-connection batching: requests gathered
+    /// from all connections each tick are served through one
+    /// [`SharedBatcher`] round instead of per-connection [`Engine`] calls.
+    /// The wire bytes per connection are identical either way.
+    #[must_use]
+    pub fn with_batching(mut self, batching: bool) -> WireServer {
+        self.batching = batching;
+        self
     }
 
     /// A handle that stops the serve loop: set it to `true` and
@@ -266,9 +559,21 @@ impl WireServer {
         Arc::clone(&self.stop)
     }
 
-    /// The socket path this server is bound at.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// The socket path this server is bound at (UNIX transport only).
+    pub fn path(&self) -> Option<&Path> {
+        match &self.transport {
+            Transport::Unix { path } => Some(path),
+            Transport::Tcp { .. } => None,
+        }
+    }
+
+    /// The bound TCP address (TCP transport only) — the way to learn the
+    /// actual port after a port-0 bind.
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddrV4> {
+        match &self.transport {
+            Transport::Unix { .. } => None,
+            Transport::Tcp { addr } => Some(*addr),
+        }
     }
 
     /// Runs the blocking serve loop until the stop handle is raised, then
@@ -277,10 +582,20 @@ impl WireServer {
     ///
     /// # Errors
     ///
-    /// Propagates `poll(2)` failures; per-connection failures never
-    /// surface here (they shrink that connection's state machine).
+    /// Propagates `poll(2)`/`epoll(7)` failures; per-connection failures
+    /// never surface here (they shrink that connection's state machine).
     pub fn run(self) -> io::Result<()> {
-        let WireServer { path, listener, engine, limits, stop } = self;
+        match self.front_end {
+            FrontEnd::Poll => self.run_poll(),
+            FrontEnd::Epoll => self.run_epoll(),
+        }
+    }
+
+    /// The `poll(2)` loop: one pollfd per connection, rebuilt and re-walked
+    /// every tick.
+    fn run_poll(self) -> io::Result<()> {
+        let WireServer { transport, listener, engine, limits, stop, batching, .. } = self;
+        let mut core = ServeCore::new(engine, batching);
         let started = Instant::now();
         let mut conns: Vec<(sys::Fd, Connection)> = Vec::new();
         let mut draining = false;
@@ -304,6 +619,7 @@ impl WireServer {
                 fds.push(sys::PollFd { fd: listener.0, events: sys::POLLIN, revents: 0 });
             }
             sys::poll_fds(&mut fds, 10)?;
+            palmed_obs::counter!("wire.frontend.wakeups").inc();
 
             // Ticks are wall milliseconds since the server started; every
             // timeout below is a deterministic function of them.  New
@@ -312,18 +628,122 @@ impl WireServer {
             let now = started.elapsed().as_millis() as u64;
             if !draining {
                 while let Some(client) = sys::accept_one(&listener)? {
+                    transport.prepare_client(&client);
                     conns.push((client, Connection::new(limits, now)));
                 }
             }
 
-            for (fd, conn) in &mut conns {
-                conn.pump(now, &mut SocketStream(fd), &engine);
-            }
+            palmed_obs::counter!("wire.frontend.pumps").add(conns.len() as u64);
+            core.pump_all(now, &mut conns);
             conns.retain(|(_, conn)| !conn.is_closed());
         }
-        if let Ok(raw) = path_bytes(&path) {
-            sys::unlink_path(&raw);
+        transport.cleanup();
+        Ok(())
+    }
+
+    /// The `epoll(7)` loop: the kernel keeps the interest list; each wakeup
+    /// pumps the ready connections only, `EPOLLOUT` interest tracks write
+    /// backlog transitions, and a periodic sweep (every
+    /// [`EPOLL_SWEEP_TICKS`]) runs the timeout checks over the full table.
+    fn run_epoll(self) -> io::Result<()> {
+        use std::collections::BTreeMap;
+
+        /// The listener's reserved epoll token; connections count up from 0
+        /// and never reach it.
+        const LISTENER_TOKEN: u64 = u64::MAX;
+
+        let WireServer { transport, listener, engine, limits, stop, batching, .. } = self;
+        let mut core = ServeCore::new(engine, batching);
+        let epoll = crate::epoll::Epoll::new()?;
+        epoll.add(listener.0, LISTENER_TOKEN, false)?;
+        let started = Instant::now();
+        let mut conns: BTreeMap<u64, EpollSlot> = BTreeMap::new();
+        let mut next_token: u64 = 0;
+        let mut ready = Vec::new();
+        let mut draining = false;
+        let mut last_sweep: u64 = 0;
+        loop {
+            if !draining && stop.load(Ordering::SeqCst) {
+                draining = true;
+                for slot in conns.values_mut() {
+                    slot.conn.begin_drain();
+                }
+            }
+            if draining && conns.is_empty() {
+                break;
+            }
+
+            epoll.wait(10, &mut ready)?;
+            palmed_obs::counter!("wire.frontend.wakeups").inc();
+            let now = started.elapsed().as_millis() as u64;
+
+            let mut accept_ready = false;
+            let mut tokens: Vec<u64> = Vec::new();
+            for event in &ready {
+                if event.token == LISTENER_TOKEN {
+                    accept_ready = true;
+                } else {
+                    tokens.push(event.token);
+                }
+            }
+            if accept_ready && !draining {
+                while let Some(client) = sys::accept_one(&listener)? {
+                    transport.prepare_client(&client);
+                    let token = next_token;
+                    next_token += 1;
+                    epoll.add(client.0, token, false)?;
+                    conns.insert(
+                        token,
+                        EpollSlot { fd: client, conn: Connection::new(limits, now), write_interest: false },
+                    );
+                    // A newborn connection is pumped this very tick — its
+                    // first bytes may already be in the socket buffer.
+                    tokens.push(token);
+                }
+            }
+
+            // Deadline/idle policies must also fire for connections that
+            // are *not* ready; a periodic sweep pumps the whole table.
+            // While draining, every tick is a sweep so the drain converges.
+            if draining || now.saturating_sub(last_sweep) >= EPOLL_SWEEP_TICKS {
+                last_sweep = now;
+                tokens = conns.keys().copied().collect();
+            } else {
+                tokens.sort_unstable();
+                tokens.dedup();
+                tokens.retain(|token| conns.contains_key(token));
+            }
+
+            palmed_obs::counter!("wire.frontend.pumps").add(tokens.len() as u64);
+            core.pump_tokens(now, &mut conns, &tokens);
+
+            for token in &tokens {
+                let closed = match conns.get_mut(token) {
+                    None => continue,
+                    Some(slot) => {
+                        if slot.conn.is_closed() {
+                            true
+                        } else {
+                            let want = slot.conn.write_backlog() > 0;
+                            if want != slot.write_interest {
+                                epoll.modify(slot.fd.0, *token, want)?;
+                                slot.write_interest = want;
+                            }
+                            false
+                        }
+                    }
+                };
+                if closed {
+                    if let Some(slot) = conns.remove(token) {
+                        // Dropping the fd closes it (removing it from the
+                        // interest list implicitly); the explicit delete
+                        // keeps the kernel set in lockstep.
+                        let _ = epoll.delete(slot.fd.0);
+                    }
+                }
+            }
         }
+        transport.cleanup();
         Ok(())
     }
 }
@@ -354,6 +774,24 @@ impl WireClient {
         Ok(WireClient { fd, buf: Vec::new() })
     }
 
+    /// Connects to a TCP wire server at `addr`.
+    ///
+    /// The socket connects in blocking mode (a non-blocking TCP connect
+    /// returns `EINPROGRESS` and would need its own readiness dance) and
+    /// is switched to non-blocking afterwards, matching the UNIX client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (including a not-yet-listening
+    /// server — callers retry).
+    pub fn connect_tcp(addr: std::net::SocketAddrV4) -> io::Result<WireClient> {
+        let fd = sys::tcp_socket(false)?;
+        sys::connect_tcp(&fd, addr)?;
+        sys::set_nonblocking(&fd)?;
+        let _ = sys::set_nodelay(&fd);
+        Ok(WireClient { fd, buf: Vec::new() })
+    }
+
     /// Sends `frame` and blocks until one frame comes back.
     ///
     /// # Errors
@@ -371,7 +809,25 @@ impl WireClient {
     ///
     /// Propagates socket write failures.
     pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
-        let bytes = frame.encode();
+        self.send_bytes(&frame.encode())
+    }
+
+    /// Sends a burst of frames concatenated into a single write sequence —
+    /// the way to land several requests in one kernel delivery so a server
+    /// tick observes them together (the exact-shed tests depend on this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_all(&mut self, frames: &[Frame]) -> io::Result<()> {
+        let mut bytes = Vec::new();
+        for frame in frames {
+            bytes.extend_from_slice(&frame.encode());
+        }
+        self.send_bytes(&bytes)
+    }
+
+    fn send_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
         let mut at = 0;
         while at < bytes.len() {
             match sys::send_bytes(&self.fd, &bytes[at..]) {

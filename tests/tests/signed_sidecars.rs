@@ -7,7 +7,10 @@
 //! unkeyed registries accept signed v2 sidecars (the tag is extra
 //! evidence, not an obligation).  A wrong-key sidecar is a structured
 //! `signature-mismatch` failure that feeds the same backoff-and-quarantine
-//! ladder as any other poisoned reload.
+//! ladder as any other poisoned reload.  The strict
+//! [`ModelRegistry::require_signed`] policy flips the compatibility
+//! contract: with keys configured, a missing or unkeyed sidecar becomes a
+//! structured `unsigned-artifact` refusal on the same ladder.
 
 use palmed_integration_tests::incident::{
     poll_until_quarantined, scratch_file, WatchedArtifact,
@@ -162,6 +165,90 @@ fn an_unkeyed_registry_accepts_a_signed_v2_sidecar() {
         watched.recorded_fp,
         "without a key the tag is ignored but the fingerprint still binds"
     );
+}
+
+#[test]
+fn a_strict_registry_refuses_missing_and_unkeyed_sidecars() {
+    // Strict policy without keys is inert: there is nothing to verify a
+    // signature against, so a plain v1 sidecar still admits.
+    let unkeyed = WatchedArtifact::save("strict-inert", "palmed-it-strict-inert.palmed2", 0.5);
+    let inert = ModelRegistry::new();
+    inert.require_signed(true);
+    let entry = inert.load_file_serving(&unkeyed.path).unwrap();
+    assert_eq!(
+        entry.fingerprint(),
+        unkeyed.recorded_fp,
+        "require_signed without keys must not brick unkeyed loads"
+    );
+
+    // With keys configured the same v1 sidecar is a structured refusal.
+    let strict = ModelRegistry::new();
+    strict.set_signing_key(Some(KEY.to_vec()));
+    strict.require_signed(true);
+    let error = strict.load_file_serving(&unkeyed.path).unwrap_err();
+    assert_eq!(error.class(), "unsigned-artifact");
+    assert!(strict.is_empty(), "an unsigned artifact never installs under strict policy");
+
+    // A missing sidecar is refused identically — no sidecar proves even
+    // less about provenance than an unkeyed one.
+    let orphan = signed_watched("strict-orphan", "palmed-it-strict-orphan.palmed2", KEY);
+    std::fs::remove_file(palmed_serve::sidecar_path(&orphan.path)).unwrap();
+    let error = strict.load_file_serving(&orphan.path).unwrap_err();
+    assert_eq!(error.class(), "unsigned-artifact");
+    assert!(strict.is_empty());
+
+    // A correctly signed v2 sidecar satisfies the policy.
+    let signed = signed_watched("strict-ok", "palmed-it-strict-ok.palmed2", KEY);
+    let entry = strict.load_file_serving(&signed.path).unwrap();
+    assert_eq!(entry.fingerprint(), signed.recorded_fp);
+
+    // Turning the policy back off restores the compatibility contract:
+    // the unkeyed v1 sidecar admits again.
+    strict.require_signed(false);
+    let entry = strict.load_file_serving(&unkeyed.path).unwrap();
+    assert_eq!(entry.fingerprint(), unkeyed.recorded_fp);
+}
+
+#[test]
+fn an_unsigned_redeploy_feeds_the_backoff_and_quarantine_ladder() {
+    let watched = signed_watched("strict-forge", "palmed-it-strict-redeploy.palmed2", KEY);
+    let registry = ModelRegistry::new();
+    registry.set_signing_key(Some(KEY.to_vec()));
+    registry.require_signed(true);
+    let entry = registry.load_file_serving(&watched.path).unwrap();
+    let pinned = entry.generation();
+
+    // A deployer without the signing pipeline pushes a new body with the
+    // plain v1 fingerprint sidecar.  Determinism checks out; provenance is
+    // absent — strict policy refuses the reload without decoding further.
+    watched.artifact.save_v2_with_fingerprint(&watched.path).unwrap();
+
+    let stats = poll_until_quarantined(&registry, &watched.name, |poll, outcome| {
+        assert!(outcome.reloaded.is_empty(), "the unsigned body must never be promoted");
+        for (_, error) in &outcome.errors {
+            assert_eq!(
+                error.class(),
+                "unsigned-artifact",
+                "poll {poll} must fail on the missing signature, not a later check"
+            );
+        }
+        assert_eq!(registry.get(&watched.name).unwrap().generation(), pinned);
+    });
+    assert_eq!(stats.failures, QUARANTINE_AFTER);
+    let health = registry.health().into_iter().find(|h| h.name == watched.name).unwrap();
+    assert!(health.quarantined);
+    assert_eq!(health.status, RefreshStatus::Quarantined);
+    assert!(
+        health.last_error.as_deref().unwrap_or("").contains("unsigned"),
+        "operators see the provenance failure in health"
+    );
+
+    // Re-signing the deployed fingerprint under the real key and
+    // readmitting recovers the entry.
+    write_signed_sidecar(&watched.path, watched.recorded_fp, KEY).unwrap();
+    let readmitted = registry.readmit(&watched.name).unwrap();
+    assert_eq!(readmitted.fingerprint(), watched.recorded_fp);
+    assert!(readmitted.generation() > pinned);
 }
 
 #[test]

@@ -7,15 +7,21 @@
 //! These tests arm the global obs flag, so they live in their own
 //! integration-test binary (each test file is a separate process); the
 //! tests within it assert *deltas* of distinct counters so parallel test
-//! threads cannot perturb each other.  Only the flood test sheds, so its
-//! `wire.shed.busy` delta is exact.
+//! threads cannot perturb each other.  The two tests that shed (the
+//! in-memory flood and the TCP flood) serialize on [`SHED_LOCK`] so each
+//! one's `wire.shed.busy` delta stays exact.
 
 use palmed_core::ConjunctiveMapping;
 use palmed_isa::{InstId, InstructionSet};
 use palmed_serve::{BatchPredictor, Corpus, ModelArtifact, ModelRegistry};
 use palmed_wire::{decode_frame, ConnState, Connection, Decoded, Engine, Frame, Limits, WireStream};
 use std::io;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Serializes the tests that assert exact `wire.shed.busy` deltas — obs
+/// counters are process-global, so two shedding tests running on parallel
+/// test threads would see each other's increments.
+static SHED_LOCK: Mutex<()> = Mutex::new(());
 
 const CORPUS: &str = "PALMED-CORPUS v1\nb0 1 DIVPS×1\nb1 2 ADDSS×3 DIVPS×1\nb2 1 JNLE×1\n";
 
@@ -87,6 +93,7 @@ fn decode_all(bytes: &[u8]) -> Vec<Frame> {
 
 #[test]
 fn flooding_past_the_cap_sheds_exactly_and_counts_exactly() {
+    let _shed = SHED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     palmed_obs::set_enabled(true);
     const CAP: usize = 2;
     const FLOOD: u32 = 10;
@@ -130,8 +137,8 @@ fn flooding_past_the_cap_sheds_exactly_and_counts_exactly() {
         .collect();
     assert_eq!(served, (0..CAP as u32).collect::<Vec<u32>>());
 
-    // The obs counter agrees with the wire, exactly: this is the only
-    // test in this binary that sheds.
+    // The obs counter agrees with the wire, exactly: shedding tests
+    // serialize on SHED_LOCK, so nothing else sheds inside the window.
     assert_eq!(shed_after - shed_before, (FLOOD as u64) - (CAP as u64));
     assert_eq!(conn.state(), ConnState::Open, "shedding is backpressure, not failure");
 }
@@ -219,6 +226,193 @@ fn a_real_socket_round_trip_is_bit_identical_and_stops_cleanly() {
     stop.store(true, std::sync::atomic::Ordering::SeqCst);
     handle.join().expect("server thread").expect("serve loop");
     assert!(!path.exists(), "the server unlinks its socket on exit");
+}
+
+/// The TCP listener behind the same connection state machine: a loopback
+/// round trip must be bit-identical to the in-process predictor, admin
+/// health must carry the registry fingerprint, and stop must drain.
+#[cfg(target_os = "linux")]
+#[test]
+fn a_tcp_round_trip_is_bit_identical_and_stops_cleanly() {
+    use palmed_wire::{WireClient, WireServer};
+    use std::net::{Ipv4Addr, SocketAddrV4};
+
+    palmed_obs::set_enabled(true);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(artifact("skl", 0.5));
+    let fp = registry.get("skl").unwrap().fingerprint();
+    let engine = Engine::new(Arc::clone(&registry));
+
+    let server = WireServer::bind_tcp(
+        SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0),
+        engine,
+        Limits::default(),
+    )
+    .expect("bind tcp");
+    let addr = server.tcp_addr().expect("a TCP server reports its bound address");
+    assert_ne!(addr.port(), 0, "a port-0 bind reads back the kernel-picked port");
+    assert!(server.path().is_none(), "a TCP server has no socket path");
+    let stop = server.stop_handle();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = loop {
+        match WireClient::connect_tcp(addr) {
+            Ok(client) => break client,
+            Err(_) => std::thread::yield_now(),
+        }
+    };
+
+    match client.call(&request(1)).expect("round trip") {
+        Frame::Response { req_id, rows } => {
+            assert_eq!(req_id, 1);
+            assert_eq!(
+                rows.iter().map(|r| r.map(f64::to_bits)).collect::<Vec<_>>(),
+                expected_rows().iter().map(|r| r.map(f64::to_bits)).collect::<Vec<_>>(),
+                "TCP rows must be bit-identical to in-process predictions"
+            );
+        }
+        other => panic!("expected a response, got {other:?}"),
+    }
+    match client.call(&Frame::AdminRequest { req_id: 2, what: "health".to_string() }).unwrap() {
+        Frame::AdminResponse { req_id, body } => {
+            assert_eq!(req_id, 2);
+            assert!(body.contains(&format!("\"fingerprint\":\"{fp:016x}\"")), "health: {body}");
+        }
+        other => panic!("expected an admin response, got {other:?}"),
+    }
+
+    // Stop-and-drain: a burst written just before the stop is raised is
+    // still answered — the server drains received requests before exiting.
+    client.send_all(&[request(3), request(4)]).expect("burst");
+    for want_id in [3u32, 4] {
+        match client.recv().expect("drained reply") {
+            Frame::Response { req_id, .. } => assert_eq!(req_id, want_id),
+            other => panic!("expected a response, got {other:?}"),
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().expect("server thread").expect("serve loop");
+}
+
+/// Flooding a TCP connection past its in-flight cap in one coalesced burst
+/// sheds exactly the over-cap requests — same shedding, same counting, as
+/// the in-memory path.
+#[cfg(target_os = "linux")]
+#[test]
+fn a_tcp_flood_past_the_cap_sheds_exactly() {
+    use palmed_wire::{WireClient, WireServer};
+    use std::net::{Ipv4Addr, SocketAddrV4};
+
+    let _shed = SHED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    palmed_obs::set_enabled(true);
+    const CAP: usize = 2;
+    const FLOOD: u32 = 8;
+    let server = WireServer::bind_tcp(
+        SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0),
+        engine(),
+        Limits { max_in_flight: CAP, ..Limits::default() },
+    )
+    .expect("bind tcp");
+    let addr = server.tcp_addr().unwrap();
+    let stop = server.stop_handle();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = loop {
+        match WireClient::connect_tcp(addr) {
+            Ok(client) => break client,
+            Err(_) => std::thread::yield_now(),
+        }
+    };
+
+    // One send_all burst: all FLOOD frames land in one kernel delivery, so
+    // one server fill observes them together and the shed set is exact.
+    let burst: Vec<Frame> = (0..FLOOD)
+        .map(|req_id| Frame::AdminRequest { req_id, what: "health".to_string() })
+        .collect();
+    let shed_before = shed_counter();
+    client.send_all(&burst).expect("burst");
+    let replies: Vec<Frame> = (0..FLOOD).map(|_| client.recv().expect("reply")).collect();
+    let shed_after = shed_counter();
+
+    let shed: Vec<u32> = replies
+        .iter()
+        .filter_map(|f| match f {
+            Frame::Error { req_id, class, .. } if class == "server-busy" => Some(*req_id),
+            _ => None,
+        })
+        .collect();
+    let served = replies.iter().filter(|f| matches!(f, Frame::AdminResponse { .. })).count();
+    assert_eq!(shed, (CAP as u32..FLOOD).collect::<Vec<u32>>(), "exactly the over-cap ids shed");
+    assert_eq!(served, CAP);
+    assert_eq!(shed_after - shed_before, (FLOOD as u64) - (CAP as u64));
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().expect("server thread").expect("serve loop");
+}
+
+/// The epoll front-end plus the shared batcher, end to end over TCP: two
+/// concurrent clients must both be served bit-identically, through one
+/// readiness loop and one batch round at a time.
+#[cfg(target_os = "linux")]
+#[test]
+fn epoll_with_shared_batching_serves_concurrent_tcp_clients_bit_identically() {
+    use palmed_wire::{FrontEnd, WireClient, WireServer};
+    use std::net::{Ipv4Addr, SocketAddrV4};
+
+    palmed_obs::set_enabled(true);
+    let server = WireServer::bind_tcp(
+        SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0),
+        engine(),
+        Limits::default(),
+    )
+    .expect("bind tcp")
+    .with_front_end(FrontEnd::Epoll)
+    .with_batching(true);
+    let addr = server.tcp_addr().unwrap();
+    let stop = server.stop_handle();
+    let handle = std::thread::spawn(move || server.run());
+
+    let connect = || loop {
+        match WireClient::connect_tcp(addr) {
+            Ok(client) => return client,
+            Err(_) => std::thread::yield_now(),
+        }
+    };
+    let mut first = connect();
+    let mut second = connect();
+
+    // Both clients request the same corpus: the round dedupes the parse
+    // and the kernels, and both replies must still be bit-exact.
+    let want: Vec<Option<u64>> =
+        expected_rows().iter().map(|r| r.map(f64::to_bits)).collect();
+    first.send(&request(10)).expect("send");
+    second.send(&request(20)).expect("send");
+    for (client, want_id) in [(&mut first, 10u32), (&mut second, 20u32)] {
+        match client.recv().expect("reply") {
+            Frame::Response { req_id, rows } => {
+                assert_eq!(req_id, want_id);
+                assert_eq!(
+                    rows.iter().map(|r| r.map(f64::to_bits)).collect::<Vec<_>>(),
+                    want,
+                    "batched epoll rows must be bit-identical to in-process predictions"
+                );
+            }
+            other => panic!("expected a response, got {other:?}"),
+        }
+    }
+
+    // A third client accepted mid-session goes through the same epoll
+    // registration path.
+    let mut third = connect();
+    match third.call(&request(30)).expect("round trip") {
+        Frame::Response { req_id, rows } => {
+            assert_eq!(req_id, 30);
+            assert_eq!(rows.iter().map(|r| r.map(f64::to_bits)).collect::<Vec<_>>(), want);
+        }
+        other => panic!("expected a response, got {other:?}"),
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().expect("server thread").expect("serve loop");
 }
 
 /// A mistyped socket path pointing at a real file must not delete it.
